@@ -1,0 +1,93 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* full reduction on/off for full queries (Algorithm 2 tolerates dangling
+  tuples via zero weights — what does the Yannakakis pass buy/cost?);
+* canonical bucket sorting on/off (sorting is what makes mc-UCQ order
+  compatibility hold by construction — what does it cost at build time?);
+* exact-weight sampling via weighted descent vs uniform-index + access
+  (the two EW formulations are equivalent; measure the difference);
+* Algorithm 5's non-owner deletion vs naive resampling (deletion is what
+  makes the delay amortized-constant; the naive variant rejects every
+  duplicate encounter again and again).
+"""
+
+import random
+
+import pytest
+
+from repro import CQIndex, Database, Relation
+from repro.core.deletable import DeletableAnswerSet
+from repro.core.union_enum import UnionRandomEnumerator
+from repro.experiments.figures import benchmark_database
+from repro.tpch.queries import CQ_QUERIES, UCQ_QUERIES
+
+
+@pytest.mark.parametrize("reduce", [True, False], ids=["reduced", "unreduced"])
+def test_build_full_query_reduction(benchmark, config, reduce):
+    db = benchmark_database(config)
+    query = CQ_QUERIES["Q3"]()
+    index = benchmark(lambda: CQIndex(query, db, reduce=reduce))
+    assert index.count > 0
+
+
+@pytest.mark.parametrize("sort_buckets", [True, False], ids=["sorted", "unsorted"])
+def test_build_bucket_sorting(benchmark, config, sort_buckets):
+    db = benchmark_database(config)
+    query = CQ_QUERIES["Q7"]()
+    index = benchmark(lambda: CQIndex(query, db, sort_buckets=sort_buckets))
+    assert index.count > 0
+
+
+def test_union_enum_with_deletion(benchmark, config):
+    """Algorithm 5 as published: rejected elements are deleted from
+    non-owners, so each answer rejects at most once."""
+    db = benchmark_database(config)
+    ucq = UCQ_QUERIES["QN2_or_QP2_or_QS2"]()
+
+    def run():
+        rng = random.Random(3)
+        indexes = [CQIndex(q, db) for q in ucq.queries]
+        enum = UnionRandomEnumerator.for_indexes(indexes, rng=rng)
+        return sum(1 for _ in enum), enum.rejections
+
+    count, rejections = benchmark(run)
+    assert count > 0
+    benchmark.extra_info["rejections"] = rejections
+
+
+def test_union_enum_without_deletion(benchmark, config):
+    """The ablated variant: sample-and-reject without deleting duplicates
+    from non-owners. Correct output, but rejections are unbounded per
+    element — the amortized-constant guarantee is lost."""
+    db = benchmark_database(config)
+    ucq = UCQ_QUERIES["QN2_or_QP2_or_QS2"]()
+
+    def run():
+        rng = random.Random(3)
+        sets = [DeletableAnswerSet(CQIndex(q, db), rng=rng) for q in ucq.queries]
+        emitted = 0
+        rejections = 0
+        while True:
+            counts = [s.count() for s in sets]
+            total = sum(counts)
+            if total == 0:
+                break
+            pick = rng.randrange(total)
+            chosen = 0
+            while pick >= counts[chosen]:
+                pick -= counts[chosen]
+                chosen += 1
+            element = sets[chosen].sample()
+            providers = [j for j, s in enumerate(sets) if s.test(element)]
+            owner = providers[0]
+            if owner == chosen:
+                for j in providers:
+                    sets[j].delete(element)  # deletion only on emission
+                emitted += 1
+            else:
+                rejections += 1
+        return emitted, rejections
+
+    count, rejections = benchmark(run)
+    assert count > 0
+    benchmark.extra_info["rejections"] = rejections

@@ -1,0 +1,69 @@
+"""Dynamic-index extension: update cost vs. rebuilding the static index.
+
+Not a paper figure — the paper's index is static — but its Related Work
+([6], answering UCQs under updates) motivates the comparison: a single
+tuple update costs O(depth·log) in the dynamic index versus a full O(|D|)
+static rebuild, while access latency stays logarithmic.
+"""
+
+import random
+
+import pytest
+
+from repro import CQIndex, Database, DynamicCQIndex, Relation, parse_cq
+
+QUERY = parse_cq("Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d)")
+
+
+def _database(n: int) -> Database:
+    return Database([
+        Relation("R", ("a", "b"), [(i, i % (n // 8 or 1)) for i in range(n)]),
+        Relation("S", ("b", "c"), [(i % (n // 8 or 1), i % (n // 16 or 1)) for i in range(n // 2)]),
+        Relation("T", ("c", "d"), [(i % (n // 16 or 1), i) for i in range(n // 2)]),
+    ])
+
+
+@pytest.mark.parametrize("n", [2000, 8000])
+def test_dynamic_update_throughput(benchmark, n):
+    db = _database(n)
+    index = DynamicCQIndex(QUERY, db)
+    rng = random.Random(1)
+    keys = n // 8
+
+    def update_batch():
+        for i in range(200):
+            row = (n + i, rng.randrange(keys))
+            index.insert("R", row)
+            index.delete("R", row)
+
+    benchmark(update_batch)
+    assert index.count > 0
+    benchmark.extra_info["answers"] = index.count
+
+
+@pytest.mark.parametrize("n", [2000, 8000])
+def test_static_rebuild_cost(benchmark, n):
+    """The alternative the dynamic index avoids: rebuild per update."""
+    db = _database(n)
+
+    def rebuild():
+        return CQIndex(QUERY, db).count
+
+    count = benchmark(rebuild)
+    assert count > 0
+
+
+@pytest.mark.parametrize("n", [2000, 8000])
+def test_dynamic_access_after_updates(benchmark, n):
+    db = _database(n)
+    index = DynamicCQIndex(QUERY, db)
+    rng = random.Random(2)
+    for i in range(100):
+        index.insert("R", (n + i, rng.randrange(n // 8)))
+    positions = [rng.randrange(index.count) for __ in range(256)]
+
+    def access_batch():
+        for position in positions:
+            index.access(position)
+
+    benchmark(access_batch)

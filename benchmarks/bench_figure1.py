@@ -1,0 +1,14 @@
+"""Figure 1 — total enumeration time of REnum(CQ) vs Sample(EW).
+
+Six panels (Q0, Q2, Q3, Q7, Q9, Q10), k ∈ {1, 5, 10, 30, 50, 70, 90}% of
+the answers, preprocessing and enumeration reported separately.
+"""
+
+from repro.experiments.figures import figure1
+
+
+def test_figure1(benchmark, config, results_dir):
+    result = benchmark.pedantic(figure1, args=(config,), rounds=1, iterations=1)
+    text = result.render()
+    (results_dir / "figure1.txt").write_text(text)
+    print(text)

@@ -1,0 +1,13 @@
+"""Figure 2 — delay box plots over a full enumeration (all six CQs)."""
+
+from repro.experiments.figures import figure2_3
+
+
+def test_figure2(benchmark, config, results_dir):
+    result = benchmark.pedantic(
+        figure2_3, args=(1.0, config), kwargs={"figure_name": "Figure 2"},
+        rounds=1, iterations=1,
+    )
+    text = result.render()
+    (results_dir / "figure2.txt").write_text(text)
+    print(text)

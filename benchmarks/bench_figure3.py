@@ -1,0 +1,13 @@
+"""Figure 3 — delay box plots when enumerating 50% of the answers."""
+
+from repro.experiments.figures import figure2_3
+
+
+def test_figure3(benchmark, config, results_dir):
+    result = benchmark.pedantic(
+        figure2_3, args=(0.5, config), kwargs={"figure_name": "Figure 3"},
+        rounds=1, iterations=1,
+    )
+    text = result.render()
+    (results_dir / "figure3.txt").write_text(text)
+    print(text)

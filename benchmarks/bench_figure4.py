@@ -1,0 +1,18 @@
+"""Figure 4 — UCQ enumeration: (a) full-run totals on the three UCQs,
+(b) QS7 ∪ QC7 at varying percentage of produced answers."""
+
+from repro.experiments.figures import figure4a, figure4b
+
+
+def test_figure4a(benchmark, config, results_dir):
+    result = benchmark.pedantic(figure4a, args=(config,), rounds=1, iterations=1)
+    text = result.render()
+    (results_dir / "figure4a.txt").write_text(text)
+    print(text)
+
+
+def test_figure4b(benchmark, config, results_dir):
+    result = benchmark.pedantic(figure4b, args=(config,), rounds=1, iterations=1)
+    text = result.render()
+    (results_dir / "figure4b.txt").write_text(text)
+    print(text)

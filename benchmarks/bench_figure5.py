@@ -1,0 +1,11 @@
+"""Figure 5 — time spent on answers vs rejections across a full
+REnum(UCQ) run on QS7 ∪ QC7."""
+
+from repro.experiments.figures import figure5
+
+
+def test_figure5(benchmark, config, results_dir):
+    result = benchmark.pedantic(figure5, args=(config,), rounds=1, iterations=1)
+    text = result.render()
+    (results_dir / "figure5.txt").write_text(text)
+    print(text)

@@ -1,0 +1,18 @@
+"""Figure 6 (App. B.2.1) — Figure 1 plus Sample(EO) with its timeout.
+
+Sample(EO) runs under a draw budget (50× the answer count); exceeding it
+reports a timeout, mirroring the paper's omitted bars.
+"""
+
+from repro.experiments.figures import ExperimentConfig, figure6
+
+
+def test_figure6(benchmark, config, results_dir):
+    # The paper restricts several EO panels to k ≤ 30% before timing out.
+    cfg = ExperimentConfig(
+        scale_factor=config.scale_factor, seed=config.seed, percentages=(1, 5, 10, 30)
+    )
+    result = benchmark.pedantic(figure6, args=(cfg,), rounds=1, iterations=1)
+    text = result.render()
+    (results_dir / "figure6.txt").write_text(text)
+    print(text)

@@ -1,0 +1,10 @@
+"""Figure 7 (App. B.3) — delay mean/SD/outlier% tables at 50% and 100%."""
+
+from repro.experiments.figures import figure7_tables
+
+
+def test_figure7_tables(benchmark, config, results_dir):
+    result = benchmark.pedantic(figure7_tables, args=(config,), rounds=1, iterations=1)
+    text = result.render()
+    (results_dir / "figure7_tables.txt").write_text(text)
+    print(text)

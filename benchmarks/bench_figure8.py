@@ -1,0 +1,10 @@
+"""Figure 8 (App. B.2.2) — Q3 with Sample(OE) added."""
+
+from repro.experiments.figures import figure8
+
+
+def test_figure8(benchmark, config, results_dir):
+    result = benchmark.pedantic(figure8, args=(config,), rounds=1, iterations=1)
+    text = result.render()
+    (results_dir / "figure8.txt").write_text(text)
+    print(text)

@@ -1,0 +1,10 @@
+"""Appendix B.2.3 — Sample(RS) cannot produce 1% of Q3's answers."""
+
+from repro.experiments.figures import rs_note
+
+
+def test_rs_note(benchmark, config, results_dir):
+    result = benchmark.pedantic(rs_note, args=(config,), rounds=1, iterations=1)
+    text = result.render()
+    (results_dir / "rs_note.txt").write_text(text)
+    print(text)

@@ -1,0 +1,59 @@
+"""Degree-skew ablation: where the Olken samplers' rejections come from.
+
+Our dbgen substitute has near-uniform join fan-outs (each part has exactly
+4 suppliers, orders have 1–7 lineitems), so Sample(EO)'s |bucket|/max bound
+is nearly tight and Figure 6's EO slowdown is muted at our scale. This
+bench isolates the effect on a synthetic star join whose bucket sizes are
+geometrically skewed: EW is insensitive to skew, while EO's acceptance
+rate collapses with the max/mean degree ratio — the mechanism behind the
+paper's EO timeouts.
+"""
+
+import random
+
+import pytest
+
+from repro import Database, Relation, parse_cq
+from repro.sampling import ExactWeightSampler, OlkenSampler, OlkenThenExactSampler
+
+QUERY = parse_cq("Q(a, b, c) :- R(a, b), S(b, c)")
+
+
+def _skewed_database(keys: int, skew: float) -> Database:
+    """Child-bucket sizes follow size(k) ∝ skew^k: skew=1 is uniform.
+
+    R is the join-tree child (bucketed by ``b``), so its bucket-size skew
+    is exactly what the Olken acceptance test |bucket|/max pays for.
+    """
+    rows_r = []
+    size = 1.0
+    next_a = 0
+    for key in range(keys):
+        for __ in range(max(1, int(size))):
+            rows_r.append((next_a, key))
+            next_a += 1
+        size *= skew
+    rows_s = [(key, c) for key in range(keys) for c in range(3)]
+    return Database([
+        Relation("R", ("a", "b"), rows_r),
+        Relation("S", ("b", "c"), rows_s),
+    ])
+
+
+@pytest.mark.parametrize("skew", [1.0, 1.3, 1.6], ids=["uniform", "mild", "heavy"])
+@pytest.mark.parametrize(
+    "sampler_cls", [ExactWeightSampler, OlkenSampler, OlkenThenExactSampler],
+    ids=["EW", "EO", "OE"],
+)
+def test_sampling_under_skew(benchmark, sampler_cls, skew):
+    db = _skewed_database(keys=12, skew=skew)
+    sampler = sampler_cls(QUERY, db, rng=random.Random(7))
+
+    def draw_batch():
+        for __ in range(2000):
+            sampler.sample()
+
+    benchmark(draw_batch)
+    benchmark.extra_info["acceptance_rate"] = round(
+        sampler.statistics.acceptance_rate, 4
+    )

@@ -1,0 +1,48 @@
+"""Uniformity audit as a measured experiment.
+
+The paper proves its distributional guarantees; this bench *measures* them
+on TPC-H Q0, writing chi-square p-values for REnum(CQ) first emissions and
+Sample(EW) draw frequencies to ``results/uniformity.txt``.
+"""
+
+import random
+
+from repro import CQIndex
+from repro.experiments.figures import benchmark_database
+from repro.experiments.report import render_table
+from repro.experiments.uniformity import first_emission_audit, frequency_audit
+from repro.sampling import ExactWeightSampler
+from repro.tpch.queries import make_q0
+
+
+def _audit(config):
+    db = benchmark_database(config)
+    query = make_q0()
+    index = CQIndex(query, db)
+    universe = list(index)
+    rng = random.Random(config.seed)
+
+    renum = first_emission_audit(
+        lambda: index.random_order(rng), universe, trials=4 * len(universe)
+    )
+    sampler = ExactWeightSampler(query, db, rng=rng)
+    sample = frequency_audit(sampler.sample, universe, trials=8 * len(universe))
+    rows = [
+        ["REnum(CQ) first emission", f"{renum.statistic:.1f}",
+         renum.degrees_of_freedom, f"{renum.p_value:.4f}",
+         renum.consistent_with_uniform()],
+        ["Sample(EW) draw frequency", f"{sample.statistic:.1f}",
+         sample.degrees_of_freedom, f"{sample.p_value:.4f}",
+         sample.consistent_with_uniform()],
+    ]
+    return render_table(
+        ["audit", "chi2", "dof", "p-value", "uniform?"], rows
+    )
+
+
+def test_uniformity_audit(benchmark, config, results_dir):
+    text = benchmark.pedantic(_audit, args=(config,), rounds=1, iterations=1)
+    (results_dir / "uniformity.txt").write_text(
+        "=== Uniformity audit (Q0, chi-square) ===\n" + text + "\n"
+    )
+    print(text)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_figure*.py`` regenerates one paper figure/table: the driver in
+:mod:`repro.experiments.figures` computes the data, pytest-benchmark times
+the run, and the rendered text is written under ``results/`` (these files
+are the source of EXPERIMENTS.md's measured numbers).
+
+Scale is controlled by ``REPRO_BENCH_SF`` (default 0.002). The paper ran at
+TPC-H sf=5 in C++; the qualitative shapes are scale-invariant, the
+wall-clock is not.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.figures import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    path = pathlib.Path(__file__).resolve().parent.parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig()

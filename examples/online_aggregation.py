@@ -1,0 +1,64 @@
+"""Online aggregation: why the *order* of enumeration matters.
+
+The task: estimate the average part key ordered by American customers,
+from a prefix of the query's answers. Two streams over the same index:
+
+* index order (Enum) — the order is an artifact of the join tree; early
+  answers share join-tree prefixes, so prefix averages are badly biased;
+* random order (REnum, Theorem 3.7) — the first k answers are a uniform
+  sample without replacement, so the anytime estimate converges fast and
+  its confidence interval is honest.
+
+Run:  python examples/online_aggregation.py
+"""
+
+import random
+
+from repro import CQIndex
+from repro.apps import OnlineAggregator
+from repro.tpch import TPCHConfig, generate
+from repro.tpch.queries import make_q3
+
+
+def run_stream(label, stream, population, truth, checkpoints):
+    aggregator = OnlineAggregator(value_of=lambda t: t[2], population=population)
+    print(f"\n{label}")
+    print(f"  {'seen':>6}  {'estimate':>10}  {'±95%':>8}  {'covers truth?'}")
+    for position, answer in enumerate(stream, start=1):
+        aggregator.observe(answer)
+        if position in checkpoints:
+            estimate = aggregator.estimate()
+            print(
+                f"  {estimate.seen:>6}  {estimate.mean:>10.1f}  "
+                f"{estimate.half_width:>8.1f}  {estimate.contains(truth)}"
+            )
+            if position == max(checkpoints):
+                break
+
+
+def main() -> None:
+    db = generate(TPCHConfig(scale_factor=0.005))
+    query = make_q3()  # head: (o, c, lp, ls, ln); t[2] = l_partkey
+    index = CQIndex(query, db)
+    n = index.count
+    truth = sum(answer[2] for answer in index) / n
+    checkpoints = {50, 200, 1000, 5000}
+
+    print(f"|Q3(D)| = {n}; true mean part key = {truth:.1f}")
+    run_stream("index-order prefix (biased):", iter(index), n, truth, checkpoints)
+    run_stream(
+        "random-order prefix (REnum, statistically valid):",
+        index.random_order(random.Random(42)),
+        n,
+        truth,
+        checkpoints,
+    )
+    print(
+        "\nIndex order walks the join tree, so early answers cluster on the "
+        "first root tuples;\nthe random permutation gives an honest sample at "
+        "every prefix length."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Random-order enumeration of a union of CQs — both Section 5 algorithms.
+
+The UCQ: TPC-H orders whose supplier is American (QS7) or whose customer
+is American (QC7). The members overlap (both can hold), so naively running
+each CQ yields duplicates and a non-uniform stream. The two fixes:
+
+* REnum(UCQ) — Algorithm 5: weighted sampling with owner-based rejection
+  and deletion; expected logarithmic delay, works for *every* union of
+  free-connex CQs.
+* REnum(mcUCQ) — Theorem 5.5: a compatible-order random-access structure
+  over the union, shuffled by Fisher–Yates; deterministic log² delay, for
+  mutually compatible unions (this one qualifies).
+
+Run:  python examples/union_sampling.py
+"""
+
+import random
+
+from repro import CQIndex, MCUCQIndex, UnionRandomEnumerator
+from repro.tpch import TPCHConfig, attach_derived_relations, generate
+from repro.tpch.queries import make_qs7_qc7
+
+
+def main() -> None:
+    db = attach_derived_relations(generate(TPCHConfig(scale_factor=0.005)))
+    ucq = make_qs7_qc7()
+    members = [CQIndex(q, db) for q in ucq.queries]
+    sizes = [m.count for m in members]
+    print(f"|QS7| = {sizes[0]}, |QC7| = {sizes[1]} (members overlap)")
+
+    # --- Algorithm 5 -------------------------------------------------- #
+    enumerator = UnionRandomEnumerator.for_indexes(members, rng=random.Random(1))
+    first = [next(enumerator) for __ in range(5)]
+    rest = sum(1 for __ in enumerator)
+    union_size = len(first) + rest
+    print(f"\nREnum(UCQ): |QS7 ∪ QC7| = {union_size}")
+    print(f"  first answers (uniformly random): {first[:3]}")
+    print(
+        f"  iterations={enumerator.iterations} rejections={enumerator.rejections} "
+        f"(each union element rejects at most once)"
+    )
+
+    # --- Theorem 5.5 --------------------------------------------------- #
+    index = MCUCQIndex(ucq, db)
+    print(f"\nREnum(mcUCQ): count via inclusion–exclusion = {index.count}")
+    print(f"  access(0)      = {index.access(0)}")
+    print(f"  access(n // 2) = {index.access(index.count // 2)}")
+    sample = list(zip(range(3), index.random_order(random.Random(2))))
+    print(f"  random order   : {[answer for __, answer in sample]} …")
+
+    assert index.count == union_size
+    print("\nboth algorithms agree on the union size; both emit each answer "
+          "exactly once, in provably uniform random order.")
+
+
+if __name__ == "__main__":
+    main()

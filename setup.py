@@ -1,0 +1,5 @@
+"""Legacy setup shim (the environment's setuptools lacks bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,185 @@
+"""The command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``classify``
+    Structural analysis of a CQ: acyclicity, free-connexity, join tree.
+``count`` / ``access`` / ``shuffle``
+    Build the index for a query over a CSV-loaded database and count the
+    answers, fetch specific positions, or stream a random permutation.
+``tpch``
+    Generate the synthetic TPC-H instance and print table cardinalities.
+``figures``
+    Regenerate one of the paper's figures (prints the text rendering).
+
+Databases are directories of CSV files: each ``<name>.csv`` becomes the
+relation ``<name>``, the first line naming its columns. Values parse as
+int, then float, then string.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import pathlib
+import random
+import sys
+from typing import List, Optional
+
+from repro import CQIndex, Database, Relation, parse_cq
+from repro.query.render import describe_query
+
+
+def load_csv_database(directory: str) -> Database:
+    """Load every ``*.csv`` in a directory as a relation."""
+    path = pathlib.Path(directory)
+    if not path.is_dir():
+        raise SystemExit(f"not a directory: {directory}")
+    database = Database()
+    for file in sorted(path.glob("*.csv")):
+        with open(file, newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                columns = next(reader)
+            except StopIteration:
+                raise SystemExit(f"{file} is empty (needs a header row)")
+            rows = [tuple(_parse_value(v) for v in row) for row in reader]
+        database.add(Relation(file.stem, [c.strip() for c in columns], rows))
+    if not database.names():
+        raise SystemExit(f"no .csv files found in {directory}")
+    return database
+
+
+def _parse_value(text: str):
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _format_answer(answer: tuple) -> str:
+    return ", ".join(str(v) for v in answer)
+
+
+def command_classify(args) -> int:
+    print(describe_query(parse_cq(args.query)))
+    return 0
+
+
+def _build_index(args) -> CQIndex:
+    database = load_csv_database(args.database)
+    return CQIndex(parse_cq(args.query), database)
+
+
+def command_count(args) -> int:
+    print(_build_index(args).count)
+    return 0
+
+
+def command_access(args) -> int:
+    index = _build_index(args)
+    for position in args.positions:
+        try:
+            print(f"{position}\t{_format_answer(index.access(position))}")
+        except IndexError:
+            print(f"{position}\tout-of-bound (count is {index.count})")
+    return 0
+
+
+def command_shuffle(args) -> int:
+    index = _build_index(args)
+    rng = random.Random(args.seed) if args.seed is not None else random.Random()
+    limit = args.limit if args.limit is not None else index.count
+    for emitted, answer in enumerate(index.random_order(rng)):
+        if emitted >= limit:
+            break
+        print(_format_answer(answer))
+    return 0
+
+
+def command_tpch(args) -> int:
+    from repro.tpch import TPCHConfig, attach_derived_relations, generate
+
+    database = attach_derived_relations(
+        generate(TPCHConfig(scale_factor=args.scale_factor, seed=args.seed))
+    )
+    for relation in database:
+        print(f"{relation.name}\t{len(relation)}")
+    return 0
+
+
+def command_figures(args) -> int:
+    from repro.experiments import figures as figure_drivers
+
+    drivers = {
+        "1": figure_drivers.figure1,
+        "2": lambda c: figure_drivers.figure2_3(1.0, c, figure_name="Figure 2"),
+        "3": lambda c: figure_drivers.figure2_3(0.5, c, figure_name="Figure 3"),
+        "4a": figure_drivers.figure4a,
+        "4b": figure_drivers.figure4b,
+        "5": figure_drivers.figure5,
+        "6": figure_drivers.figure6,
+        "7": figure_drivers.figure7_tables,
+        "8": figure_drivers.figure8,
+        "rs": figure_drivers.rs_note,
+    }
+    config = figure_drivers.ExperimentConfig(scale_factor=args.scale_factor)
+    print(drivers[args.figure](config).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Random access and random-order enumeration for (U)CQs "
+        "(Carmeli et al., PODS 2020).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    classify = commands.add_parser("classify", help="structural analysis of a CQ")
+    classify.add_argument("query", help="datalog rule, e.g. 'Q(x) :- R(x, y)'")
+    classify.set_defaults(run=command_classify)
+
+    for name, help_text, runner in (
+        ("count", "count the answers of a free-connex CQ", command_count),
+        ("access", "random-access specific answer positions", command_access),
+        ("shuffle", "stream answers in uniformly random order", command_shuffle),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("query", help="datalog rule over the CSV relations")
+        sub.add_argument("database", help="directory of <relation>.csv files")
+        if name == "access":
+            sub.add_argument("positions", nargs="+", type=int,
+                             help="0-based answer positions")
+        if name == "shuffle":
+            sub.add_argument("--seed", type=int, default=None)
+            sub.add_argument("--limit", type=int, default=None,
+                             help="stop after this many answers")
+        sub.set_defaults(run=runner)
+
+    tpch = commands.add_parser("tpch", help="generate TPC-H and print sizes")
+    tpch.add_argument("--scale-factor", type=float, default=0.01)
+    tpch.add_argument("--seed", type=int, default=20200614)
+    tpch.set_defaults(run=command_tpch)
+
+    figures = commands.add_parser("figures", help="regenerate a paper figure")
+    figures.add_argument("figure",
+                         choices=["1", "2", "3", "4a", "4b", "5", "6", "7", "8", "rs"])
+    figures.add_argument("--scale-factor", type=float, default=0.002)
+    figures.set_defaults(run=command_figures)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

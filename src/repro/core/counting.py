@@ -1,0 +1,50 @@
+"""UCQ counting by inclusion–exclusion.
+
+Counting a union requires the cardinalities of all intersections:
+``|Q1 ∪ … ∪ Qm| = Σ_{∅≠I} (−1)^{|I|+1} |Q_I|``. Each ``Q_I`` is a CQ
+(conjoined bodies), countable in linear time *when free-connex* — which is
+exactly what fails for Example 5.1's union, whose intersection is the
+triangle query: an efficient union count there would give linear-time
+triangle detection. These helpers surface that boundary faithfully: they
+raise :class:`~repro.core.errors.NotFreeConnexError` on such unions, and
+``ucq_count_naive`` provides the (slow, join-materializing) fallback used
+as ground truth in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.database.database import Database
+from repro.database.joins import evaluate_ucq
+from repro.query.ucq import UnionOfConjunctiveQueries
+
+from repro.core.cq_index import CQIndex
+
+
+def ucq_intersection_counts(
+    ucq: UnionOfConjunctiveQueries, database: Database
+) -> Dict[FrozenSet[int], int]:
+    """``|Q_I(D)|`` for every nonempty ``I``, via per-intersection indexes.
+
+    Raises :class:`~repro.core.errors.NotFreeConnexError` when some
+    intersection CQ is outside the tractable class.
+    """
+    counts: Dict[FrozenSet[int], int] = {}
+    for indices, query in ucq.all_intersections().items():
+        counts[indices] = CQIndex(query, database).count
+    return counts
+
+
+def ucq_count(ucq: UnionOfConjunctiveQueries, database: Database) -> int:
+    """``|Q(D)|`` for a UCQ whose intersections are all free-connex."""
+    counts = ucq_intersection_counts(ucq, database)
+    total = 0
+    for indices, count in counts.items():
+        total += count if len(indices) % 2 == 1 else -count
+    return total
+
+
+def ucq_count_naive(ucq: UnionOfConjunctiveQueries, database: Database) -> int:
+    """Ground-truth union count by materializing the answer set."""
+    return len(evaluate_ucq(ucq, database))

@@ -1,0 +1,137 @@
+"""Theorem 4.3 — the public random-access index for free-connex CQs.
+
+``CQIndex`` packages Proposition 4.2's reduction with Algorithms 2–4 behind
+a tuple-level interface: after linear-time construction it supports
+
+* ``len(index)`` / ``index.count`` — the answer count ``|Q(D)|`` in O(1);
+* ``index.access(i)`` — the *i*-th answer (head-ordered tuple) in O(log n);
+* ``index.inverted_access(t)`` — the position of answer ``t``, or ``None``;
+* ``iter(index)`` — enumeration in index order (Fact 3.5);
+* ``index.random_order(rng)`` — a uniformly random permutation of the
+  answers (Theorem 3.7), see :mod:`repro.core.permutation`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.database.database import Database
+from repro.query.cq import ConjunctiveQuery
+
+from repro.core.index import JoinForestIndex
+from repro.core.reduction import reduce_to_full_acyclic
+
+
+class CQIndex:
+    """A linear-preprocessing random-access structure for a free-connex CQ.
+
+    Parameters
+    ----------
+    query:
+        A free-connex acyclic CQ (otherwise
+        :class:`~repro.core.errors.NotFreeConnexError` is raised).
+    database:
+        The input database.
+    sort_buckets:
+        Keep bucket contents canonically sorted (default). This fixes the
+        enumeration order to a restriction of a global order on answer
+        tuples, which is required by the mc-UCQ machinery; disable only for
+        the ablation benchmarks.
+    reduce:
+        Run the Yannakakis full reducer (default). Disabling is possible
+        for full queries only; see
+        :func:`~repro.core.reduction.reduce_to_full_acyclic`.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        sort_buckets: bool = True,
+        reduce: bool = True,
+        root_atom: int = None,
+    ):
+        self.query = query
+        self.head_variables: Tuple[str, ...] = tuple(v.name for v in query.head)
+        self._reduced = reduce_to_full_acyclic(
+            query, database, reduce=reduce, root_atom=root_atom
+        )
+        self._forest = JoinForestIndex(self._reduced, sort_buckets=sort_buckets)
+
+    @classmethod
+    def from_reduced(cls, reduced, sort_buckets: bool = True) -> "CQIndex":
+        """Build an index over an already-reduced full acyclic join.
+
+        Used by the mc-UCQ machinery, which reduces each member once and
+        derives the intersection joins by node-wise relation intersection.
+        """
+        instance = cls.__new__(cls)
+        instance.query = reduced.query
+        instance.head_variables = reduced.head_variables
+        instance._reduced = reduced
+        instance._forest = JoinForestIndex(reduced, sort_buckets=sort_buckets)
+        return instance
+
+    # ------------------------------------------------------------------ #
+    # Counting                                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def count(self) -> int:
+        """``|Q(D)|`` — available in O(1) after preprocessing."""
+        return self._forest.count
+
+    def __len__(self) -> int:
+        return self.count
+
+    # ------------------------------------------------------------------ #
+    # Random access (Algorithm 3) and inverted access (Algorithm 4)       #
+    # ------------------------------------------------------------------ #
+
+    def access(self, index: int) -> tuple:
+        """The answer at ``index`` of the enumeration order (0-based).
+
+        Raises :class:`~repro.core.errors.OutOfBoundError` outside
+        ``[0, count)``.
+        """
+        assignment = self._forest.access(index)
+        return tuple(assignment[name] for name in self.head_variables)
+
+    def inverted_access(self, answer: tuple) -> Optional[int]:
+        """The position of ``answer``, or ``None`` when not an answer."""
+        if len(answer) != len(self.head_variables):
+            return None
+        assignment = dict(zip(self.head_variables, answer))
+        if len(assignment) != len(self.head_variables):
+            # Repeated head variables cannot occur (CQ heads are distinct),
+            # so this is unreachable; kept as a guard.
+            return None
+        return self._forest.inverted_access(assignment)
+
+    def __contains__(self, answer: tuple) -> bool:
+        """Membership test via inverted access (the paper's ``Test``)."""
+        return self.inverted_access(tuple(answer)) is not None
+
+    def ensure_inverted_support(self) -> None:
+        """Eagerly build the inverted-access tables (otherwise lazy)."""
+        self._forest.ensure_inverted_support()
+
+    # ------------------------------------------------------------------ #
+    # Enumeration                                                         #
+    # ------------------------------------------------------------------ #
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Enumerate the answers in index order (no repetitions)."""
+        head = self.head_variables
+        for assignment in self._forest.enumerate_in_order():
+            yield tuple(assignment[name] for name in head)
+
+    def random_order(self, rng: Optional[random.Random] = None) -> Iterator[tuple]:
+        """REnum(CQ): the answers in uniformly random order (Theorem 3.7)."""
+        from repro.core.permutation import RandomPermutationEnumerator
+
+        return iter(RandomPermutationEnumerator(self, rng=rng))
+
+    def __repr__(self) -> str:
+        return f"CQIndex({self.query.name}, count={self.count})"

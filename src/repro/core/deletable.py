@@ -1,0 +1,84 @@
+"""Lemma 5.3 — deletable answer sets.
+
+If an enumeration problem supports counting, random access, and inverted
+access in time ``t``, then its answer set supports **sampling, testing,
+deletion, and counting** in time O(t) — the four operations Algorithm 5
+(random-order UCQ enumeration) requires of each member CQ.
+
+The construction mirrors Algorithm 1's lazy array: an array ``a`` holds a
+permutation of the answer indices where positions ``0 … i−1`` are the
+deleted ones, together with the reverse index ``b`` (``b[a[k]] = k``). Both
+arrays are simulated by lookup tables so that initialization is free.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+
+class DeletableAnswerSet:
+    """Sampling / testing / deletion / counting over a random-access index.
+
+    Parameters
+    ----------
+    index:
+        An object exposing ``count``, ``access(i) -> answer`` and
+        ``inverted_access(answer) -> Optional[int]`` (e.g.
+        :class:`~repro.core.cq_index.CQIndex`).
+    rng:
+        Randomness source for :meth:`sample`.
+    """
+
+    def __init__(self, index, rng: Optional[random.Random] = None):
+        self.index = index
+        self._n = index.count
+        self._deleted = 0
+        self._rng = rng if rng is not None else random.Random()
+        # a[k]: which original answer index sits at array position k;
+        # b[j]: at which array position original answer index j sits.
+        # Missing entries mean "identity".
+        self._a: Dict[int, int] = {}
+        self._b: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def count(self) -> int:
+        """How many answers have not been deleted."""
+        return self._n - self._deleted
+
+    def sample(self) -> tuple:
+        """A uniformly random not-yet-deleted answer (with replacement)."""
+        if self.count() == 0:
+            raise LookupError("cannot sample from an empty set")
+        k = self._rng.randrange(self._deleted, self._n)
+        return self.index.access(self._a.get(k, k))
+
+    def test(self, answer: tuple) -> bool:
+        """Membership among the not-yet-deleted answers."""
+        position = self.index.inverted_access(answer)
+        if position is None:
+            return False
+        return self._b.get(position, position) >= self._deleted
+
+    def delete(self, answer: tuple) -> bool:
+        """Delete an answer; returns False when absent or already deleted."""
+        position = self.index.inverted_access(answer)
+        if position is None:
+            return False
+        k = self._b.get(position, position)
+        if k < self._deleted:
+            return False
+        # Swap array positions k and self._deleted, then grow the deleted
+        # prefix by one.
+        boundary = self._deleted
+        at_boundary = self._a.get(boundary, boundary)
+        self._a[k] = at_boundary
+        self._a[boundary] = position
+        self._b[at_boundary] = k
+        self._b[position] = boundary
+        self._deleted = boundary + 1
+        return True
+
+    def __repr__(self) -> str:
+        return f"DeletableAnswerSet(n={self._n}, remaining={self.count()})"

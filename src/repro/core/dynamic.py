@@ -1,0 +1,373 @@
+"""A dynamic random-access index: Theorem 4.3 under database updates.
+
+The paper's index is static: Algorithm 2's ``startIndex`` arrays are plain
+prefix sums. Its companion line of work (Berkholz, Keppeler, Schweikardt —
+"Answering UCQs under updates", cited as [6]) asks for the same guarantees
+when tuples are inserted and deleted. This module provides that extension
+for **full acyclic joins** (the class all six benchmark queries belong to):
+
+* counting stays O(1);
+* ``access`` / ``inverted_access`` cost O(log²) per call (a Fenwick descent
+  per tree level instead of a bisect);
+* ``insert(relation, tuple)`` / ``delete(relation, tuple)`` cost
+  O(depth · log) — the touched tuple's weight changes, and the bucket-total
+  change multiplies through the ancestor chain.
+
+Design notes
+------------
+* Rows carry a *multiplicity* (how many base facts normalize to them —
+  relevant for atoms with repeated variables); a row participates while its
+  multiplicity is positive. Deleting to multiplicity 0 keeps a zero-weight
+  tombstone, so positions stay stable and re-insertion revives in place.
+* Buckets never re-sort: the enumeration order is insertion order. The
+  deterministic global-sort property that powers mc-UCQ compatibility is a
+  *static* luxury; a dynamic mc-UCQ index would need order-maintenance
+  structures, which the paper leaves open (see DESIGN.md).
+* Restriction to full queries is fundamental, not incidental: with
+  existential variables, Proposition 4.2's projection step is only correct
+  on globally consistent databases, and maintaining global consistency
+  under updates is precisely the Dynamic Yannakakis problem — out of this
+  paper's scope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.database.database import Database
+from repro.query.acyclicity import JoinTreeNode, join_tree
+from repro.query.cq import ConjunctiveQuery
+from repro.query.free_connex import free_connex_report
+
+from repro.core.errors import NotFreeConnexError, OutOfBoundError
+from repro.core.fenwick import FenwickTree
+
+
+class _DynamicBucket:
+    """A bucket whose per-row weights live in a Fenwick tree."""
+
+    __slots__ = ("rows", "weights", "rank")
+
+    def __init__(self):
+        self.rows: List[tuple] = []
+        self.weights = FenwickTree()
+        self.rank: Dict[tuple, int] = {}
+
+    @property
+    def total(self) -> int:
+        return self.weights.total
+
+    def position_of(self, row: tuple) -> Optional[int]:
+        return self.rank.get(row)
+
+    def add_row(self, row: tuple, weight: int) -> int:
+        position = len(self.rows)
+        self.rows.append(row)
+        self.weights.append(weight)
+        self.rank[row] = position
+        return position
+
+
+class _DynamicNode:
+    """One join-tree node with its buckets and key plumbing."""
+
+    __slots__ = (
+        "columns",
+        "children",
+        "parent",
+        "parent_key_positions",
+        "child_key_positions",
+        "buckets",
+        "multiplicity",
+        "dependents",
+    )
+
+    def __init__(self, columns: Tuple[str, ...], parent: Optional["_DynamicNode"]):
+        self.columns = columns
+        self.parent = parent
+        shared = (
+            tuple(sorted(set(columns) & set(parent.columns)))
+            if parent is not None
+            else ()
+        )
+        self.parent_key_positions = tuple(columns.index(c) for c in shared)
+        self.children: List["_DynamicNode"] = []
+        self.child_key_positions: List[Tuple[int, ...]] = []
+        self.buckets: Dict[tuple, _DynamicBucket] = {}
+        # (bucket key, row) → number of base facts normalizing to the row.
+        self.multiplicity: Dict[Tuple[tuple, tuple], int] = {}
+        # Per child position: child bucket key → rows of *this* node whose
+        # weight depends on that bucket — the reverse index that makes
+        # update propagation touch only affected rows.
+        self.dependents: List[Dict[tuple, List[Tuple[tuple, int]]]] = []
+
+    def attach(self, child: "_DynamicNode") -> None:
+        self.children.append(child)
+        shared = tuple(sorted(set(child.columns) & set(self.columns)))
+        self.child_key_positions.append(tuple(self.columns.index(c) for c in shared))
+        self.dependents.append({})
+
+    def register_row(self, bucket_key: tuple, row: tuple, position: int) -> None:
+        """Record the new row in every child's reverse index."""
+        for child_position in range(len(self.children)):
+            child_key = self.child_bucket_key(row, child_position)
+            self.dependents[child_position].setdefault(child_key, []).append(
+                (bucket_key, position)
+            )
+
+    def bucket_key_of_row(self, row: tuple) -> tuple:
+        return tuple(row[p] for p in self.parent_key_positions)
+
+    def child_bucket_key(self, row: tuple, child_position: int) -> tuple:
+        return tuple(row[p] for p in self.child_key_positions[child_position])
+
+    def own_weight(self, row: tuple) -> int:
+        """``w(row)`` recomputed from current child bucket totals."""
+        weight = 1
+        for position, child in enumerate(self.children):
+            bucket = child.buckets.get(self.child_bucket_key(row, position))
+            if bucket is None or bucket.total == 0:
+                return 0
+            weight *= bucket.total
+        return weight
+
+
+class DynamicCQIndex:
+    """A random-access index over a full acyclic CQ, under updates.
+
+    Parameters
+    ----------
+    query:
+        A *full* free-connex (equivalently here: acyclic) CQ.
+    database:
+        The initial database (may be empty; relations must exist with the
+        right arities).
+    """
+
+    def __init__(self, query: ConjunctiveQuery, database: Database):
+        report = free_connex_report(query)
+        if not report.tractable:
+            raise NotFreeConnexError(query, report.classification())
+        if not query.is_full():
+            raise NotFreeConnexError(
+                query,
+                "free-connex but not full; the dynamic index supports full "
+                "acyclic joins (maintaining Proposition 4.2's projection "
+                "under updates is the Dynamic Yannakakis problem)",
+            )
+        self.query = query
+        self.head_variables = tuple(v.name for v in query.head)
+
+        tree = join_tree(query)
+        self._atom_nodes: Dict[int, _DynamicNode] = {}
+        self.roots: List[_DynamicNode] = [
+            self._build(root, None) for root in tree.roots
+        ]
+        # Which atom occurrences does a base relation feed?
+        self._routes: Dict[str, List[int]] = {}
+        for position, atom in enumerate(query.body):
+            self._routes.setdefault(atom.relation, []).append(position)
+        self._atoms = list(query.body)
+
+        # Load the initial data through the ordinary insert path so that
+        # multiplicities (repeated-variable atoms) come out exact.
+        for relation in {a.relation for a in query.body}:
+            for row in database.relation(relation).rows:
+                self.insert(relation, row)
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _build(self, tree_node: JoinTreeNode, parent: Optional[_DynamicNode]) -> _DynamicNode:
+        columns = tuple(sorted(v.name for v in tree_node.variables))
+        node = _DynamicNode(columns, parent)
+        self._atom_nodes[tree_node.index] = node
+        for child in tree_node.children:
+            node.attach(self._build(child, node))
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Updates                                                             #
+    # ------------------------------------------------------------------ #
+
+    def insert(self, relation: str, row: tuple) -> None:
+        """Insert a base fact; all atom occurrences of the relation update."""
+        for atom_index in self._routes.get(relation, ()):
+            normalized = self._normalize(atom_index, row)
+            if normalized is not None:
+                self._apply(self._atom_nodes[atom_index], normalized, +1)
+
+    def delete(self, relation: str, row: tuple) -> None:
+        """Delete a base fact (no-op for facts that were never inserted)."""
+        for atom_index in self._routes.get(relation, ()):
+            normalized = self._normalize(atom_index, row)
+            if normalized is not None:
+                self._apply(self._atom_nodes[atom_index], normalized, -1)
+
+    def _normalize(self, atom_index: int, row: tuple) -> Optional[tuple]:
+        """Apply the atom's constants/repeated-variable filters to a fact,
+        returning the node row (sorted-variable order) or ``None``."""
+        atom = self._atoms[atom_index]
+        if len(row) != atom.arity:
+            raise ValueError(
+                f"fact arity {len(row)} does not match atom {atom} arity {atom.arity}"
+            )
+        from repro.query.atoms import Constant, Variable
+
+        assignment: Dict[str, object] = {}
+        for term, value in zip(atom.terms, row):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    return None
+            else:
+                seen = assignment.get(term.name, _UNSET)
+                if seen is _UNSET:
+                    assignment[term.name] = value
+                elif seen != value:
+                    return None
+        node = self._atom_nodes[atom_index]
+        return tuple(assignment[c] for c in node.columns)
+
+    def _apply(self, node: _DynamicNode, row: tuple, delta: int) -> None:
+        key = node.bucket_key_of_row(row)
+        bucket = node.buckets.get(key)
+        if bucket is None:
+            bucket = node.buckets[key] = _DynamicBucket()
+        multiplicity = node.multiplicity.get((key, row), 0) + delta
+        if multiplicity < 0:
+            return  # deleting a non-member: no-op
+        node.multiplicity[(key, row)] = multiplicity
+
+        position = bucket.position_of(row)
+        now_present = multiplicity > 0
+        if position is None:
+            if not now_present:
+                return
+            position = bucket.add_row(row, 0)
+            node.register_row(key, row, position)
+
+        old_total = bucket.total
+        new_weight = node.own_weight(row) if now_present else 0
+        bucket.weights.update(position, new_weight)
+        if bucket.total != old_total:
+            self._propagate(node, key)
+
+    def _propagate(self, node: _DynamicNode, key: tuple) -> None:
+        """Recompute ancestor weights after ``node``'s bucket total changed.
+
+        The reverse index lists exactly the parent rows keyed into the
+        changed bucket, so the work per level is proportional to the number
+        of genuinely affected rows (× O(log) per Fenwick update).
+        """
+        parent = node.parent
+        if parent is None:
+            return
+        child_position = parent.children.index(node)
+        affected = parent.dependents[child_position].get(key, ())
+        changed_parent_keys = []
+        for parent_key, position in affected:
+            bucket = parent.buckets[parent_key]
+            row = bucket.rows[position]
+            present = parent.multiplicity.get((parent_key, row), 0) > 0
+            new_weight = parent.own_weight(row) if present else 0
+            if new_weight != bucket.weights.value(position):
+                before = bucket.total
+                bucket.weights.update(position, new_weight)
+                if bucket.total != before:
+                    changed_parent_keys.append(parent_key)
+        for parent_key in set(changed_parent_keys):
+            self._propagate(parent, parent_key)
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def count(self) -> int:
+        total = 1
+        for root in self.roots:
+            bucket = root.buckets.get(())
+            total *= bucket.total if bucket is not None else 0
+        return total
+
+    def __len__(self) -> int:
+        return self.count
+
+    def access(self, index: int) -> tuple:
+        if index < 0 or index >= self.count:
+            raise OutOfBoundError(index, self.count)
+        assignment: Dict[str, object] = {}
+        remaining = index
+        parts: List[int] = []
+        for root in reversed(self.roots):
+            total = root.buckets[()].total
+            parts.append(remaining % total)
+            remaining //= total
+        for root, part in zip(self.roots, reversed(parts)):
+            self._subtree_access(root, (), part, assignment)
+        return tuple(assignment[name] for name in self.head_variables)
+
+    def _subtree_access(self, node, key, index, assignment) -> None:
+        bucket = node.buckets[key]
+        position = bucket.weights.locate(index)
+        row = bucket.rows[position]
+        for column, value in zip(node.columns, row):
+            assignment[column] = value
+        remaining = index - bucket.weights.prefix(position)
+        parts: List[int] = []
+        for child_position in range(len(node.children) - 1, -1, -1):
+            child = node.children[child_position]
+            child_key = node.child_bucket_key(row, child_position)
+            total = child.buckets[child_key].total
+            parts.append(remaining % total)
+            remaining //= total
+        parts.reverse()
+        for child_position, child in enumerate(node.children):
+            child_key = node.child_bucket_key(row, child_position)
+            self._subtree_access(child, child_key, parts[child_position], assignment)
+
+    def inverted_access(self, answer: tuple) -> Optional[int]:
+        if len(answer) != len(self.head_variables) or self.count == 0:
+            return None
+        assignment = dict(zip(self.head_variables, answer))
+        index = 0
+        for root in self.roots:
+            part = self._subtree_inverted(root, (), assignment)
+            if part is None:
+                return None
+            index = index * root.buckets[()].total + part
+        return index
+
+    def _subtree_inverted(self, node, key, assignment) -> Optional[int]:
+        bucket = node.buckets.get(key)
+        if bucket is None:
+            return None
+        try:
+            row = tuple(assignment[c] for c in node.columns)
+        except KeyError:
+            return None
+        position = bucket.position_of(row)
+        if position is None or bucket.weights.value(position) == 0:
+            return None
+        offset = 0
+        for child_position, child in enumerate(node.children):
+            child_key = node.child_bucket_key(row, child_position)
+            child_bucket = child.buckets.get(child_key)
+            if child_bucket is None:
+                return None
+            child_index = self._subtree_inverted(child, child_key, assignment)
+            if child_index is None:
+                return None
+            offset = offset * child_bucket.total + child_index
+        return bucket.weights.prefix(position) + offset
+
+    def __iter__(self):
+        for index in range(self.count):
+            yield self.access(index)
+
+    def __repr__(self) -> str:
+        return f"DynamicCQIndex({self.query.name}, count={self.count})"
+
+
+_UNSET = object()

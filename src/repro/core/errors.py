@@ -1,0 +1,52 @@
+"""Exception types of the core algorithms."""
+
+from __future__ import annotations
+
+
+class NotFreeConnexError(ValueError):
+    """Raised when an index is requested for a CQ outside the tractable class.
+
+    Per Theorem 4.1 / Corollary 4.5, a self-join-free CQ that is not
+    free-connex admits no linear-preprocessing polylog random access (under
+    sparse-BMM, Triangle, and Hyperclique), so the library refuses rather
+    than silently falling back to a slow algorithm.
+    """
+
+    def __init__(self, query, classification: str):
+        super().__init__(
+            f"query {query.name} is {classification}; the random-access index "
+            f"requires a free-connex acyclic CQ (Theorem 4.3)"
+        )
+        self.query = query
+        self.classification = classification
+
+
+class OutOfBoundError(IndexError):
+    """Raised by the access routine for positions outside ``[0, count)``.
+
+    The paper's random-access contract returns an error message for such
+    positions; Theorem 3.7 exploits exactly this to binary-search the answer
+    count.
+    """
+
+    def __init__(self, position: int, count: int = None):
+        if count is None:
+            super().__init__(f"answer position {position} is out of bounds")
+        else:
+            super().__init__(
+                f"answer position {position} is out of bounds (answer count is {count})"
+            )
+        self.position = position
+        self.count = count
+
+
+class IncompatibleUnionError(ValueError):
+    """Raised when a UCQ does not meet this library's mc-UCQ construction.
+
+    The mc-UCQ class (Section 5.2) requires every intersection CQ to be
+    free-connex *and* to admit random access in an order compatible with the
+    member it refines. We realize compatibility by construction for
+    structurally aligned unions; anything else is rejected with this error
+    (use ``UnionRandomEnumerator`` — Theorem 5.4 — which works for every
+    union of free-connex CQs).
+    """

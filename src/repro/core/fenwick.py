@@ -1,0 +1,101 @@
+"""Fenwick trees (binary indexed trees) over nonnegative integer weights.
+
+The static index of Algorithm 2 stores per-bucket ``startIndex`` arrays —
+prefix sums that support O(log) *positioning* but O(n) *updates*. The
+dynamic index (:mod:`repro.core.dynamic`) replaces them with Fenwick
+trees: point updates, prefix sums, and descent-by-prefix all in O(log n),
+which is what makes single-tuple database updates affordable.
+
+The tree also supports amortized-O(log) appends, since insertions add rows
+to buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class FenwickTree:
+    """Prefix sums with point updates over a growable array of weights.
+
+    Internally the canonical 1-based layout: ``_tree[i]`` covers the value
+    range ``(i − lowbit(i), i]``.
+    """
+
+    def __init__(self, weights: Iterable[int] = ()):
+        self._values: List[int] = []
+        self._tree: List[int] = [0]  # 1-based; slot 0 unused
+        self._total = 0
+        for weight in weights:
+            self.append(weight)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> int:
+        """The sum of all weights (the bucket weight ``w(B)``)."""
+        return self._total
+
+    def value(self, position: int) -> int:
+        """The weight at 0-based ``position``."""
+        return self._values[position]
+
+    def append(self, weight: int) -> None:
+        """Add a new position holding ``weight`` (amortized O(log n))."""
+        if weight < 0:
+            raise ValueError(f"weights must be nonnegative, got {weight}")
+        self._values.append(weight)
+        index = len(self._values)  # 1-based index of the new cell
+        low = index - (index & -index)  # cell covers values (low, index]
+        self._tree.append(sum(self._values[low:index]))
+        self._total += weight
+
+    def update(self, position: int, weight: int) -> None:
+        """Set the weight at 0-based ``position`` (O(log n))."""
+        if weight < 0:
+            raise ValueError(f"weights must be nonnegative, got {weight}")
+        delta = weight - self._values[position]
+        if delta == 0:
+            return
+        self._values[position] = weight
+        self._total += delta
+        index = position + 1
+        size = len(self._values)
+        while index <= size:
+            self._tree[index] += delta
+            index += index & -index
+
+    def prefix(self, count: int) -> int:
+        """The sum of the first ``count`` weights (``startIndex`` analog)."""
+        index = min(max(count, 0), len(self._values))
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & -index
+        return total
+
+    def locate(self, offset: int) -> int:
+        """The 0-based position whose weight range contains ``offset``.
+
+        Finds the largest ``p`` with ``prefix(p) ≤ offset`` — equivalently
+        the static index's ``bisect_right(start, offset) − 1``, which skips
+        zero-weight positions. Requires ``0 ≤ offset < total``.
+        """
+        if not 0 <= offset < self._total:
+            raise IndexError(f"offset {offset} outside [0, {self._total})")
+        position = 0  # 1-based count of items whose prefix is ≤ offset
+        remaining = offset
+        bit = 1
+        while bit << 1 <= len(self._values):
+            bit <<= 1
+        while bit:
+            candidate = position + bit
+            if candidate <= len(self._values) and self._tree[candidate] <= remaining:
+                position = candidate
+                remaining -= self._tree[candidate]
+            bit >>= 1
+        return position
+
+    def __repr__(self) -> str:
+        return f"FenwickTree(n={len(self._values)}, total={self._total})"

@@ -1,0 +1,331 @@
+"""Algorithms 2–4: the random-access index over a full acyclic join forest.
+
+* **Algorithm 2 (preprocessing)** partitions every relation into buckets
+  keyed by ``pAtts`` (the attributes shared with the parent), computes for
+  each tuple ``t`` a weight ``w(t)`` — the number of answers of the subtree
+  rooted at its node that agree with ``t`` — and assigns each tuple the
+  index range ``[startIndex(t), startIndex(t) + w(t))`` within its bucket.
+  The weight of the root bucket is the answer count.
+
+* **Algorithm 3 (random access)** walks root-to-leaf: binary search locates
+  the tuple whose range contains the requested index, and ``SplitIndex``
+  distributes the remaining offset over the children the way a
+  multidimensional array index is split (the last child takes the modulus).
+
+* **Algorithm 4 (inverted access)** walks the same tree guided by a
+  candidate answer instead of an index, recombining child offsets with
+  ``CombineIndex`` (the inverse of ``SplitIndex``); it returns the unique
+  position the answer occupies in the enumeration order, or ``None``
+  (“not-a-member”) when the tuple is not an answer.
+
+The forest generalization: a query whose reduced join has several connected
+components gets one tree per component; the global index is split/combined
+across the roots exactly like across children of a single node.
+
+Enumeration order: with ``sort_buckets=True`` (default) every bucket holds
+its tuples in canonical sorted order, which makes the enumeration order of
+the index a restriction of one *global* order on answer tuples shared by
+all indexes built with the same tree shape — the property that powers the
+mc-UCQ compatibility requirements of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.database.relation import Relation, row_sort_key
+from repro.core.errors import OutOfBoundError
+from repro.core.reduction import ReducedJoin, ReducedNode
+
+
+class _Bucket:
+    """One bucket of a node's relation: tuples agreeing on ``pAtts``.
+
+    Holds, per tuple, the weight ``w(t)`` and ``startIndex(t)``; ``total``
+    is the bucket weight ``w(B)``. ``rank`` (tuple → position) is built
+    lazily by :meth:`JoinForestIndex.ensure_inverted_support`, mirroring the
+    paper's implementation note that the inverted-access index is compiled
+    only when a UCQ enumeration needs it.
+    """
+
+    __slots__ = ("rows", "weights", "start", "total", "rank")
+
+    def __init__(self, rows: List[tuple]):
+        self.rows = rows
+        self.weights: List[int] = []
+        self.start: List[int] = []
+        self.total = 0
+        self.rank: Optional[Dict[tuple, int]] = None
+
+    def finalize(self, weights: List[int]) -> None:
+        self.weights = weights
+        start = []
+        running = 0
+        for w in weights:
+            start.append(running)
+            running += w
+        self.start = start
+        self.total = running
+
+    def locate(self, index: int) -> int:
+        """The position of the tuple whose index range contains ``index``.
+
+        Zero-weight (dangling) tuples occupy empty ranges and are never
+        located — ``bisect_right`` skips entries whose startIndex equals the
+        next tuple's.
+        """
+        return bisect_right(self.start, index) - 1
+
+    def build_rank(self) -> None:
+        if self.rank is None:
+            self.rank = {row: position for position, row in enumerate(self.rows)}
+
+
+class _IndexNode:
+    """A join-forest node annotated per Algorithm 2."""
+
+    __slots__ = (
+        "variables",
+        "columns",
+        "relation",
+        "children",
+        "buckets",
+        "parent_key_positions",
+        "child_key_positions",
+    )
+
+    def __init__(self, reduced: ReducedNode, parent_columns: Optional[Tuple[str, ...]]):
+        self.variables = reduced.variables
+        self.relation = reduced.relation
+        self.columns = reduced.relation.columns
+        shared = (
+            tuple(sorted(set(self.columns) & set(parent_columns)))
+            if parent_columns is not None
+            else ()
+        )
+        # Positions of pAtts within this node's own columns (to key rows of
+        # this relation into buckets)…
+        self.parent_key_positions = tuple(self.columns.index(c) for c in shared)
+        self.children: List["_IndexNode"] = [
+            _IndexNode(child, self.columns) for child in reduced.children
+        ]
+        # …and, per child, the positions within *this* node's columns that
+        # produce the child's bucket key from one of this node's rows.
+        self.child_key_positions: List[Tuple[int, ...]] = []
+        for child in self.children:
+            child_shared = tuple(sorted(set(child.columns) & set(self.columns)))
+            self.child_key_positions.append(
+                tuple(self.columns.index(c) for c in child_shared)
+            )
+        self.buckets: Dict[tuple, _Bucket] = {}
+
+    def bucket_key_of_row(self, row: tuple) -> tuple:
+        return tuple(row[p] for p in self.parent_key_positions)
+
+    def child_bucket_key(self, row: tuple, child_position: int) -> tuple:
+        return tuple(row[p] for p in self.child_key_positions[child_position])
+
+    def all_nodes(self) -> List["_IndexNode"]:
+        out = [self]
+        for child in self.children:
+            out.extend(child.all_nodes())
+        return out
+
+
+class JoinForestIndex:
+    """The Theorem 4.3 data structure over a reduced full acyclic join.
+
+    Provides O(1) counting, O(log n) random access, and (after
+    :meth:`ensure_inverted_support`) O(1)-per-node inverted access. Answers
+    are reported as assignments — dictionaries from variable name to value;
+    the head-tuple packaging lives in :class:`repro.core.cq_index.CQIndex`.
+    """
+
+    def __init__(self, reduced: ReducedJoin, sort_buckets: bool = True):
+        self.reduced = reduced
+        self.sort_buckets = sort_buckets
+        self.roots: List[_IndexNode] = [_IndexNode(r, None) for r in reduced.roots]
+        for root in self.roots:
+            self._build(root)
+        self.count = 1
+        for root in self.roots:
+            bucket = root.buckets.get(())
+            self.count *= bucket.total if bucket is not None else 0
+        self._inverted_ready = False
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2 — preprocessing                                         #
+    # ------------------------------------------------------------------ #
+
+    def _build(self, node: _IndexNode) -> None:
+        # Leaf-to-root: children first, so their bucket totals exist.
+        for child in node.children:
+            self._build(child)
+
+        groups: Dict[tuple, List[tuple]] = {}
+        for row in node.relation.rows:
+            key = node.bucket_key_of_row(row)
+            groups.setdefault(key, []).append(row)
+
+        for key, rows in groups.items():
+            if self.sort_buckets:
+                rows.sort(key=row_sort_key)
+            bucket = _Bucket(rows)
+            weights = []
+            for row in rows:
+                w = 1
+                for position, child in enumerate(node.children):
+                    child_bucket = child.buckets.get(node.child_bucket_key(row, position))
+                    if child_bucket is None:
+                        w = 0
+                        break
+                    w *= child_bucket.total
+                weights.append(w)
+            bucket.finalize(weights)
+            node.buckets[key] = bucket
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 3 — random access                                         #
+    # ------------------------------------------------------------------ #
+
+    def access(self, index: int) -> Dict[str, object]:
+        """The assignment at ``index`` in the enumeration order.
+
+        Raises :class:`OutOfBoundError` outside ``[0, count)`` — the paper's
+        “out-of-bound” message, which Theorem 3.7's binary search relies on.
+        """
+        if index < 0 or index >= self.count:
+            raise OutOfBoundError(index, self.count)
+        assignment: Dict[str, object] = {}
+        remaining = index
+        # Split the global index across roots; the last root is the least
+        # significant digit, mirroring SplitIndex over children.
+        parts: List[int] = []
+        for root in reversed(self.roots):
+            total = root.buckets[()].total
+            parts.append(remaining % total)
+            remaining //= total
+        for root, part in zip(self.roots, reversed(parts)):
+            self._subtree_access(root, (), part, assignment)
+        return assignment
+
+    def _subtree_access(
+        self, node: _IndexNode, key: tuple, index: int, assignment: Dict[str, object]
+    ) -> None:
+        bucket = node.buckets[key]
+        position = bucket.locate(index)
+        row = bucket.rows[position]
+        for column, value in zip(node.columns, row):
+            assignment[column] = value
+        remaining = index - bucket.start[position]
+        # SplitIndex: the last child takes the modulus.
+        parts: List[int] = []
+        for child_position in range(len(node.children) - 1, -1, -1):
+            child = node.children[child_position]
+            child_key = node.child_bucket_key(row, child_position)
+            total = child.buckets[child_key].total
+            parts.append(remaining % total)
+            remaining //= total
+        parts.reverse()
+        for child_position, child in enumerate(node.children):
+            child_key = node.child_bucket_key(row, child_position)
+            self._subtree_access(child, child_key, parts[child_position], assignment)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 4 — inverted access                                       #
+    # ------------------------------------------------------------------ #
+
+    def ensure_inverted_support(self) -> None:
+        """Build the per-bucket tuple→position tables (idempotent)."""
+        if not self._inverted_ready:
+            for root in self.roots:
+                for node in root.all_nodes():
+                    for bucket in node.buckets.values():
+                        bucket.build_rank()
+            self._inverted_ready = True
+
+    def inverted_access(self, assignment: Dict[str, object]) -> Optional[int]:
+        """The index of ``assignment`` in the enumeration order, or ``None``.
+
+        ``None`` is the paper's “not-a-member” outcome: the assignment is
+        not an answer of the query.
+        """
+        if self.count == 0:
+            return None
+        self.ensure_inverted_support()
+        index = 0
+        for root in self.roots:
+            root_total = root.buckets[()].total
+            part = self._subtree_inverted(root, (), assignment)
+            if part is None:
+                return None
+            index = index * root_total + part
+        return index
+
+    def _subtree_inverted(
+        self, node: _IndexNode, key: tuple, assignment: Dict[str, object]
+    ) -> Optional[int]:
+        bucket = node.buckets.get(key)
+        if bucket is None:
+            return None
+        try:
+            row = tuple(assignment[c] for c in node.columns)
+        except KeyError:
+            return None
+        position = bucket.rank.get(row)
+        if position is None or bucket.weights[position] == 0:
+            return None
+        offset = 0
+        for child_position, child in enumerate(node.children):
+            child_key = node.child_bucket_key(row, child_position)
+            child_bucket = child.buckets.get(child_key)
+            if child_bucket is None:
+                return None
+            child_index = self._subtree_inverted(child, child_key, assignment)
+            if child_index is None:
+                return None
+            # CombineIndex: fold left, each child contributing one “digit”
+            # in base = its bucket weight.
+            offset = offset * child_bucket.total + child_index
+        return bucket.start[position] + offset
+
+    # ------------------------------------------------------------------ #
+    # Ordered enumeration (Fact 3.5: access gives Enum⟨lin, log⟩; this     #
+    # direct generator avoids the per-answer binary searches)             #
+    # ------------------------------------------------------------------ #
+
+    def enumerate_in_order(self) -> Iterator[Dict[str, object]]:
+        """Yield all assignments in enumeration-order (index order)."""
+        if self.count == 0:
+            return
+        yield from self._forest_assignments(0, {})
+
+    def _forest_assignments(self, root_position: int, acc: Dict[str, object]):
+        if root_position == len(self.roots):
+            yield dict(acc)
+            return
+        root = self.roots[root_position]
+        for assignment in self._node_assignments(root, (), acc):
+            yield from self._forest_assignments(root_position + 1, assignment)
+
+    def _node_assignments(self, node: _IndexNode, key: tuple, acc: Dict[str, object]):
+        bucket = node.buckets.get(key)
+        if bucket is None:
+            return
+        for position, row in enumerate(bucket.rows):
+            if bucket.weights[position] == 0:
+                continue
+            extended = dict(acc)
+            for column, value in zip(node.columns, row):
+                extended[column] = value
+            yield from self._children_assignments(node, row, 0, extended)
+
+    def _children_assignments(self, node: _IndexNode, row: tuple, child_position: int, acc):
+        if child_position == len(node.children):
+            yield acc
+            return
+        child = node.children[child_position]
+        child_key = node.child_bucket_key(row, child_position)
+        for assignment in self._node_assignments(child, child_key, acc):
+            yield from self._children_assignments(node, row, child_position + 1, assignment)

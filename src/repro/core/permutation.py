@@ -1,0 +1,101 @@
+"""Theorem 3.7 — random permutation from random access (REnum(CQ)).
+
+Given a random-access structure with a known answer count, composing the
+lazy Fisher–Yates shuffle (Algorithm 1) with the access routine yields an
+enumeration of the answers in uniformly random order, with the same delay
+as the access time. For free-connex CQs this realizes the paper's
+``REnum(CQ)`` algorithm: linear preprocessing, O(log n) delay, and a
+provably uniform distribution over all permutations of the answer set.
+
+The paper's proof computes the count by binary search over out-of-bound
+probes; our index already exposes an O(1) count, but
+:func:`count_by_binary_search` implements (and the tests verify) the
+probing technique, since it is what makes Theorem 3.7 apply to *any*
+random-access structure with polynomially many answers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.core.errors import OutOfBoundError
+from repro.core.shuffle import LazyShuffle
+
+
+def count_by_binary_search(access, upper_bound_hint: int = 1) -> int:
+    """The number of answers, using only the access routine.
+
+    Doubles a probe until it goes out of bounds, then binary-searches the
+    boundary — O(log |answers|) probes, as in the proof of Theorem 3.7.
+
+    Parameters
+    ----------
+    access:
+        A callable ``access(i)`` raising
+        :class:`~repro.core.errors.OutOfBoundError` (or ``IndexError``)
+        for ``i ≥ count``.
+    upper_bound_hint:
+        An optional starting probe (must be ≥ 1).
+    """
+    def in_bounds(i: int) -> bool:
+        try:
+            access(i)
+        except IndexError:
+            return False
+        return True
+
+    if not in_bounds(0):
+        return 0
+    high = max(1, upper_bound_hint)
+    while in_bounds(high):
+        high *= 2
+    low = high // 2  # in bounds (or 0, handled above)
+    # Invariant: low is in bounds, high is out of bounds.
+    while high - low > 1:
+        mid = (low + high) // 2
+        if in_bounds(mid):
+            low = mid
+        else:
+            high = mid
+    return high
+
+
+class RandomPermutationEnumerator:
+    """Enumerate a random-access structure's answers in random order.
+
+    Parameters
+    ----------
+    index:
+        Any object with ``access(i) -> answer`` and either a ``count``
+        attribute or out-of-bound errors (the count is then recovered by
+        binary search, as in the paper's proof).
+    rng:
+        Source of randomness; defaults to a fresh ``random.Random``.
+
+    Iterating the object yields each answer exactly once; the order is a
+    uniformly random permutation of the answer set.
+    """
+
+    def __init__(self, index, rng: Optional[random.Random] = None):
+        self.index = index
+        count = getattr(index, "count", None)
+        if count is None:
+            count = count_by_binary_search(index.access)
+        self.count = count
+        self._shuffle = LazyShuffle(count, rng)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self
+
+    def __next__(self) -> tuple:
+        position = next(self._shuffle)  # raises StopIteration when done
+        return self.index.access(position)
+
+    def remaining(self) -> int:
+        return self._shuffle.remaining()
+
+
+def random_order(index, rng: Optional[random.Random] = None) -> Iterator[tuple]:
+    """Functional wrapper: iterate ``index``'s answers in random order."""
+    return iter(RandomPermutationEnumerator(index, rng=rng))

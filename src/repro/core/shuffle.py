@@ -1,0 +1,80 @@
+"""Algorithm 1 — the lazy Fisher–Yates shuffle.
+
+The classical Fisher–Yates (Knuth) shuffle initializes an array of ``n``
+items before producing any output, which would violate the paper's
+constant-preprocessing requirement: ``n`` (the number of query answers) can
+be polynomially larger than the input database. Algorithm 1 avoids the
+initialization by *simulating* the array with a lookup table: a cell absent
+from the table holds its own index. Each emission costs O(1), preprocessing
+is O(1), and after ``i`` steps only O(i) memory is used.
+
+Proposition 3.6: the emitted sequence is a uniformly random permutation of
+``0 … n−1``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, Optional
+
+
+class LazyShuffle:
+    """A constant-delay random permutation of ``0 … n−1``.
+
+    The object is an iterator; each :func:`next` returns the next element of
+    a uniformly random permutation. The permutation is determined lazily as
+    randomness is consumed from ``rng``.
+
+    Parameters
+    ----------
+    n:
+        The number of items to permute (``n ≥ 0``).
+    rng:
+        The random generator; defaults to a fresh unseeded ``random.Random``.
+
+    Examples
+    --------
+    >>> sorted(LazyShuffle(5, random.Random(0)))
+    [0, 1, 2, 3, 4]
+    """
+
+    def __init__(self, n: int, rng: Optional[random.Random] = None):
+        if n < 0:
+            raise ValueError(f"cannot permute a negative number of items: {n}")
+        self.n = n
+        self._rng = rng if rng is not None else random.Random()
+        # The lazy array: cells absent from the table are "uninitialized"
+        # and conceptually hold their own index.
+        self._cells: Dict[int, int] = {}
+        self._i = 0
+
+    def remaining(self) -> int:
+        """How many elements have not been emitted yet."""
+        return self.n - self._i
+
+    def __iter__(self) -> Iterator[int]:
+        return self
+
+    def __next__(self) -> int:
+        i = self._i
+        if i >= self.n:
+            raise StopIteration
+        j = self._rng.randrange(i, self.n)
+        cells = self._cells
+        value_i = cells.get(i, i)
+        value_j = cells.get(j, j)
+        # Swap a[i] and a[j]; after the swap, a[i] is the emitted value and
+        # the not-yet-emitted value previously at i moves to position j.
+        cells[i] = value_j
+        cells[j] = value_i
+        self._i = i + 1
+        return value_j
+
+
+def random_permutation_indices(n: int, rng: Optional[random.Random] = None) -> Iterator[int]:
+    """Iterate a uniformly random permutation of ``range(n)`` lazily.
+
+    A thin functional wrapper over :class:`LazyShuffle`, convenient for
+    ``for`` loops and generator pipelines.
+    """
+    return iter(LazyShuffle(n, rng))

@@ -1,0 +1,366 @@
+"""Algorithms 6–8 / Theorem 5.5 — random access for mc-UCQs.
+
+Random access does not survive unions in general (Example 5.1), but it does
+for *mutually compatible* UCQs: unions whose intersections are all
+free-connex and admit random access in orders compatible with the member
+they refine. The access algorithm builds on Durand and Strozecki's union
+trick (Algorithm 6): enumerate ``A``, and whenever an element also belongs
+to ``B``, emit the next element of ``B`` instead. Random access into that
+virtual order (Algorithm 7) needs, for a position ``j`` landing on
+``a_j ∈ A ∩ B``, the count ``k = |{a_1 … a_j} ∩ B|`` — computed by
+inclusion–exclusion over intersection indexes (Algorithm 8), where each
+term ``|{a_1 … a_j} ∩ T|`` is the rank of the largest element of ``T`` not
+succeeding ``a_j``, found by binary search over ``T``'s order through the
+member's inverted access (the appendix's ``Largest`` routine; the
+``log²`` in Theorem 5.5 is exactly this search).
+
+**How this library realizes compatibility.** Every index sorts its buckets
+canonically, so an index's enumeration order is the restriction of one
+global order on answer tuples determined solely by the join-forest shape.
+All member CQs of an mc-UCQ are reduced to full acyclic joins; when the
+reduced forests agree in shape (node variable sets and arrangement), each
+member's answer set is the join of its per-node projected relations over
+the *same* node variable sets, so every intersection is obtained by
+intersecting relations node-wise — yielding an index over the same shape,
+hence with a compatible order, by construction. Unions whose reduced
+shapes disagree are rejected with
+:class:`~repro.core.errors.IncompatibleUnionError` (use Algorithm 5 /
+:class:`~repro.core.union_enum.UnionRandomEnumerator` instead, which works
+for every union of free-connex CQs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.database.database import Database
+from repro.database.relation import Relation
+from repro.query.ucq import UnionOfConjunctiveQueries
+
+from repro.core.cq_index import CQIndex
+from repro.core.errors import IncompatibleUnionError, OutOfBoundError
+from repro.core.index import JoinForestIndex
+from repro.core.reduction import ReducedJoin, ReducedNode, reduce_to_full_acyclic
+from repro.core.shuffle import LazyShuffle
+
+#: Guard against the 2^m intersection-index blow-up of Lemma A.2.
+MAX_UNION_MEMBERS = 12
+
+
+# ---------------------------------------------------------------------- #
+# Reduced-join surgery: shape comparison and node-wise intersection       #
+# ---------------------------------------------------------------------- #
+
+
+def _same_shape(a: ReducedNode, b: ReducedNode) -> bool:
+    if a.variables != b.variables or len(a.children) != len(b.children):
+        return False
+    return all(_same_shape(x, y) for x, y in zip(a.children, b.children))
+
+
+def _forests_aligned(reduced: Sequence[ReducedJoin]) -> bool:
+    first = reduced[0]
+    for other in reduced[1:]:
+        if len(other.roots) != len(first.roots):
+            return False
+        if not all(_same_shape(x, y) for x, y in zip(first.roots, other.roots)):
+            return False
+    return True
+
+
+def _intersect_nodes(nodes: Sequence[ReducedNode], label: str) -> ReducedNode:
+    rows = set(nodes[0].relation.rows)
+    for node in nodes[1:]:
+        rows &= set(node.relation.rows)
+    relation = Relation(f"{nodes[0].relation.name}&{label}", nodes[0].relation.columns, rows)
+    combined = ReducedNode(variables=nodes[0].variables, relation=relation)
+    for position in range(len(nodes[0].children)):
+        combined.children.append(
+            _intersect_nodes([n.children[position] for n in nodes], label)
+        )
+    return combined
+
+
+def intersect_reduced_joins(
+    reduced: Sequence[ReducedJoin], name: str = "intersection"
+) -> ReducedJoin:
+    """Node-wise intersection of shape-aligned reduced joins.
+
+    Correctness: each member's answer set is the natural join of its node
+    relations, all over the same per-node variable sets; therefore
+    ``⋂_i ⋈_k P_{i,k} = ⋈_k ⋂_i P_{i,k}``. The resulting relations may
+    contain tuples dangling w.r.t. the intersected join — Algorithm 2
+    assigns those weight zero, so no re-reduction is needed.
+    """
+    if not _forests_aligned(reduced):
+        raise IncompatibleUnionError(
+            "reduced join forests are not shape-aligned; node-wise intersection "
+            "(and hence compatible-order random access) is unavailable"
+        )
+    roots = [
+        _intersect_nodes([r.roots[i] for r in reduced], name)
+        for i in range(len(reduced[0].roots))
+    ]
+    return ReducedJoin(
+        query=reduced[0].query.with_name(name),
+        roots=roots,
+        head_variables=reduced[0].head_variables,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The Largest routine (appendix, proof of Theorem 5.5)                    #
+# ---------------------------------------------------------------------- #
+
+
+def rank_in_member_order(subset_index, member_index, answer: tuple) -> int:
+    """``|{a_1 … a_j} ∩ T|`` for ``a_j = answer``: how many elements of the
+    subset index ``T`` do not succeed ``answer`` in the member's order.
+
+    Implements the paper's binary search (their implementation likewise
+    computes the count directly rather than materializing ``Largest`` and
+    then inverting it). Requires ``answer ∈ member`` and ``T ⊆ member``
+    with compatible orders. O(log|T|) probes, each an access plus an
+    inverted access — the source of Theorem 5.5's ``log²`` bound.
+    """
+    member_rank = member_index.inverted_access(answer)
+    if member_rank is None:
+        raise ValueError("rank_in_member_order requires an element of the member index")
+    n = subset_index.count
+    if n == 0:
+        return 0
+    low, high = 0, n - 1  # search the largest k with rank(T[k]) ≤ member_rank
+    if member_index.inverted_access(subset_index.access(low)) > member_rank:
+        return 0
+    while low < high:
+        mid = (low + high + 1) // 2
+        if member_index.inverted_access(subset_index.access(mid)) <= member_rank:
+            low = mid
+        else:
+            high = mid - 1
+    return low + 1
+
+
+# ---------------------------------------------------------------------- #
+# Algorithm 7 generalized to m sets (Lemma A.2)                           #
+# ---------------------------------------------------------------------- #
+
+
+class UnionRandomAccess:
+    """Random access to ``S_0 ∪ … ∪ S_{m−1}`` in Durand–Strozecki order.
+
+    Parameters
+    ----------
+    members:
+        Index per member set (``count`` / ``access`` / ``inverted_access``),
+        orders pairwise compatible.
+    intersections:
+        For each ``ℓ`` and nonempty ``I ⊆ {ℓ+1, …, m−1}``, an index of
+        ``T_{ℓ,I} = S_ℓ ∩ ⋂_{i∈I} S_i`` with an order compatible with
+        ``S_ℓ``'s, keyed by ``(ℓ, frozenset(I))``.
+    """
+
+    def __init__(self, members: Sequence, intersections: Dict[Tuple[int, FrozenSet[int]], object]):
+        self.members = list(members)
+        self.intersections = intersections
+        m = len(self.members)
+        # |S_ℓ ∩ (S_{ℓ+1} ∪ …)| by inclusion–exclusion over T_{ℓ,I}.
+        self._overlap: List[int] = []
+        for position in range(m):
+            total = 0
+            for subset in _nonempty_subsets(range(position + 1, m)):
+                count = self.intersections[(position, subset)].count
+                total += count if len(subset) % 2 == 1 else -count
+            self._overlap.append(total)
+        # |S_ℓ ∪ … ∪ S_{m−1}| for each suffix.
+        self._suffix_count = [0] * (m + 1)
+        for position in range(m - 1, -1, -1):
+            self._suffix_count[position] = (
+                self.members[position].count
+                + self._suffix_count[position + 1]
+                - self._overlap[position]
+            )
+
+    @property
+    def count(self) -> int:
+        """``|S_0 ∪ … ∪ S_{m−1}|`` (inclusion–exclusion, O(2^m) counts)."""
+        return self._suffix_count[0]
+
+    def __len__(self) -> int:
+        return self.count
+
+    def access(self, index: int) -> tuple:
+        """The ``index``-th element of the union's enumeration order."""
+        if index < 0 or index >= self.count:
+            raise OutOfBoundError(index, self.count)
+        return self._suffix_access(0, index)
+
+    def _suffix_access(self, position: int, index: int) -> tuple:
+        member = self.members[position]
+        if position == len(self.members) - 1:
+            return member.access(index)
+        if index < member.count:
+            answer = member.access(index)
+            if not self._in_suffix(position + 1, answer):
+                return answer
+            # Algorithm 8: k = |{a_1 … a_j} ∩ B| by inclusion–exclusion of
+            # compatible-order ranks; 1-based k, so access position k−1.
+            k = self._prefix_overlap(position, answer)
+            return self._suffix_access(position + 1, k - 1)
+        shifted = index - member.count + self._overlap[position]
+        return self._suffix_access(position + 1, shifted)
+
+    def _in_suffix(self, start: int, answer: tuple) -> bool:
+        return any(
+            self.members[i].inverted_access(answer) is not None
+            for i in range(start, len(self.members))
+        )
+
+    def _prefix_overlap(self, position: int, answer: tuple) -> int:
+        """``|{a_1 … a_j} ∩ (S_{position+1} ∪ …)|`` where ``a_j = answer``."""
+        member = self.members[position]
+        total = 0
+        for subset in _nonempty_subsets(range(position + 1, len(self.members))):
+            t_index = self.intersections[(position, subset)]
+            count = rank_in_member_order(t_index, member, answer)
+            total += count if len(subset) % 2 == 1 else -count
+        return total
+
+    def __iter__(self) -> Iterator[tuple]:
+        for index in range(self.count):
+            yield self.access(index)
+
+
+def _nonempty_subsets(indices) -> List[FrozenSet[int]]:
+    items = list(indices)
+    out: List[FrozenSet[int]] = []
+    for mask in range(1, 1 << len(items)):
+        out.append(frozenset(items[i] for i in range(len(items)) if mask & (1 << i)))
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Algorithm 6 — the Durand–Strozecki enumeration (used as the order       #
+# specification in tests, and as an Enum⟨lin,·⟩ algorithm for UCQs)       #
+# ---------------------------------------------------------------------- #
+
+
+def enumerate_union(members: Sequence) -> Iterator[tuple]:
+    """Enumerate ``S_0 ∪ …`` in the Durand–Strozecki order (Algorithm 6).
+
+    ``members`` are index objects; membership testing uses inverted access.
+    The emitted order equals :class:`UnionRandomAccess`'s access order,
+    which the integration tests assert.
+    """
+    if len(members) == 1:
+        yield from iter(members[0])
+        return
+
+    first = members[0]
+    rest = members[1:]
+
+    def in_rest(answer: tuple) -> bool:
+        return any(m.inverted_access(answer) is not None for m in rest)
+
+    rest_iterator = enumerate_union(rest)
+    _EOE = object()
+    b = next(rest_iterator, _EOE)
+    for a in iter(first):
+        if not in_rest(a):
+            yield a
+        else:
+            # a ∈ B: emit B's next element instead, consuming both.
+            yield b
+            b = next(rest_iterator, _EOE)
+    while b is not _EOE:
+        yield b
+        b = next(rest_iterator, _EOE)
+
+
+# ---------------------------------------------------------------------- #
+# The public mc-UCQ index (Theorem 5.5, REnum(mcUCQ))                     #
+# ---------------------------------------------------------------------- #
+
+
+class MCUCQIndex:
+    """Random access and random-order enumeration for an mc-UCQ.
+
+    Builds, per Lemma A.2, one :class:`~repro.core.cq_index.CQIndex`-style
+    structure per member and per ``T_{ℓ,I}`` intersection (``O(2^m)`` of
+    them), all over the same join-forest shape so that orders are
+    compatible by construction.
+
+    Raises
+    ------
+    NotFreeConnexError
+        When some member CQ is not free-connex.
+    IncompatibleUnionError
+        When the members' reduced joins are not shape-aligned (the union is
+        then outside this library's constructive mc-UCQ class).
+    """
+
+    def __init__(self, ucq: UnionOfConjunctiveQueries, database: Database):
+        if len(ucq) > MAX_UNION_MEMBERS:
+            raise IncompatibleUnionError(
+                f"union has {len(ucq)} members; the 2^m intersection indexes of "
+                f"Lemma A.2 are capped at m = {MAX_UNION_MEMBERS}"
+            )
+        self.ucq = ucq
+        self.head_variables: Tuple[str, ...] = tuple(v.name for v in ucq.head)
+
+        reduced = [reduce_to_full_acyclic(q, database) for q in ucq.queries]
+        if not _forests_aligned(reduced):
+            raise IncompatibleUnionError(
+                "member queries reduce to differently-shaped join forests; "
+                "compatible-order random access is unavailable for this union "
+                "(Theorem 5.4's UnionRandomEnumerator still applies)"
+            )
+        self.member_indexes: List[CQIndex] = [
+            CQIndex.from_reduced(r, sort_buckets=True) for r in reduced
+        ]
+        m = len(ucq)
+        self.intersection_indexes: Dict[Tuple[int, FrozenSet[int]], CQIndex] = {}
+        for position in range(m):
+            for subset in _nonempty_subsets(range(position + 1, m)):
+                label = "T_%d_%s" % (position, "_".join(str(i) for i in sorted(subset)))
+                joined = intersect_reduced_joins(
+                    [reduced[position]] + [reduced[i] for i in sorted(subset)],
+                    name=label,
+                )
+                self.intersection_indexes[(position, subset)] = CQIndex.from_reduced(
+                    joined, sort_buckets=True
+                )
+        self._union = UnionRandomAccess(self.member_indexes, self.intersection_indexes)
+
+    @property
+    def count(self) -> int:
+        """``|Q(D)|`` of the union, via inclusion–exclusion."""
+        return self._union.count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def access(self, index: int) -> tuple:
+        """Random access into the union's Durand–Strozecki order.
+
+        O(log²) per call (Theorem 5.5), with a ``2^m`` constant.
+        """
+        return self._union.access(index)
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Enumerate in the union's order (Algorithm 6)."""
+        return enumerate_union(self.member_indexes)
+
+    def random_order(self, rng: Optional[random.Random] = None) -> Iterator[tuple]:
+        """REnum(mcUCQ): a uniformly random permutation of the union.
+
+        Fisher–Yates (Algorithm 1) over :meth:`access` — guaranteed (not
+        just expected) polylogarithmic delay.
+        """
+        shuffle = LazyShuffle(self.count, rng)
+        for position in shuffle:
+            yield self.access(position)
+
+    def __repr__(self) -> str:
+        return f"MCUCQIndex({self.ucq.name}, count={self.count})"

@@ -1,0 +1,113 @@
+"""Algorithm 5 / Theorem 5.4 — REnum(UCQ): random-order union enumeration.
+
+Enumerates ``S1 ∪ … ∪ Sk`` in uniformly random order given sets that
+support counting, sampling, testing, and deletion (Lemma 5.3 provides these
+for free-connex CQ answer sets). Each iteration:
+
+1. choose a set with probability proportional to its current size,
+2. sample an element from it uniformly,
+3. find the element's *providers* (the sets still containing it) and its
+   *owner* (the provider of minimum index),
+4. delete the element from every non-owner provider,
+5. emit it iff the chosen set is the owner — otherwise the iteration
+   *rejects* (emits nothing).
+
+Uniformity: each (set, element) choice has probability ``1/Σ|Sj|`` and each
+remaining union element is emitted by exactly one accepting choice. Delay:
+every element rejects at most once overall (rejection deletes it from all
+non-owners), so the number of iterations is at most twice the number of
+answers and the delay is O(k) set-operations in expectation *and* amortized
+— with our indexes, expected O(log |D|) for a fixed query.
+
+The enumerator instruments rejection counts and wall-clock time split
+between emitted answers and rejections, which is exactly what Figure 5
+reports.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.deletable import DeletableAnswerSet
+
+
+class UnionRandomEnumerator:
+    """Random-order enumeration of a union of deletable sets (Algorithm 5).
+
+    Parameters
+    ----------
+    sets:
+        The member sets — objects with ``count() / sample() / test(e) /
+        delete(e)`` (see :class:`~repro.core.deletable.DeletableAnswerSet`).
+        Owners are assigned by position in this list (minimum index wins).
+    rng:
+        Randomness for the set choice (element sampling uses each set's own
+        rng; pass the same object for full determinism).
+
+    Attributes
+    ----------
+    iterations, rejections:
+        Loop statistics (``iterations - rejections`` = answers emitted).
+    answer_seconds, rejection_seconds:
+        Wall-clock time spent on accepting vs. rejecting iterations; used
+        by the Figure 5 experiment.
+    """
+
+    def __init__(self, sets: Sequence, rng: Optional[random.Random] = None):
+        if not sets:
+            raise ValueError("the union must contain at least one set")
+        self.sets: List = list(sets)
+        self._rng = rng if rng is not None else random.Random()
+        self.iterations = 0
+        self.rejections = 0
+        self.answer_seconds = 0.0
+        self.rejection_seconds = 0.0
+
+    @classmethod
+    def for_indexes(
+        cls, indexes: Sequence, rng: Optional[random.Random] = None
+    ) -> "UnionRandomEnumerator":
+        """Wrap random-access indexes (e.g. ``CQIndex``) via Lemma 5.3."""
+        rng = rng if rng is not None else random.Random()
+        return cls([DeletableAnswerSet(ix, rng=rng) for ix in indexes], rng=rng)
+
+    def remaining(self) -> int:
+        """Upper bound on answers left: sum of member counts (an element in
+        several members is counted once per member until deduplicated)."""
+        return sum(s.count() for s in self.sets)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self
+
+    def __next__(self) -> tuple:
+        while True:
+            started = time.perf_counter()
+            counts = [s.count() for s in self.sets]
+            total = sum(counts)
+            if total == 0:
+                raise StopIteration
+            self.iterations += 1
+
+            # Weighted choice of a member set.
+            pick = self._rng.randrange(total)
+            chosen = 0
+            while pick >= counts[chosen]:
+                pick -= counts[chosen]
+                chosen += 1
+
+            element = self.sets[chosen].sample()
+            providers = [j for j, s in enumerate(self.sets) if s.test(element)]
+            owner = providers[0]  # min index; `providers` is ascending
+            for j in providers:
+                if j != owner:
+                    self.sets[j].delete(element)
+
+            if owner == chosen:
+                self.sets[owner].delete(element)
+                self.answer_seconds += time.perf_counter() - started
+                return element
+
+            self.rejections += 1
+            self.rejection_seconds += time.perf_counter() - started

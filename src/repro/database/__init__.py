@@ -1,0 +1,30 @@
+"""An in-memory relational engine.
+
+This is the *database substrate* of the reproduction: set-semantics
+relations with named columns, hash indexes on attribute subsets, semijoins,
+the Yannakakis full reducer (used by Proposition 4.2's reduction), and a
+naive join evaluator that serves as ground truth in tests and experiments.
+
+The engine follows the paper's model: a database is a finite set of facts
+over a relational schema, queried under set semantics and data complexity.
+Hash-based dictionaries play the role of the DRAM model's constant-time
+lookup tables.
+"""
+
+from repro.database.relation import Relation, RelationError
+from repro.database.database import Database
+from repro.database.indexes import HashIndex
+from repro.database.joins import evaluate_cq, evaluate_ucq, join_rows
+from repro.database.yannakakis import full_reduction, semijoin
+
+__all__ = [
+    "Relation",
+    "RelationError",
+    "Database",
+    "HashIndex",
+    "evaluate_cq",
+    "evaluate_ucq",
+    "join_rows",
+    "full_reduction",
+    "semijoin",
+]

@@ -1,0 +1,81 @@
+"""Databases: named collections of relations.
+
+A :class:`Database` maps relation symbols to :class:`~repro.database.relation.Relation`
+instances. It also hosts *derived relations* — selections registered under a
+new name, the mechanism by which the paper's UCQ experiments form queries
+"using different relations (formed by different selections applied on the
+same initial relations)".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.database.relation import Relation, RelationError
+
+
+class Database:
+    """A mutable mapping of relation symbols to relations."""
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: Dict[str, Relation] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: Relation) -> None:
+        """Register a relation under its own name (overwrite not allowed)."""
+        if relation.name in self._relations:
+            raise RelationError(f"relation {relation.name!r} already present")
+        self._relations[relation.name] = relation
+
+    def replace(self, relation: Relation) -> None:
+        """Register or overwrite a relation under its own name."""
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise RelationError(f"database has no relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self):
+        return iter(self._relations.values())
+
+    def names(self) -> List[str]:
+        return list(self._relations)
+
+    def size(self) -> int:
+        """Total number of facts — the paper's input size ``|D|``."""
+        return sum(len(r) for r in self._relations.values())
+
+    def derive(
+        self,
+        source: str,
+        name: str,
+        predicate: Callable[[tuple], bool],
+    ) -> Relation:
+        """Register ``name := σ_predicate(source)`` and return it.
+
+        If a relation called ``name`` already exists it is returned as-is
+        (derivations are idempotent by name), which lets query modules call
+        ``derive`` unconditionally.
+        """
+        if name in self._relations:
+            return self._relations[name]
+        derived = self.relation(source).select(predicate, name=name)
+        self._relations[name] = derived
+        return derived
+
+    def copy(self) -> "Database":
+        """A shallow copy (relations are immutable in practice, so this is
+        enough to let callers add derived relations without aliasing)."""
+        clone = Database()
+        clone._relations = dict(self._relations)
+        return clone
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{r.name}[{len(r)}]" for r in self._relations.values())
+        return f"Database({parts})"

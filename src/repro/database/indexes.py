@@ -1,0 +1,74 @@
+"""Hash indexes on attribute subsets.
+
+:class:`HashIndex` groups a relation's rows by their values on a subset of
+columns — the engine's realization of the DRAM model's constant-time lookup
+tables, and the "partition into buckets" step of Algorithm 2 (preprocessing
+partitions each relation by ``pAtts``, the attributes shared with the
+parent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.database.relation import Relation
+
+
+class HashIndex:
+    """An index of a relation's rows keyed by a column subset.
+
+    Parameters
+    ----------
+    relation:
+        The indexed relation.
+    key_columns:
+        The columns forming the key; may be empty, in which case all rows
+        share the single key ``()`` (this is how a join-tree root's single
+        bucket arises).
+    """
+
+    __slots__ = ("relation", "key_columns", "_key_positions", "groups")
+
+    def __init__(self, relation: Relation, key_columns: Sequence[str]):
+        self.relation = relation
+        self.key_columns: Tuple[str, ...] = tuple(key_columns)
+        self._key_positions = relation.positions_of(self.key_columns)
+        self.groups: Dict[tuple, List[tuple]] = {}
+        positions = self._key_positions
+        groups = self.groups
+        for row in relation.rows:
+            key = tuple(row[p] for p in positions)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [row]
+            else:
+                bucket.append(row)
+
+    def key_of(self, row: tuple) -> tuple:
+        """The key of a row of the indexed relation."""
+        return tuple(row[p] for p in self._key_positions)
+
+    def lookup(self, key: tuple) -> List[tuple]:
+        """Rows matching the key (empty list when absent)."""
+        return self.groups.get(tuple(key), [])
+
+    def __contains__(self, key: tuple) -> bool:
+        return tuple(key) in self.groups
+
+    def keys(self):
+        return self.groups.keys()
+
+    def group_count(self) -> int:
+        return len(self.groups)
+
+    def max_group_size(self) -> int:
+        """The largest bucket size (the Olken sampler's upper bound)."""
+        if not self.groups:
+            return 0
+        return max(len(g) for g in self.groups.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"HashIndex({self.relation.name!r}, key={self.key_columns!r}, "
+            f"groups={len(self.groups)})"
+        )

@@ -1,0 +1,125 @@
+"""Naive CQ/UCQ evaluation — the engine's ground truth.
+
+This evaluator computes ``Q(D)`` by backtracking over the body atoms with
+hash-index acceleration. It makes no structural assumptions (works for
+cyclic queries, self-joins, constants, repeated variables), so the tests use
+it as the reference against which the paper's index-based algorithms are
+checked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.database.database import Database
+from repro.database.indexes import HashIndex
+from repro.database.relation import Relation
+from repro.query.atoms import Atom, Constant, Variable
+from repro.query.cq import ConjunctiveQuery
+
+
+def _atom_matches(atom: Atom, row: tuple, binding: Dict[Variable, object]) -> bool:
+    """Check constants and repeated-variable consistency of ``row`` against
+    ``atom`` under the current ``binding`` (without mutating it)."""
+    local: Dict[Variable, object] = {}
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return False
+        else:
+            bound = binding.get(term, local.get(term, _UNSET))
+            if bound is _UNSET:
+                local[term] = value
+            elif bound != value:
+                return False
+    return True
+
+
+_UNSET = object()
+
+
+def _extend(atom: Atom, row: tuple, binding: Dict[Variable, object]) -> Dict[Variable, object]:
+    extended = dict(binding)
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Variable):
+            extended[term] = value
+    return extended
+
+
+class _AtomPlan:
+    """Per-atom evaluation plan: which variable positions are join keys
+    given the variables bound before this atom in the chosen order."""
+
+    def __init__(self, atom: Atom, relation: Relation, bound_before: Set[Variable]):
+        self.atom = atom
+        key_columns = []
+        self.key_variables: List[Variable] = []
+        seen: Set[Variable] = set()
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Variable) and term in bound_before and term not in seen:
+                key_columns.append(relation.columns[position])
+                self.key_variables.append(term)
+                seen.add(term)
+        self.index = HashIndex(relation, key_columns)
+
+    def candidates(self, binding: Dict[Variable, object]) -> List[tuple]:
+        key = tuple(binding[v] for v in self.key_variables)
+        return self.index.lookup(key)
+
+
+def evaluate_cq(query: ConjunctiveQuery, database: Database) -> Set[tuple]:
+    """The answer set ``Q(D)`` as a set of head-ordered tuples."""
+    plans: List[_AtomPlan] = []
+    bound: Set[Variable] = set()
+    # Greedy connected ordering: prefer atoms sharing variables with what is
+    # already bound, to keep intermediate candidate sets small.
+    remaining = list(query.body)
+    while remaining:
+        best = None
+        best_score = -1
+        for atom in remaining:
+            score = len(atom.variable_set() & bound)
+            if score > best_score:
+                best, best_score = atom, score
+        remaining.remove(best)
+        plans.append(_AtomPlan(best, database.relation(best.relation), bound))
+        bound |= best.variable_set()
+
+    answers: Set[tuple] = set()
+    head = query.head
+
+    def backtrack(depth: int, binding: Dict[Variable, object]) -> None:
+        if depth == len(plans):
+            answers.add(tuple(binding[v] for v in head))
+            return
+        plan = plans[depth]
+        for row in plan.candidates(binding):
+            if _atom_matches(plan.atom, row, binding):
+                backtrack(depth + 1, _extend(plan.atom, row, binding))
+
+    backtrack(0, {})
+    return answers
+
+
+def evaluate_ucq(ucq, database: Database) -> Set[tuple]:
+    """The answer set of a UCQ: the union of its members' answer sets."""
+    answers: Set[tuple] = set()
+    for query in ucq.queries:
+        answers |= evaluate_cq(query, database)
+    return answers
+
+
+def join_rows(left: Relation, right: Relation, name: str = None) -> Relation:
+    """Natural join of two relations on their shared column names."""
+    shared = [c for c in left.columns if c in right.columns]
+    right_only = [c for c in right.columns if c not in shared]
+    index = HashIndex(right, shared)
+    left_positions = left.positions_of(shared)
+    right_positions = right.positions_of(right_only)
+    out_columns = list(left.columns) + right_only
+    rows = []
+    for row in left.rows:
+        key = tuple(row[p] for p in left_positions)
+        for match in index.lookup(key):
+            rows.append(row + tuple(match[p] for p in right_positions))
+    return Relation(name or f"{left.name}_join_{right.name}", out_columns, rows)

@@ -1,0 +1,38 @@
+"""The experiment harness: everything behind Section 6 and the appendix.
+
+* :mod:`repro.experiments.harness` — timed enumeration runs with per-answer
+  delay recording, for every algorithm under comparison.
+* :mod:`repro.experiments.stats` — box-plot statistics (median, IQR,
+  whiskers, outliers) and mean/SD summaries for the delay analyses.
+* :mod:`repro.experiments.report` — plain-text tables and bar charts.
+* :mod:`repro.experiments.figures` — one driver per paper figure/table;
+  each returns a structured result that renders to text and is written to
+  ``results/`` by the corresponding ``benchmarks/bench_*.py``.
+"""
+
+from repro.experiments.harness import (
+    EnumerationRun,
+    run_cumulative_renum_cq,
+    run_mcucq,
+    run_renum_cq,
+    run_sampler,
+    run_union_renum,
+)
+from repro.experiments.stats import BoxStats, DelaySummary, box_stats, delay_summary
+from repro.experiments.report import format_seconds, render_bar_chart, render_table
+
+__all__ = [
+    "EnumerationRun",
+    "run_cumulative_renum_cq",
+    "run_mcucq",
+    "run_renum_cq",
+    "run_sampler",
+    "run_union_renum",
+    "BoxStats",
+    "DelaySummary",
+    "box_stats",
+    "delay_summary",
+    "format_seconds",
+    "render_bar_chart",
+    "render_table",
+]

@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are bar charts and box plots; benchmarks running in a
+terminal render the same data as aligned tables and unicode bar charts,
+written both to stdout and to ``results/*.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_seconds(value: float) -> str:
+    """Human-scaled seconds: '12.3s', '45.6ms', '789µs'."""
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.0f}µs"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """An aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for row_index, row in enumerate(cells):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if row_index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    series: Sequence[Sequence[float]],
+    series_names: Sequence[str],
+    width: int = 40,
+    unit: str = "s",
+) -> str:
+    """Horizontal grouped bars, one group per label.
+
+    Mirrors the stacked/grouped bar charts of Figures 1, 4, and 6: each
+    series value becomes a bar scaled to the global maximum.
+    """
+    peak = max((max(values) for values in series if values), default=0.0)
+    if peak <= 0:
+        peak = 1.0
+    lines: List[str] = []
+    name_width = max((len(n) for n in series_names), default=0)
+    for group_index, label in enumerate(labels):
+        lines.append(label)
+        for name, values in zip(series_names, series):
+            value = values[group_index]
+            bar = "█" * max(1, int(width * value / peak)) if value > 0 else ""
+            lines.append(f"  {name.ljust(name_width)} |{bar} {value:.3f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Delay statistics: box plots and summary tables.
+
+Figures 2 and 3 present per-answer delays as box-and-whisker plots (median,
+interquartile range, 1.5·IQR whiskers, outliers dropped from display);
+Figure 7's tables report mean, standard deviation, and the percentage of
+outliers. These helpers compute exactly those quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted data (numpy's default)."""
+    if not sorted_values:
+        raise ValueError("cannot take a quantile of no data")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return sorted_values[low]
+    fraction = position - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+@dataclass
+class BoxStats:
+    """A box-and-whisker summary (Figures 2–3)."""
+
+    count: int
+    median: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outliers: int
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    @property
+    def outlier_percent(self) -> float:
+        return 100.0 * self.outliers / self.count if self.count else 0.0
+
+
+@dataclass
+class DelaySummary:
+    """Mean / SD / outlier% (the Figure 7 tables)."""
+
+    count: int
+    mean: float
+    std: float
+    outlier_percent: float
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    """The box-plot summary of a delay sample.
+
+    Whiskers extend to the most extreme data point within 1.5·IQR of the
+    box; points beyond are outliers (not displayed by the paper's plots,
+    but counted in its appendix tables).
+    """
+    if not values:
+        raise ValueError("cannot summarize an empty delay sample")
+    data = sorted(values)
+    q1 = _quantile(data, 0.25)
+    median = _quantile(data, 0.5)
+    q3 = _quantile(data, 0.75)
+    iqr = q3 - q1
+    low_limit = q1 - 1.5 * iqr
+    high_limit = q3 + 1.5 * iqr
+    inside = [v for v in data if low_limit <= v <= high_limit]
+    outliers = len(data) - len(inside)
+    return BoxStats(
+        count=len(data),
+        median=median,
+        q1=q1,
+        q3=q3,
+        whisker_low=inside[0],
+        whisker_high=inside[-1],
+        outliers=outliers,
+    )
+
+
+def delay_summary(values: Sequence[float]) -> DelaySummary:
+    """Mean, standard deviation, and outlier percentage of a delay sample."""
+    stats = box_stats(values)
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n if n > 1 else 0.0
+    return DelaySummary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        outlier_percent=stats.outlier_percent,
+    )

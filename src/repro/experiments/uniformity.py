@@ -1,0 +1,105 @@
+"""Statistical verification of the randomness guarantees.
+
+The paper's central promise is not speed but *distribution*: REnum must
+emit a uniformly random permutation, and the samplers must draw uniformly
+from the answer set. This module provides the chi-square machinery to
+audit those claims empirically, used by the test suite and by
+``benchmarks/bench_uniformity.py`` (an experiment the paper argues by
+proof; we also measure it).
+
+Three audits:
+
+* :func:`frequency_audit` — goodness of fit of observed draw frequencies
+  against the uniform distribution (for with-replacement samplers);
+* :func:`first_emission_audit` — the first element of repeated REnum runs
+  must be uniform over the answer set;
+* :func:`position_audit` — each answer's *position* across repeated runs
+  must be uniform over ``0 … n−1`` (a stronger permutation property).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from scipy.stats import chi2 as _chi2_distribution
+
+
+@dataclass
+class ChiSquareResult:
+    """A chi-square goodness-of-fit verdict."""
+
+    statistic: float
+    degrees_of_freedom: int
+    p_value: float
+    trials: int
+
+    def consistent_with_uniform(self, significance: float = 0.001) -> bool:
+        """Whether uniformity is *not* rejected at the given significance.
+
+        The default 0.1% keeps deterministic test suites quiet while still
+        catching genuinely broken distributions (whose p-values collapse to
+        ≈ 0 in a few thousand trials).
+        """
+        return self.p_value >= significance
+
+
+def chi_square_uniform(counts: Sequence[int]) -> ChiSquareResult:
+    """Chi-square statistic of observed category counts vs. uniform."""
+    categories = len(counts)
+    if categories < 2:
+        raise ValueError("need at least two categories for a chi-square test")
+    trials = sum(counts)
+    if trials == 0:
+        raise ValueError("need at least one observation")
+    expected = trials / categories
+    statistic = sum((c - expected) ** 2 / expected for c in counts)
+    dof = categories - 1
+    p_value = float(_chi2_distribution.sf(statistic, dof))
+    return ChiSquareResult(
+        statistic=statistic, degrees_of_freedom=dof, p_value=p_value, trials=trials
+    )
+
+
+def frequency_audit(draw: Callable[[], tuple], universe: Sequence[tuple],
+                    trials: int) -> ChiSquareResult:
+    """Audit a with-replacement sampler against the uniform distribution.
+
+    ``draw`` produces one sample per call; ``universe`` is the full answer
+    set (draws outside it raise ``ValueError``).
+    """
+    allowed = set(universe)
+    counts: Counter = Counter()
+    for __ in range(trials):
+        sample = draw()
+        if sample not in allowed:
+            raise ValueError(f"sampler produced a non-answer: {sample!r}")
+        counts[sample] += 1
+    return chi_square_uniform([counts[u] for u in universe])
+
+
+def first_emission_audit(run: Callable[[], Iterable[tuple]],
+                         universe: Sequence[tuple],
+                         trials: int) -> ChiSquareResult:
+    """Audit the first element of repeated random-order enumerations."""
+    counts: Counter = Counter()
+    for __ in range(trials):
+        counts[next(iter(run()))] += 1
+    return chi_square_uniform([counts[u] for u in universe])
+
+
+def position_audit(run: Callable[[], Iterable[tuple]],
+                   universe: Sequence[tuple],
+                   trials: int) -> List[ChiSquareResult]:
+    """Audit each answer's position distribution across repeated runs.
+
+    In a uniform permutation, every fixed answer is equally likely to land
+    at every position. Returns one chi-square result per answer.
+    """
+    n = len(universe)
+    position_counts: Dict[tuple, List[int]] = {u: [0] * n for u in universe}
+    for __ in range(trials):
+        for position, answer in enumerate(run()):
+            position_counts[answer][position] += 1
+    return [chi_square_uniform(position_counts[u]) for u in universe]

@@ -1,0 +1,56 @@
+"""Query representation and structural analysis.
+
+This package is the *query substrate* of the reproduction: conjunctive
+queries (CQs), unions of CQs (UCQs), their hypergraphs, and the structural
+properties the paper's dichotomies hinge on — acyclicity (via GYO reduction
+and join trees) and free-connexity.
+
+The public surface:
+
+* :class:`~repro.query.atoms.Variable`, :class:`~repro.query.atoms.Constant`,
+  :class:`~repro.query.atoms.Atom` — terms and atoms.
+* :class:`~repro.query.cq.ConjunctiveQuery` — a CQ ``Q(x̄) :- R1(t̄1), …``.
+* :func:`~repro.query.parser.parse_cq` / :func:`~repro.query.parser.parse_ucq`
+  — a datalog-style text front end.
+* :class:`~repro.query.hypergraph.Hypergraph` — hypergraph of a CQ.
+* :func:`~repro.query.acyclicity.gyo_reduction`,
+  :func:`~repro.query.acyclicity.join_tree` — acyclicity machinery.
+* :func:`~repro.query.free_connex.is_free_connex` — the tractability test.
+* :class:`~repro.query.ucq.UnionOfConjunctiveQueries` — UCQs, with
+  intersection-CQ construction for the mc-UCQ machinery.
+"""
+
+from repro.query.atoms import Atom, Constant, Term, Variable
+from repro.query.cq import ConjunctiveQuery, QueryConstructionError
+from repro.query.hypergraph import Hypergraph
+from repro.query.acyclicity import JoinTree, JoinTreeNode, gyo_reduction, is_acyclic, join_tree
+from repro.query.free_connex import FreeConnexReport, free_connex_report, is_free_connex
+from repro.query.parser import ParseError, parse_atom, parse_cq, parse_ucq
+from repro.query.sql import SQLParseError, parse_sql_cq
+from repro.query.ucq import UnionOfConjunctiveQueries, intersection_cq
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Term",
+    "Variable",
+    "ConjunctiveQuery",
+    "QueryConstructionError",
+    "Hypergraph",
+    "JoinTree",
+    "JoinTreeNode",
+    "gyo_reduction",
+    "is_acyclic",
+    "join_tree",
+    "FreeConnexReport",
+    "free_connex_report",
+    "is_free_connex",
+    "ParseError",
+    "parse_atom",
+    "parse_cq",
+    "parse_ucq",
+    "SQLParseError",
+    "parse_sql_cq",
+    "UnionOfConjunctiveQueries",
+    "intersection_cq",
+]

@@ -1,0 +1,241 @@
+"""GYO reduction, acyclicity testing, and join-tree construction.
+
+A hypergraph is *acyclic* (alpha-acyclic) iff the GYO (Graham / Yu–Ozsoyoglu)
+reduction empties it. The reduction repeatedly removes *ears*: an edge ``e``
+is an ear if the vertices it shares with the rest of the hypergraph are all
+contained in a single other edge ``w`` (the *witness*), or if ``e`` shares no
+vertex with any other edge (an isolated ear). Recording ``e → w`` attachments
+during the reduction yields a join tree — in general a *forest*, since a
+query's hypergraph may have several connected components (a cartesian
+product query).
+
+The construction is deterministic: edges are scanned in index order and the
+first ear/witness pair found is used. Determinism matters downstream — the
+random-access index derives its enumeration order from the tree, and the
+mc-UCQ machinery needs structurally equal queries to receive structurally
+equal trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.query.atoms import Variable
+from repro.query.hypergraph import Hypergraph
+
+
+class JoinTreeNode:
+    """A node of a join tree: one hyperedge (= one atom occurrence).
+
+    Attributes
+    ----------
+    index:
+        The index of the hyperedge in the originating hypergraph (and hence
+        of the atom in the query body, where applicable).
+    variables:
+        The vertex set of the hyperedge.
+    children:
+        Child nodes; order is deterministic (attachment order).
+    parent:
+        The parent node, or ``None`` for a root.
+    """
+
+    __slots__ = ("index", "variables", "children", "parent")
+
+    def __init__(self, index: int, variables: frozenset):
+        self.index = index
+        self.variables = variables
+        self.children: List["JoinTreeNode"] = []
+        self.parent: Optional["JoinTreeNode"] = None
+
+    def attach(self, child: "JoinTreeNode") -> None:
+        child.parent = self
+        self.children.append(child)
+
+    def detach(self, child: "JoinTreeNode") -> None:
+        self.children.remove(child)
+        child.parent = None
+
+    def parent_variables(self) -> frozenset:
+        """``pAtts`` — the variables shared with the parent (∅ at a root)."""
+        if self.parent is None:
+            return frozenset()
+        return self.variables & self.parent.variables
+
+    def subtree(self) -> List["JoinTreeNode"]:
+        """This node and all descendants, in preorder."""
+        out = [self]
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(reversed(node.children))
+        return out
+
+    def __repr__(self) -> str:
+        names = ",".join(sorted(v.name for v in self.variables))
+        return f"JoinTreeNode(#{self.index}:{{{names}}})"
+
+
+class JoinTree:
+    """A join forest: a list of root nodes covering every hyperedge.
+
+    The *running intersection property* holds: for every variable ``v``, the
+    nodes whose variable set contains ``v`` form a connected subtree. It is
+    checked by :meth:`validate` (used in tests and after surgery).
+    """
+
+    def __init__(self, roots: List[JoinTreeNode], nodes_by_index: Dict[int, JoinTreeNode]):
+        self.roots = roots
+        self.nodes_by_index = nodes_by_index
+
+    def node(self, index: int) -> JoinTreeNode:
+        return self.nodes_by_index[index]
+
+    def all_nodes(self) -> List[JoinTreeNode]:
+        out: List[JoinTreeNode] = []
+        for root in self.roots:
+            out.extend(root.subtree())
+        return out
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the running-intersection property fails."""
+        holding: Dict[Variable, List[JoinTreeNode]] = {}
+        for node in self.all_nodes():
+            for v in node.variables:
+                holding.setdefault(v, []).append(node)
+        for v, nodes in holding.items():
+            # The nodes containing v must form a connected subtree: exactly
+            # one of them has a parent not containing v (or no parent).
+            tops = [n for n in nodes if n.parent is None or v not in n.parent.variables]
+            if len(tops) != 1:
+                raise ValueError(f"running intersection violated for variable {v.name}")
+
+    def rerooted_at(self, index: int) -> "JoinTree":
+        """Return a copy of the forest re-rooted at node ``index``.
+
+        Join trees are undirected objects; any node can serve as the root of
+        its component without violating running intersection. Only the
+        component containing ``index`` changes; other components are copied
+        as-is.
+        """
+        copies: Dict[int, JoinTreeNode] = {
+            i: JoinTreeNode(i, n.variables) for i, n in self.nodes_by_index.items()
+        }
+        # Build undirected adjacency, then orient away from the new root.
+        adjacency: Dict[int, List[int]] = {i: [] for i in copies}
+        for node in self.all_nodes():
+            for child in node.children:
+                adjacency[node.index].append(child.index)
+                adjacency[child.index].append(node.index)
+        target = self.nodes_by_index[index]
+        component = {n.index for n in self._component_of(target)}
+        new_roots: List[JoinTreeNode] = []
+        for root in self.roots:
+            if root.index in component:
+                continue
+            new_roots.append(self._copy_oriented(root.index, None, adjacency, copies, set()))
+        new_roots.insert(0, self._copy_oriented(index, None, adjacency, copies, set()))
+        return JoinTree(new_roots, copies)
+
+    def _component_of(self, node: JoinTreeNode) -> List[JoinTreeNode]:
+        top = node
+        while top.parent is not None:
+            top = top.parent
+        return top.subtree()
+
+    def _copy_oriented(self, index, parent_index, adjacency, copies, visited) -> JoinTreeNode:
+        visited.add(index)
+        node = copies[index]
+        for neighbor in sorted(adjacency[index]):
+            if neighbor != parent_index and neighbor not in visited:
+                node.attach(self._copy_oriented(neighbor, index, adjacency, copies, visited))
+        return node
+
+    def __repr__(self) -> str:
+        return f"JoinTree(roots={self.roots!r})"
+
+
+def gyo_reduction(hypergraph: Hypergraph) -> Tuple[bool, Optional[JoinTree]]:
+    """Run the GYO reduction.
+
+    Returns ``(True, join_tree)`` when the hypergraph is acyclic and
+    ``(False, None)`` otherwise. The join tree is a forest whose node indices
+    are the hyperedge indices of the input.
+    """
+    edges = hypergraph.edges
+    n = len(edges)
+    if n == 0:
+        return True, JoinTree([], {})
+
+    nodes = {i: JoinTreeNode(i, edges[i]) for i in range(n)}
+    alive: List[int] = list(range(n))
+    roots: List[JoinTreeNode] = []
+
+    while alive:
+        progressed = False
+        for position, i in enumerate(alive):
+            witness = _find_witness(i, alive, edges)
+            if witness is _NOT_AN_EAR:
+                continue
+            alive.pop(position)
+            if witness is None:
+                roots.append(nodes[i])
+            else:
+                nodes[witness].attach(nodes[i])
+            progressed = True
+            break
+        if not progressed:
+            return False, None
+
+    # Attachment happens ear-first, so roots were appended in removal order;
+    # re-collect the true roots (nodes that never got a parent) and order
+    # children by hyperedge index — child order determines the enumeration
+    # order of the downstream random-access index, so it must be canonical.
+    roots = [nodes[i] for i in sorted(nodes) if nodes[i].parent is None]
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.index)
+    return True, JoinTree(roots, nodes)
+
+
+#: Sentinel distinguishing "no witness needed" (isolated ear) from "not an ear".
+_NOT_AN_EAR = object()
+
+
+def _find_witness(i: int, alive: Sequence[int], edges) -> Optional[int]:
+    """Return a witness index for edge ``i``, ``None`` for an isolated ear,
+    or the ``_NOT_AN_EAR`` sentinel."""
+    edge = edges[i]
+    others = [j for j in alive if j != i]
+    shared: Set[Variable] = set()
+    for v in edge:
+        for j in others:
+            if v in edges[j]:
+                shared.add(v)
+                break
+    if not shared:
+        return None
+    for j in others:
+        if shared <= edges[j]:
+            return j
+    return _NOT_AN_EAR
+
+
+def is_acyclic(hypergraph: Hypergraph) -> bool:
+    """True iff the hypergraph is (alpha-)acyclic."""
+    ok, __ = gyo_reduction(hypergraph)
+    return ok
+
+
+def join_tree(query) -> JoinTree:
+    """A join tree (forest) of an acyclic CQ, nodes indexed by body position.
+
+    Raises
+    ------
+    ValueError
+        If the query is cyclic.
+    """
+    ok, tree = gyo_reduction(Hypergraph.of_query(query))
+    if not ok:
+        raise ValueError(f"query {query.name} is cyclic; no join tree exists")
+    return tree

@@ -1,0 +1,150 @@
+"""Terms (variables and constants) and atoms of conjunctive queries.
+
+An atom is a relation symbol applied to a tuple of terms, e.g. ``R(x, y, 5)``.
+Terms are either :class:`Variable` or :class:`Constant`. Both are immutable
+and hashable so they can serve as dictionary keys throughout the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+
+class Variable:
+    """A query variable, identified by its name.
+
+    Two variables with the same name are the same variable. Names are
+    non-empty strings; by convention they start with a letter or underscore,
+    but the class does not enforce a lexical style so that machine-generated
+    names (e.g. ``y#3`` produced when renaming existential variables apart)
+    are allowed.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise ValueError("variable name must be a non-empty string")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def renamed(self, suffix: str) -> "Variable":
+        """Return a fresh variable whose name is this name plus ``suffix``."""
+        return Variable(self.name + suffix)
+
+
+class Constant:
+    """A constant term wrapping an arbitrary hashable Python value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        hash(value)  # raise early on unhashable values
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Variable, Constant]
+
+
+def _check_term(term: Term) -> Term:
+    if not isinstance(term, (Variable, Constant)):
+        raise TypeError(f"atom arguments must be Variable or Constant, got {term!r}")
+    return term
+
+
+class Atom:
+    """An atom ``R(t1, …, tk)`` of a conjunctive query body.
+
+    The relation symbol is a plain string; the arguments are terms. Atoms are
+    immutable value objects: equality and hashing are structural. Note that a
+    query body is a *sequence* of atoms, so the same atom may occur twice
+    (this matters for self-joins, where the paper distinguishes atom
+    occurrences).
+    """
+
+    __slots__ = ("relation", "terms")
+
+    def __init__(self, relation: str, terms: Iterable[Term]):
+        if not isinstance(relation, str) or not relation:
+            raise ValueError("relation symbol must be a non-empty string")
+        self.relation = relation
+        self.terms: Tuple[Term, ...] = tuple(_check_term(t) for t in terms)
+
+    @property
+    def arity(self) -> int:
+        """The number of argument positions of the atom."""
+        return len(self.terms)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """Variables in argument order, with duplicates preserved."""
+        return tuple(t for t in self.terms if isinstance(t, Variable))
+
+    def variable_set(self) -> frozenset:
+        """The set ``Vars(α)`` of variables occurring in the atom."""
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    def constants(self) -> Tuple[Constant, ...]:
+        """Constant arguments in argument order."""
+        return tuple(t for t in self.terms if isinstance(t, Constant))
+
+    def has_repeated_variables(self) -> bool:
+        """True when some variable occurs in two or more argument positions."""
+        seen = set()
+        for term in self.terms:
+            if isinstance(term, Variable):
+                if term in seen:
+                    return True
+                seen.add(term)
+        return False
+
+    def substitute(self, mapping) -> "Atom":
+        """Return the atom with variables replaced per ``mapping``.
+
+        ``mapping`` maps :class:`Variable` to terms; unmapped variables are
+        kept as-is.
+        """
+        return Atom(self.relation, tuple(mapping.get(t, t) if isinstance(t, Variable) else t for t in self.terms))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Atom) and self.relation == other.relation and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.terms))
+
+    def __repr__(self) -> str:
+        return f"Atom({self.relation!r}, {list(self.terms)!r})"
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation}({args})"
+
+
+def variables_of(atoms: Sequence[Atom]) -> frozenset:
+    """The union of ``Vars(α)`` over a sequence of atoms."""
+    out = set()
+    for atom in atoms:
+        out.update(atom.variable_set())
+    return frozenset(out)

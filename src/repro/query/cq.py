@@ -1,0 +1,191 @@
+"""Conjunctive queries.
+
+A conjunctive query (CQ) is written as a logic rule ``Q(x̄) :- R1(t̄1), …,
+Rn(t̄n)``. The head variables ``x̄`` are the *free* variables; body variables
+not in the head are *existential*. We enforce the paper's standard safety
+assumption: every head variable occurs in the body.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.query.atoms import Atom, Constant, Term, Variable, variables_of
+
+
+class QueryConstructionError(ValueError):
+    """Raised when a rule violates CQ well-formedness (e.g. safety)."""
+
+
+class ConjunctiveQuery:
+    """An immutable conjunctive query ``Q(head) :- body``.
+
+    Parameters
+    ----------
+    head:
+        The tuple of head variables (the output schema of the query). The
+        same variable may *not* appear twice in the head — repeated output
+        columns carry no information and complicate index construction; use
+        distinct variables joined by the body instead.
+    body:
+        A non-empty sequence of :class:`~repro.query.atoms.Atom`.
+    name:
+        Optional human-readable name used in reports (defaults to ``"Q"``).
+    """
+
+    __slots__ = ("name", "head", "body")
+
+    def __init__(self, head: Iterable[Variable], body: Sequence[Atom], name: str = "Q"):
+        self.name = name
+        self.head: Tuple[Variable, ...] = tuple(head)
+        self.body: Tuple[Atom, ...] = tuple(body)
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.body:
+            raise QueryConstructionError("a CQ must have at least one body atom")
+        for v in self.head:
+            if not isinstance(v, Variable):
+                raise QueryConstructionError(f"head terms must be variables, got {v!r}")
+        if len(set(self.head)) != len(self.head):
+            raise QueryConstructionError("head variables must be distinct")
+        body_vars = variables_of(self.body)
+        missing = [v for v in self.head if v not in body_vars]
+        if missing:
+            names = ", ".join(v.name for v in missing)
+            raise QueryConstructionError(f"unsafe query: head variables not in body: {names}")
+
+    # ------------------------------------------------------------------ #
+    # Variable classification                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def free_variables(self) -> frozenset:
+        """The set of head (free) variables."""
+        return frozenset(self.head)
+
+    @property
+    def existential_variables(self) -> frozenset:
+        """Body variables that are not in the head."""
+        return self.all_variables - self.free_variables
+
+    @property
+    def all_variables(self) -> frozenset:
+        """``Vars(Q)`` — every variable occurring in the query."""
+        return variables_of(self.body)
+
+    # ------------------------------------------------------------------ #
+    # Structural predicates                                               #
+    # ------------------------------------------------------------------ #
+
+    def is_full(self) -> bool:
+        """True when the query has no existential variables (a full join)."""
+        return not self.existential_variables
+
+    def is_self_join_free(self) -> bool:
+        """True when every relation symbol occurs at most once in the body."""
+        symbols = [atom.relation for atom in self.body]
+        return len(symbols) == len(set(symbols))
+
+    def self_joins(self) -> List[Tuple[int, int]]:
+        """Pairs of body positions that form self-joins."""
+        by_symbol: Dict[str, List[int]] = {}
+        for i, atom in enumerate(self.body):
+            by_symbol.setdefault(atom.relation, []).append(i)
+        pairs = []
+        for positions in by_symbol.values():
+            for i, p in enumerate(positions):
+                for q in positions[i + 1:]:
+                    pairs.append((p, q))
+        return pairs
+
+    def relation_symbols(self) -> Tuple[str, ...]:
+        """The distinct relation symbols of the body, in first-occurrence order."""
+        seen = []
+        for atom in self.body:
+            if atom.relation not in seen:
+                seen.append(atom.relation)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------ #
+    # Transformations                                                     #
+    # ------------------------------------------------------------------ #
+
+    def rename_existentials(self, suffix: str) -> "ConjunctiveQuery":
+        """Return a copy with every existential variable renamed apart.
+
+        Used when conjoining query bodies (e.g. intersection CQs for UCQs):
+        existential variables are scoped to their own query, so they must not
+        collide across the conjoined bodies.
+        """
+        mapping = {v: v.renamed(suffix) for v in self.existential_variables}
+        return ConjunctiveQuery(
+            self.head,
+            [atom.substitute(mapping) for atom in self.body],
+            name=self.name,
+        )
+
+    def with_name(self, name: str) -> "ConjunctiveQuery":
+        """Return the same query under a different report name."""
+        return ConjunctiveQuery(self.head, self.body, name=name)
+
+    def project(self, head: Iterable[Variable], name: str = None) -> "ConjunctiveQuery":
+        """Return the query with a new head (a projection of this one)."""
+        return ConjunctiveQuery(head, self.body, name=name or self.name)
+
+    # ------------------------------------------------------------------ #
+    # Value-object protocol                                               #
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConjunctiveQuery)
+            and self.head == other.head
+            and self.body == other.body
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.body))
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery(name={self.name!r}, head={self.head!r}, body={self.body!r})"
+
+    def __str__(self) -> str:
+        head = ", ".join(v.name for v in self.head)
+        body = ", ".join(str(atom) for atom in self.body)
+        return f"{self.name}({head}) :- {body}"
+
+
+def conjoin(queries: Sequence[ConjunctiveQuery], name: str = "Q_and") -> ConjunctiveQuery:
+    """Conjoin the bodies of CQs sharing the same head.
+
+    This constructs the *intersection CQ*: a tuple is an answer to the
+    conjunction iff it is an answer to every conjunct. Existential variables
+    are renamed apart (per conjunct) so the bodies do not accidentally share
+    quantified variables.
+
+    Raises
+    ------
+    QueryConstructionError
+        If the queries do not all have the same head-variable tuple.
+    """
+    if not queries:
+        raise QueryConstructionError("cannot conjoin an empty list of queries")
+    head = queries[0].head
+    for q in queries[1:]:
+        if q.head != head:
+            raise QueryConstructionError(
+                f"cannot conjoin queries with different heads: {queries[0].head} vs {q.head}"
+            )
+    body: List[Atom] = []
+    for i, q in enumerate(queries):
+        renamed = q.rename_existentials(f"#{i}") if len(queries) > 1 else q
+        body.extend(renamed.body)
+    # Drop exact duplicate atoms (they constrain nothing new).
+    deduped: List[Atom] = []
+    seen = set()
+    for atom in body:
+        if atom not in seen:
+            seen.add(atom)
+            deduped.append(atom)
+    return ConjunctiveQuery(head, deduped, name=name)

@@ -1,0 +1,83 @@
+"""Free-connexity: the tractability frontier of the paper.
+
+A CQ is *free-connex* when it is acyclic and remains acyclic after adding a
+hyperedge consisting of its free (head) variables. By Theorem 4.1 / 4.3 and
+Corollary 4.5, free-connex CQs are exactly (among self-join-free CQs, under
+sparse-BMM / Triangle / Hyperclique) the CQs admitting linear preprocessing
+with (poly)logarithmic enumeration, random access, and random permutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.query.acyclicity import JoinTree, gyo_reduction
+from repro.query.cq import ConjunctiveQuery
+from repro.query.hypergraph import Hypergraph
+
+
+@dataclass
+class FreeConnexReport:
+    """The structural classification of a CQ.
+
+    Attributes
+    ----------
+    acyclic:
+        Whether ``H_Q`` is acyclic.
+    free_connex:
+        Whether ``H_Q ∪ {free(Q)}`` is also acyclic (implies ``acyclic``
+        only together with it; a cyclic query whose extended hypergraph is
+        acyclic — e.g. the triangle query with all variables free... is
+        impossible for *full* queries, but the flag is reported faithfully).
+    join_tree:
+        A join forest of ``H_Q`` when acyclic, else ``None``.
+    extended_join_tree:
+        A join forest of ``H_Q ∪ {free(Q)}`` when that hypergraph is
+        acyclic, else ``None``. The head edge has index ``len(body)``.
+    self_join_free:
+        Whether the query has no self-joins; relevant because the paper's
+        lower bounds (and hence the dichotomy) apply to self-join-free CQs.
+    """
+
+    acyclic: bool
+    free_connex: bool
+    join_tree: Optional[JoinTree]
+    extended_join_tree: Optional[JoinTree]
+    self_join_free: bool
+
+    @property
+    def tractable(self) -> bool:
+        """Membership in RAccess⟨lin,log⟩ per Theorem 4.3."""
+        return self.acyclic and self.free_connex
+
+    def classification(self) -> str:
+        """A human-readable classification used in reports and errors."""
+        if self.acyclic and self.free_connex:
+            return "free-connex acyclic"
+        if self.acyclic:
+            return "acyclic but not free-connex"
+        return "cyclic"
+
+
+def free_connex_report(query: ConjunctiveQuery) -> FreeConnexReport:
+    """Classify a CQ structurally (acyclicity, free-connexity, self-joins)."""
+    acyclic, tree = gyo_reduction(Hypergraph.of_query(query))
+    ext_acyclic, ext_tree = gyo_reduction(Hypergraph.of_query_with_head(query))
+    return FreeConnexReport(
+        acyclic=acyclic,
+        free_connex=acyclic and ext_acyclic,
+        join_tree=tree,
+        extended_join_tree=ext_tree if ext_acyclic else None,
+        self_join_free=query.is_self_join_free(),
+    )
+
+
+def is_free_connex(query: ConjunctiveQuery) -> bool:
+    """True iff ``query`` is free-connex acyclic.
+
+    This is the paper's tractability condition: such queries admit linear
+    preprocessing with logarithmic random access (Theorem 4.3), hence also
+    logarithmic-delay random-order enumeration (Theorem 3.7).
+    """
+    return free_connex_report(query).free_connex

@@ -1,0 +1,81 @@
+"""Hypergraphs associated with conjunctive queries.
+
+To each CQ ``Q(x̄) :- α1, …, αk`` the paper associates a hypergraph ``H_Q``
+whose vertices are the variables of ``Q`` and whose hyperedges are the
+variable sets ``Vars(αi)``. Acyclicity and free-connexity are properties of
+this hypergraph (the latter of the hypergraph extended with a hyperedge over
+the free variables).
+
+Edges are kept as an *indexed list*, not a set: two atoms may have the same
+variable set, and the join-tree construction must keep one node per atom.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.query.atoms import Variable
+
+
+class Hypergraph:
+    """A multiset of hyperedges over a vertex universe.
+
+    Parameters
+    ----------
+    edges:
+        An iterable of vertex sets. Order is significant: the *i*-th edge
+        keeps identity ``i`` through GYO reduction and join-tree
+        construction, so callers can map tree nodes back to atoms.
+    """
+
+    def __init__(self, edges: Iterable[Iterable[Variable]]):
+        self.edges: List[FrozenSet[Variable]] = [frozenset(e) for e in edges]
+
+    @classmethod
+    def of_query(cls, query) -> "Hypergraph":
+        """The hypergraph ``H_Q`` of a CQ (one edge per body atom)."""
+        return cls(atom.variable_set() for atom in query.body)
+
+    @classmethod
+    def of_query_with_head(cls, query) -> "Hypergraph":
+        """``H_Q`` extended with a hyperedge over the free variables.
+
+        This is the hypergraph whose acyclicity defines free-connexity. The
+        head edge is appended *last*, so its index is ``len(query.body)``.
+        """
+        edges = [atom.variable_set() for atom in query.body]
+        edges.append(frozenset(query.free_variables))
+        return cls(edges)
+
+    @property
+    def vertices(self) -> FrozenSet[Variable]:
+        """The union of all hyperedges."""
+        out: Set[Variable] = set()
+        for edge in self.edges:
+            out.update(edge)
+        return frozenset(out)
+
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def incidences(self) -> Dict[Variable, Set[int]]:
+        """Map each vertex to the set of edge indices containing it."""
+        out: Dict[Variable, Set[int]] = {}
+        for i, edge in enumerate(self.edges):
+            for v in edge:
+                out.setdefault(v, set()).add(i)
+        return out
+
+    def restricted_to(self, vertices: Iterable[Variable]) -> "Hypergraph":
+        """The hypergraph with every edge intersected with ``vertices``.
+
+        Used by the free-connex reduction: projecting a join tree's nodes
+        onto the free variables preserves the running-intersection property,
+        so the projected hypergraph inherits the tree's shape.
+        """
+        keep = frozenset(vertices)
+        return Hypergraph(edge & keep for edge in self.edges)
+
+    def __repr__(self) -> str:
+        parts = ", ".join("{" + ", ".join(sorted(v.name for v in e)) + "}" for e in self.edges)
+        return f"Hypergraph([{parts}])"

@@ -1,0 +1,171 @@
+"""A small datalog-style parser for CQs and UCQs.
+
+The grammar accepted::
+
+    cq    ::= NAME "(" termlist? ")" ":-" atom ("," atom)*
+    atom  ::= NAME "(" termlist? ")"
+    term  ::= NAME            -- a variable (starts with a letter/underscore)
+            | NUMBER          -- an integer or float constant
+            | "'" chars "'"   -- a string constant
+    ucq   ::= cq (";" cq)*    -- union of CQs, all with the same head
+
+Examples
+--------
+>>> q = parse_cq("Q(x, y) :- R(x, z), S(z, y)")
+>>> str(q)
+'Q(x, y) :- R(x, z), S(z, y)'
+>>> u = parse_ucq("Q(x) :- R(x, y) ; Q(x) :- S(x, y)")
+>>> len(u.queries)
+2
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.query.atoms import Atom, Constant, Term, Variable
+from repro.query.cq import ConjunctiveQuery
+from repro.query.ucq import UnionOfConjunctiveQueries
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<entails>:-)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<semicolon>;)
+  | (?P<string>'[^']*')
+  | (?P<number>-?\d+(\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_#]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class ParseError(ValueError):
+    """Raised on malformed query text, with position information."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append((kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[Tuple[str, str, int]], length: int):
+        self._tokens = tokens
+        self._index = 0
+        self._length = length
+
+    def peek_kind(self) -> str:
+        if self._index >= len(self._tokens):
+            return "eof"
+        return self._tokens[self._index][0]
+
+    def expect(self, kind: str) -> str:
+        if self.peek_kind() != kind:
+            got = self.peek_kind()
+            raise ParseError(f"expected {kind}, got {got}", self.position())
+        __, value, __ = self._tokens[self._index]
+        self._index += 1
+        return value
+
+    def position(self) -> int:
+        if self._index >= len(self._tokens):
+            return self._length
+        return self._tokens[self._index][2]
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+def _parse_term(stream: _TokenStream) -> Term:
+    kind = stream.peek_kind()
+    if kind == "name":
+        return Variable(stream.expect("name"))
+    if kind == "number":
+        raw = stream.expect("number")
+        value = float(raw) if "." in raw else int(raw)
+        return Constant(value)
+    if kind == "string":
+        raw = stream.expect("string")
+        return Constant(raw[1:-1])
+    raise ParseError("expected a term (variable, number, or 'string')", stream.position())
+
+
+def _parse_termlist(stream: _TokenStream) -> List[Term]:
+    stream.expect("lparen")
+    terms: List[Term] = []
+    if stream.peek_kind() != "rparen":
+        terms.append(_parse_term(stream))
+        while stream.peek_kind() == "comma":
+            stream.expect("comma")
+            terms.append(_parse_term(stream))
+    stream.expect("rparen")
+    return terms
+
+
+def _parse_atom(stream: _TokenStream) -> Atom:
+    relation = stream.expect("name")
+    return Atom(relation, _parse_termlist(stream))
+
+
+def _parse_cq(stream: _TokenStream) -> ConjunctiveQuery:
+    name = stream.expect("name")
+    head_terms = _parse_termlist(stream)
+    head: List[Variable] = []
+    for term in head_terms:
+        if not isinstance(term, Variable):
+            raise ParseError("head terms must be variables", stream.position())
+        head.append(term)
+    stream.expect("entails")
+    body = [_parse_atom(stream)]
+    while stream.peek_kind() == "comma":
+        stream.expect("comma")
+        body.append(_parse_atom(stream))
+    return ConjunctiveQuery(head, body, name=name)
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``R(x, 'abc', 3)``."""
+    stream = _TokenStream(_tokenize(text), len(text))
+    atom = _parse_atom(stream)
+    if not stream.at_end():
+        raise ParseError("trailing input after atom", stream.position())
+    return atom
+
+
+def parse_cq(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query written as a datalog rule."""
+    stream = _TokenStream(_tokenize(text), len(text))
+    query = _parse_cq(stream)
+    if not stream.at_end():
+        raise ParseError("trailing input after query", stream.position())
+    return query
+
+
+def parse_ucq(text: str) -> UnionOfConjunctiveQueries:
+    """Parse a union of CQs, written as rules separated by ``;``."""
+    stream = _TokenStream(_tokenize(text), len(text))
+    queries = [_parse_cq(stream)]
+    while stream.peek_kind() == "semicolon":
+        stream.expect("semicolon")
+        queries.append(_parse_cq(stream))
+    if not stream.at_end():
+        raise ParseError("trailing input after union", stream.position())
+    return UnionOfConjunctiveQueries(queries)

@@ -1,0 +1,82 @@
+"""Plain-text rendering of queries and join trees.
+
+Used by the CLI's ``classify`` command and handy in notebooks: shows a
+CQ's structural analysis the way the paper's figures draw join trees.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.query.acyclicity import JoinTree, JoinTreeNode
+from repro.query.cq import ConjunctiveQuery
+from repro.query.free_connex import free_connex_report
+
+
+def render_join_tree(tree: JoinTree, query: ConjunctiveQuery = None) -> str:
+    """An ASCII drawing of a join forest.
+
+    Nodes show the atom (when a query is supplied) or the variable set;
+    the head edge of an extended hypergraph (index = number of body atoms)
+    is labelled ``⟨head⟩``.
+    """
+    lines: List[str] = []
+    for position, root in enumerate(tree.roots):
+        if position:
+            lines.append("")
+        _render_node(root, "", True, query, lines, is_root=True)
+    return "\n".join(lines)
+
+
+def _label(node: JoinTreeNode, query) -> str:
+    if query is not None:
+        if node.index < len(query.body):
+            return str(query.body[node.index])
+        return "⟨head⟩(" + ", ".join(v.name for v in query.head) + ")"
+    names = ", ".join(sorted(v.name for v in node.variables))
+    return "{" + names + "}"
+
+
+def _render_node(node, prefix, is_last, query, lines, is_root=False):
+    if is_root:
+        lines.append(_label(node, query))
+        child_prefix = ""
+    else:
+        connector = "└── " if is_last else "├── "
+        lines.append(prefix + connector + _label(node, query))
+        child_prefix = prefix + ("    " if is_last else "│   ")
+    for position, child in enumerate(node.children):
+        _render_node(child, child_prefix, position == len(node.children) - 1,
+                     query, lines)
+
+
+def describe_query(query: ConjunctiveQuery) -> str:
+    """A structural report: classification, self-joins, and the join tree."""
+    report = free_connex_report(query)
+    lines = [
+        str(query),
+        f"classification : {report.classification()}",
+        f"self-join free : {report.self_join_free}",
+        f"full join      : {query.is_full()}",
+    ]
+    if report.tractable:
+        lines.append(
+            "tractable      : RAccess⟨lin, log⟩, REnum⟨lin, log⟩, "
+            "Enum⟨lin, log⟩ (Theorem 4.3)"
+        )
+    elif report.self_join_free:
+        lines.append(
+            "intractable    : no polylog random access / random permutation / "
+            "enumeration after linear preprocessing, assuming sparse-BMM, "
+            "Triangle, Hyperclique (Corollary 4.5)"
+        )
+    else:
+        lines.append(
+            "unclassified   : the dichotomy of Corollary 4.5 covers "
+            "self-join-free CQs only"
+        )
+    if report.join_tree is not None:
+        lines.append("")
+        lines.append("join tree of the body:")
+        lines.append(render_join_tree(report.join_tree, query))
+    return "\n".join(lines)

@@ -1,0 +1,305 @@
+"""A SQL front end: SELECT–FROM–WHERE conjunctive queries → CQ objects.
+
+The paper states its benchmark queries in SQL (Appendix B.1). This module
+parses that dialect — ``SELECT DISTINCT`` over a comma-separated FROM list
+(with optional aliases such as ``nation n1``) and a WHERE conjunction of
+equalities — and compiles it into a :class:`~repro.query.cq.ConjunctiveQuery`
+over the table schema.
+
+Supported grammar::
+
+    query   ::= SELECT [DISTINCT] cols FROM tables [WHERE conds]
+    cols    ::= colref ("," colref)*
+    tables  ::= table [alias] ("," table [alias])*
+    conds   ::= cond (AND cond)*
+    cond    ::= colref "=" colref | colref "=" literal
+    colref  ::= [alias "."] column
+    literal ::= number | 'string'
+
+Compilation: every (table-occurrence, column) position starts as its own
+variable; equality conditions merge variables via union–find; constant
+comparisons place the constant directly in the atom. The SELECT list
+becomes the head. Unqualified column references are resolved against the
+table-occurrence schemas and must be unambiguous.
+
+Out of scope (by design): non-equality predicates (e.g. the paper's
+``mod 2`` selections), which are not expressible in a CQ — apply them as
+derived relations (:meth:`repro.database.database.Database.derive`) and
+reference the derived table, exactly as the paper's own experiments do.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.query.atoms import Atom, Constant, Term, Variable
+from repro.query.cq import ConjunctiveQuery
+
+
+class SQLParseError(ValueError):
+    """Raised on SQL text outside the supported conjunctive fragment."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'[^']*')
+  | (?P<number>-?\d+(\.\d+)?)
+  | (?P<op>=|,|\.)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "distinct", "from", "where", "and", "as"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SQLParseError(f"unexpected character {text[position]!r} at {position}")
+        kind = match.lastgroup
+        value = match.group()
+        if kind != "ws":
+            if kind == "word" and value.lower() in _KEYWORDS:
+                tokens.append(("keyword", value.lower()))
+            else:
+                tokens.append((kind, value))
+        position = match.end()
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> Tuple[str, str]:
+        if self.position >= len(self.tokens):
+            return ("eof", "")
+        return self.tokens[self.position]
+
+    def take(self) -> Tuple[str, str]:
+        token = self.peek()
+        self.position += 1
+        return token
+
+    def expect_keyword(self, word: str) -> None:
+        kind, value = self.take()
+        if kind != "keyword" or value != word:
+            raise SQLParseError(f"expected {word.upper()}, got {value!r}")
+
+    def at_keyword(self, word: str) -> bool:
+        kind, value = self.peek()
+        return kind == "keyword" and value == word
+
+
+ColumnRef = Tuple[Optional[str], str]  # (alias or None, column)
+
+
+def _parse_column_ref(cursor: _Cursor) -> ColumnRef:
+    kind, first = cursor.take()
+    if kind != "word":
+        raise SQLParseError(f"expected a column reference, got {first!r}")
+    if cursor.peek() == ("op", "."):
+        cursor.take()
+        kind, column = cursor.take()
+        if kind != "word":
+            raise SQLParseError(f"expected a column after '.', got {column!r}")
+        return (first, column)
+    return (None, first)
+
+
+def _parse_literal(cursor: _Cursor):
+    kind, value = cursor.take()
+    if kind == "number":
+        return float(value) if "." in value else int(value)
+    if kind == "string":
+        return value[1:-1]
+    raise SQLParseError(f"expected a literal, got {value!r}")
+
+
+class _ParsedSQL:
+    def __init__(self):
+        self.select: List[ColumnRef] = []
+        self.tables: List[Tuple[str, str]] = []  # (table, alias)
+        self.equalities: List[Tuple[ColumnRef, ColumnRef]] = []
+        self.constants: List[Tuple[ColumnRef, object]] = []
+
+
+def _parse_sql(text: str) -> _ParsedSQL:
+    cursor = _Cursor(_tokenize(text.rstrip(" ;")))
+    parsed = _ParsedSQL()
+
+    cursor.expect_keyword("select")
+    if cursor.at_keyword("distinct"):
+        cursor.take()
+    parsed.select.append(_parse_column_ref(cursor))
+    while cursor.peek() == ("op", ","):
+        cursor.take()
+        parsed.select.append(_parse_column_ref(cursor))
+
+    cursor.expect_keyword("from")
+    while True:
+        kind, table = cursor.take()
+        if kind != "word":
+            raise SQLParseError(f"expected a table name, got {table!r}")
+        alias = table
+        if cursor.at_keyword("as"):
+            cursor.take()
+        if cursor.peek()[0] == "word":
+            alias = cursor.take()[1]
+        parsed.tables.append((table, alias))
+        if cursor.peek() == ("op", ","):
+            cursor.take()
+            continue
+        break
+
+    if cursor.at_keyword("where"):
+        cursor.take()
+        while True:
+            left = _parse_column_ref(cursor)
+            kind, op = cursor.take()
+            if (kind, op) != ("op", "="):
+                raise SQLParseError(f"only equality conditions are supported, got {op!r}")
+            if cursor.peek()[0] in ("number", "string"):
+                parsed.constants.append((left, _parse_literal(cursor)))
+            else:
+                parsed.equalities.append((left, _parse_column_ref(cursor)))
+            if cursor.at_keyword("and"):
+                cursor.take()
+                continue
+            break
+
+    kind, value = cursor.peek()
+    if kind != "eof":
+        raise SQLParseError(f"trailing input at {value!r}")
+    return parsed
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: Dict[object, object] = {}
+
+    def find(self, item):
+        self.parent.setdefault(item, item)
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:  # path compression
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a, b):
+        self.parent[self.find(a)] = self.find(b)
+
+
+def parse_sql_cq(
+    text: str,
+    schema: Mapping[str, Sequence[str]],
+    name: str = "Q",
+) -> ConjunctiveQuery:
+    """Compile a SELECT–FROM–WHERE query into a conjunctive query.
+
+    Parameters
+    ----------
+    text:
+        The SQL text (the supported fragment is documented in the module
+        docstring).
+    schema:
+        Table name → column tuple, e.g. ``repro.tpch.TPCH_TABLES`` or
+        ``{r.name: r.columns for r in database}``.
+    name:
+        The name of the produced CQ.
+
+    Raises
+    ------
+    SQLParseError
+        On syntax errors, unknown tables/columns, or ambiguous unqualified
+        column references.
+    """
+    parsed = _parse_sql(text)
+
+    # Each table occurrence gets an alias → column list; unqualified column
+    # names resolve to the unique occurrence carrying them.
+    alias_columns: Dict[str, Sequence[str]] = {}
+    alias_table: Dict[str, str] = {}
+    for table, alias in parsed.tables:
+        if table not in schema:
+            raise SQLParseError(f"unknown table {table!r}")
+        if alias in alias_columns:
+            raise SQLParseError(f"duplicate alias {alias!r}")
+        alias_columns[alias] = tuple(schema[table])
+        alias_table[alias] = table
+
+    def resolve(ref: ColumnRef) -> Tuple[str, str]:
+        alias, column = ref
+        if alias is not None:
+            if alias not in alias_columns:
+                raise SQLParseError(f"unknown alias {alias!r}")
+            if column not in alias_columns[alias]:
+                raise SQLParseError(f"table {alias_table[alias]!r} has no column {column!r}")
+            return alias, column
+        owners = [a for a, cols in alias_columns.items() if column in cols]
+        if not owners:
+            raise SQLParseError(f"unknown column {column!r}")
+        if len(owners) > 1:
+            raise SQLParseError(
+                f"ambiguous column {column!r} (in {', '.join(sorted(owners))}); qualify it"
+            )
+        return owners[0], column
+
+    # Union–find over (alias, column) positions; constants attach to roots.
+    groups = _UnionFind()
+    for left, right in parsed.equalities:
+        groups.union(resolve(left), resolve(right))
+    constant_of: Dict[object, object] = {}
+    for ref, value in parsed.constants:
+        root = groups.find(resolve(ref))
+        if root in constant_of and constant_of[root] != value:
+            raise SQLParseError(f"contradictory constants for {ref[1]!r}")
+        constant_of[root] = value
+    # Re-key constants by final roots (unions may have moved them).
+    constant_of = {groups.find(k): v for k, v in constant_of.items()}
+
+    variable_of: Dict[object, Variable] = {}
+
+    def term_for(alias: str, column: str) -> Term:
+        root = groups.find((alias, column))
+        if root in constant_of:
+            return Constant(constant_of[root])
+        variable = variable_of.get(root)
+        if variable is None:
+            root_alias, root_column = root
+            base = root_column if root == (alias, column) else f"{root_column}_{root_alias}"
+            variable = Variable(base)
+            # Guard against collisions between distinct groups with equal
+            # derived names (e.g. two self-join columns).
+            taken = {v.name for v in variable_of.values()}
+            suffix = 1
+            while variable.name in taken:
+                variable = Variable(f"{base}_{suffix}")
+                suffix += 1
+            variable_of[root] = variable
+        return variable
+
+    body = [
+        Atom(table, [term_for(alias, column) for column in alias_columns[alias]])
+        for table, alias in parsed.tables
+    ]
+
+    head: List[Variable] = []
+    for ref in parsed.select:
+        alias, column = resolve(ref)
+        term = term_for(alias, column)
+        if isinstance(term, Constant):
+            raise SQLParseError(
+                f"selected column {column!r} is fixed to a constant; drop it from SELECT"
+            )
+        if term not in head:
+            head.append(term)
+    return ConjunctiveQuery(head, body, name=name)

@@ -1,0 +1,116 @@
+"""Unions of conjunctive queries (UCQs).
+
+A UCQ ``Q1(x̄) ∪ … ∪ Qm(x̄)`` is a disjunction of CQs over the same head.
+Its answer set is the union of the members' answer sets. Section 5 of the
+paper studies when UCQs support random-order enumeration (always, when every
+member is free-connex — Theorem 5.4) and random access (for the
+mutually-compatible subclass — Theorem 5.5).
+
+This module also builds *intersection CQs*: for ``I ⊆ [1,m]`` the query
+``Q_I := ⋂_{i∈I} Q_i`` whose answers are the tuples answering every member.
+Intersection CQs drive both the mc-UCQ definition (each ``Q_I`` must be
+free-connex with compatible orders) and union cardinality computations by
+inclusion–exclusion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.query.cq import ConjunctiveQuery, QueryConstructionError, conjoin
+from repro.query.free_connex import is_free_connex
+
+
+def intersection_cq(queries: Sequence[ConjunctiveQuery], name: str = None) -> ConjunctiveQuery:
+    """The CQ whose answers are ``⋂_i Qi(D)``.
+
+    Constructed by conjoining the bodies (existential variables renamed
+    apart): a homomorphism of the conjoined body is exactly a simultaneous
+    homomorphism of every member consistent on the shared head.
+    """
+    if name is None:
+        name = "_and_".join(q.name for q in queries)
+    return conjoin(queries, name=name)
+
+
+class UnionOfConjunctiveQueries:
+    """An immutable UCQ over a common head.
+
+    Parameters
+    ----------
+    queries:
+        The member CQs, all with the same head-variable tuple.
+    name:
+        Optional report name; defaults to joining member names with ``_or_``.
+    """
+
+    def __init__(self, queries: Sequence[ConjunctiveQuery], name: str = None):
+        if not queries:
+            raise QueryConstructionError("a UCQ must have at least one member CQ")
+        head = queries[0].head
+        for q in queries[1:]:
+            if q.head != head:
+                raise QueryConstructionError(
+                    f"UCQ members must share the same head: {head} vs {q.head}"
+                )
+        self.queries: Tuple[ConjunctiveQuery, ...] = tuple(queries)
+        self.head = head
+        self.name = name or "_or_".join(q.name for q in queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> ConjunctiveQuery:
+        return self.queries[index]
+
+    def is_union_of_free_connex(self) -> bool:
+        """Whether every member CQ is free-connex.
+
+        This is the hypothesis of Theorem 5.4: such unions admit random-order
+        enumeration with expected logarithmic delay (though possibly no
+        efficient random access — Example 5.1).
+        """
+        return all(is_free_connex(q) for q in self.queries)
+
+    def intersection(self, indices: Iterable[int]) -> ConjunctiveQuery:
+        """The intersection CQ ``Q_I`` for a set of member indices (0-based)."""
+        idx = sorted(set(indices))
+        if not idx:
+            raise QueryConstructionError("intersection requires at least one member index")
+        members = [self.queries[i] for i in idx]
+        label = "_and_".join(self.queries[i].name for i in idx)
+        return intersection_cq(members, name=label)
+
+    def all_intersections(self) -> Dict[FrozenSet[int], ConjunctiveQuery]:
+        """Every nonempty ``Q_I`` for ``I ⊆ [0, m)``, keyed by the index set.
+
+        The number of entries is ``2^m − 1``; the mc-UCQ machinery requires
+        all of them to be free-connex, which is why its access time carries a
+        ``2^m`` factor (Lemma A.2).
+        """
+        out: Dict[FrozenSet[int], ConjunctiveQuery] = {}
+        m = len(self.queries)
+        for mask in range(1, 1 << m):
+            indices = frozenset(i for i in range(m) if mask & (1 << i))
+            out[indices] = self.intersection(indices)
+        return out
+
+    def is_mutually_compatible_candidate(self) -> bool:
+        """A necessary condition for mc-UCQ: every ``Q_I`` is free-connex.
+
+        The full mc-UCQ definition additionally demands *compatible* orders
+        across the intersection indexes; this library realizes compatibility
+        by construction for structurally aligned unions (see
+        ``repro.core.union_access``), so this predicate is the structural
+        part of the check.
+        """
+        return all(is_free_connex(q) for q in self.all_intersections().values())
+
+    def __repr__(self) -> str:
+        return f"UnionOfConjunctiveQueries({list(self.queries)!r})"
+
+    def __str__(self) -> str:
+        return " UNION ".join(str(q) for q in self.queries)

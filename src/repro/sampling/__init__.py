@@ -1,0 +1,40 @@
+"""Join sampling baselines — a reimplementation of Zhao et al. (SIGMOD'18).
+
+The paper's experiments compare REnum(CQ) against "Random Sampling over
+Joins Revisited" (Zhao, Christensen, Li, Hu, Yi), which produces uniform
+samples of a join result *with replacement*; a without-replacement stream
+is obtained by rejecting previously seen answers. Four initialization
+strategies are evaluated in the paper's appendix:
+
+* **EW (exact weight)** — dynamic-programming weights over the join tree;
+  every sample is accepted. The strongest baseline (used in Figure 1).
+* **EO (extended Olken)** — uniform tuple choices with rejection against
+  per-bucket maximum-degree bounds at every step (Figure 6).
+* **OE (Olken-then-exact)** — Olken rejection at the root, exact weights
+  below (Figure 8; implemented for Q3 in the original repository).
+* **RS (rejection sampling)** — independent uniform tuples from every
+  relation, accepted only if they join (Appendix B.2.3: fails to produce
+  even 1% of Q3's answers in reasonable time).
+
+All samplers share linear-time preprocessing over the same join-forest
+decomposition as the paper's index (weights for EW/OE, bucket maxima for
+EO/OE) and are provably uniform over the answer set of a *full* acyclic
+join, which is what all six TPC-H benchmark queries are.
+"""
+
+from repro.sampling.base import JoinSampler, SamplerStatistics
+from repro.sampling.exact_weight import ExactWeightSampler
+from repro.sampling.olken import OlkenSampler, OlkenThenExactSampler
+from repro.sampling.naive import NaiveRejectionSampler
+from repro.sampling.without_replacement import WithoutReplacementSampler, sample_distinct
+
+__all__ = [
+    "JoinSampler",
+    "SamplerStatistics",
+    "ExactWeightSampler",
+    "OlkenSampler",
+    "OlkenThenExactSampler",
+    "NaiveRejectionSampler",
+    "WithoutReplacementSampler",
+    "sample_distinct",
+]

@@ -1,0 +1,102 @@
+"""Common machinery of the join samplers.
+
+Every sampler draws uniform samples (with replacement) from ``Q(D)`` for a
+free-connex CQ, after building the same reduced join forest the paper's
+index uses (Proposition 4.2). Samplers differ in how much preprocessing
+they invest versus how often they reject:
+
+* exact weights  → zero rejections, heavier preprocessing;
+* degree bounds  → cheap preprocessing, rejection rate governed by how far
+  actual degrees fall below the per-bucket maxima.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.database.database import Database
+from repro.query.cq import ConjunctiveQuery
+
+from repro.core.index import JoinForestIndex
+from repro.core.reduction import ReducedJoin, reduce_to_full_acyclic
+
+
+@dataclass
+class SamplerStatistics:
+    """Rejection accounting for a sampler's lifetime."""
+
+    attempts: int = 0
+    rejections: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        if self.attempts == 0:
+            return 1.0
+        return (self.attempts - self.rejections) / self.attempts
+
+
+class JoinSampler:
+    """Base class: uniform with-replacement sampling over ``Q(D)``.
+
+    Subclasses implement :meth:`_try_sample`, returning an assignment or
+    ``None`` (a rejection). :meth:`sample` retries until acceptance.
+
+    Parameters
+    ----------
+    query, database:
+        A free-connex CQ and its database.
+    rng:
+        Randomness source.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        rng: Optional[random.Random] = None,
+    ):
+        self.query = query
+        self.head_variables: Tuple[str, ...] = tuple(v.name for v in query.head)
+        self.rng = rng if rng is not None else random.Random()
+        self.statistics = SamplerStatistics()
+        self.reduced: ReducedJoin = reduce_to_full_acyclic(query, database)
+        self._prepare()
+
+    def _prepare(self) -> None:
+        """Subclass hook: build sampler-specific structures."""
+
+    def _try_sample(self) -> Optional[Dict[str, object]]:
+        raise NotImplementedError
+
+    def is_empty(self) -> bool:
+        """Whether the query has no answers (samplers would loop forever)."""
+        raise NotImplementedError
+
+    def sample_attempt(self) -> Optional[tuple]:
+        """One sampling attempt: an answer, or ``None`` on rejection.
+
+        Exposed so callers enforcing attempt budgets (the Figure 6 / B.2.3
+        timeout discipline) are not trapped inside a rejection loop.
+        """
+        self.statistics.attempts += 1
+        assignment = self._try_sample()
+        if assignment is None:
+            self.statistics.rejections += 1
+            return None
+        return tuple(assignment[name] for name in self.head_variables)
+
+    def sample(self) -> tuple:
+        """One uniform sample of ``Q(D)`` (with replacement)."""
+        if self.is_empty():
+            raise LookupError(f"query {self.query.name} has no answers to sample")
+        while True:
+            answer = self.sample_attempt()
+            if answer is not None:
+                return answer
+
+    def samples(self) -> Iterator[tuple]:
+        """An endless stream of independent uniform samples."""
+        while True:
+            yield self.sample()

@@ -1,0 +1,66 @@
+"""TPC-H workload substrate.
+
+The paper's experiments run over a TPC-H scale-factor-5 database generated
+with the official ``dbgen``. We have no dbgen (and Python enumeration is
+orders of magnitude slower per tuple than the paper's compiled C++), so
+this package provides a faithful *synthetic* substitute:
+
+* :mod:`repro.tpch.schema` — the eight TPC-H tables, restricted to the
+  columns the benchmark queries touch, with the official 25-nation /
+  5-region lists (nationkey 24 = UNITED STATES, 23 = UNITED KINGDOM — the
+  constants in queries QA and QE).
+* :mod:`repro.tpch.dbgen` — a numpy-backed generator reproducing dbgen's
+  cardinality ratios and join fan-outs (4 suppliers per part, 1–7 lineitems
+  per order, lineitem supplier drawn from the part's partsupp suppliers,
+  orders placed by 2/3 of customers).
+* :mod:`repro.tpch.queries` — the paper's six CQs (Q0, Q2, Q3, Q7, Q9,
+  Q10) and three UCQs (QA ∪ QE, QS7 ∪ QC7, QN2 ∪ QP2 ∪ QS2) as query
+  objects, plus the derived-relation selections they rely on.
+
+The experiments depend on join *topology* and *relative* result sizes, not
+on absolute cardinalities, so the substitution preserves the paper's
+qualitative shapes while letting the scale factor shrink to laptop-Python
+sizes (default 0.01).
+"""
+
+from repro.tpch.schema import NATIONS, REGIONS, TPCH_TABLES, table_columns
+from repro.tpch.dbgen import TPCHConfig, generate
+from repro.tpch.queries import (
+    CQ_QUERIES,
+    UCQ_QUERIES,
+    attach_derived_relations,
+    make_q0,
+    make_q2,
+    make_q3,
+    make_q7,
+    make_q9,
+    make_q10,
+    make_qa_qe,
+    make_qn2_qp2_qs2,
+    make_qs7_qc7,
+    tpch_cq,
+    tpch_ucq,
+)
+
+__all__ = [
+    "NATIONS",
+    "REGIONS",
+    "TPCH_TABLES",
+    "table_columns",
+    "TPCHConfig",
+    "generate",
+    "CQ_QUERIES",
+    "UCQ_QUERIES",
+    "attach_derived_relations",
+    "make_q0",
+    "make_q2",
+    "make_q3",
+    "make_q7",
+    "make_q9",
+    "make_q10",
+    "make_qa_qe",
+    "make_qn2_qp2_qs2",
+    "make_qs7_qc7",
+    "tpch_cq",
+    "tpch_ucq",
+]

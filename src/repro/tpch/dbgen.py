@@ -1,0 +1,164 @@
+"""A synthetic TPC-H data generator (the ``dbgen`` substitute).
+
+Reproduces the distributional features the benchmark joins depend on:
+
+* cardinality ratios per scale factor ``sf`` — 10,000·sf suppliers,
+  200,000·sf parts, 4 partsupp rows per part, 150,000·sf customers,
+  1,500,000·sf orders (placed by a 2/3 subset of customers, as dbgen
+  sparsifies custkeys), and 1–7 lineitems per order (≈4.3M·sf… rows);
+* referential integrity — every foreign key hits an existing key, and each
+  lineitem's supplier is one of the *part's* four partsupp suppliers, so
+  the Q9 join ``lineitem ⋈ partsupp`` on (partkey, suppkey) behaves like
+  the real benchmark;
+* the partsupp supplier pattern ``(partkey + i·⌈S/4⌉) mod S`` of dbgen,
+  which spreads each part's suppliers across the supplier table;
+* uniform nation assignments for suppliers and customers (25 nations).
+
+Values are plain Python ints/strings packed into the engine's
+:class:`~repro.database.relation.Relation`; numpy drives the random draws
+so generation stays fast at benchmark scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.database.database import Database
+from repro.database.relation import Relation
+
+from repro.tpch.schema import NATIONS, REGIONS
+
+
+@dataclass(frozen=True)
+class TPCHConfig:
+    """Generator parameters.
+
+    ``scale_factor`` scales all table cardinalities linearly, exactly like
+    dbgen's ``-s``; 1.0 would be the official SF1 sizes (far beyond what
+    pure-Python enumeration benchmarks need — the experiments default to
+    0.002–0.02).
+    """
+
+    scale_factor: float = 0.01
+    seed: int = 20200614  # PODS 2020 opened June 14, 2020
+    lineitems_per_order_max: int = 7
+    suppliers_per_part: int = 4
+    customer_order_fraction: float = 2.0 / 3.0
+
+    @property
+    def suppliers(self) -> int:
+        return max(self.suppliers_per_part, int(10_000 * self.scale_factor))
+
+    @property
+    def parts(self) -> int:
+        return max(1, int(200_000 * self.scale_factor))
+
+    @property
+    def customers(self) -> int:
+        return max(2, int(150_000 * self.scale_factor))
+
+    @property
+    def orders(self) -> int:
+        return max(1, int(1_500_000 * self.scale_factor))
+
+
+def generate(config: TPCHConfig = None) -> Database:
+    """Generate a TPC-H database for the given configuration."""
+    config = config or TPCHConfig()
+    rng = np.random.default_rng(config.seed)
+    database = Database()
+
+    database.add(
+        Relation("region", ("r_regionkey", "r_name"), list(enumerate(REGIONS)))
+    )
+    database.add(
+        Relation(
+            "nation",
+            ("n_nationkey", "n_name", "n_regionkey"),
+            [(key, name, region) for key, (name, region) in enumerate(NATIONS)],
+        )
+    )
+
+    s_count = config.suppliers
+    supplier_nations = rng.integers(0, len(NATIONS), size=s_count)
+    database.add(
+        Relation(
+            "supplier",
+            ("s_suppkey", "s_nationkey"),
+            [(k + 1, int(n)) for k, n in enumerate(supplier_nations)],
+        )
+    )
+
+    p_count = config.parts
+    part_sizes = rng.integers(1, 51, size=p_count)
+    database.add(
+        Relation(
+            "part",
+            ("p_partkey", "p_size"),
+            [(k + 1, int(size)) for k, size in enumerate(part_sizes)],
+        )
+    )
+
+    # partsupp: dbgen's supplier spreading — suppliers of part p are
+    # (p + i·step) mod S + 1 for i in 0..3, with step ≈ S/4.
+    step = max(1, s_count // config.suppliers_per_part)
+    part_suppliers = {}
+    partsupp_rows = []
+    for p in range(1, p_count + 1):
+        suppliers = []
+        for i in range(config.suppliers_per_part):
+            s = (p - 1 + i * step) % s_count + 1
+            if s not in suppliers:
+                suppliers.append(s)
+        part_suppliers[p] = suppliers
+        partsupp_rows.extend((p, s) for s in suppliers)
+    database.add(Relation("partsupp", ("ps_partkey", "ps_suppkey"), partsupp_rows))
+
+    c_count = config.customers
+    customer_nations = rng.integers(0, len(NATIONS), size=c_count)
+    database.add(
+        Relation(
+            "customer",
+            ("c_custkey", "c_nationkey"),
+            [(k + 1, int(n)) for k, n in enumerate(customer_nations)],
+        )
+    )
+
+    # Orders are placed only by the first ⌈2/3⌉ of customers (dbgen leaves
+    # 1/3 of custkeys without orders).
+    o_count = config.orders
+    ordering_customers = max(1, int(c_count * config.customer_order_fraction))
+    order_customers = rng.integers(1, ordering_customers + 1, size=o_count)
+    database.add(
+        Relation(
+            "orders",
+            ("o_orderkey", "o_custkey"),
+            [(k + 1, int(c)) for k, c in enumerate(order_customers)],
+        )
+    )
+
+    # lineitem: 1–7 lines per order, each referencing a random part and one
+    # of that part's partsupp suppliers.
+    lines_per_order = rng.integers(1, config.lineitems_per_order_max + 1, size=o_count)
+    total_lines = int(lines_per_order.sum())
+    line_parts = rng.integers(1, p_count + 1, size=total_lines)
+    supplier_picks = rng.integers(0, 1 << 30, size=total_lines)
+    lineitem_rows = []
+    cursor = 0
+    for order_key in range(1, o_count + 1):
+        for line_number in range(1, int(lines_per_order[order_key - 1]) + 1):
+            part = int(line_parts[cursor])
+            suppliers = part_suppliers[part]
+            supplier = suppliers[int(supplier_picks[cursor]) % len(suppliers)]
+            lineitem_rows.append((order_key, line_number, part, supplier))
+            cursor += 1
+    database.add(
+        Relation(
+            "lineitem",
+            ("l_orderkey", "l_linenumber", "l_partkey", "l_suppkey"),
+            lineitem_rows,
+        )
+    )
+    return database

@@ -1,0 +1,182 @@
+"""The paper's benchmark queries over the TPC-H schema.
+
+Six free-connex CQs (Appendix B.1) compare REnum(CQ) against Sample(EW):
+Q0, Q2, Q3, Q7, Q9, Q10 — full-join (projection-free on the joined keys)
+queries; Q3/Q7/Q9/Q10 include lineitem attributes in the head so that set
+and bag semantics coincide, exactly as the paper arranges.
+
+Three UCQs drive the Section 6.3.3 experiments, each member formed by a
+selection over the same base relations (the paper: "different relations
+(formed by different selections applied on the same initial relations)"):
+
+* ``QA ∪ QE`` — American vs. British suppliers (nationkeys 24 / 23): a
+  *disjoint* binary union;
+* ``QS7 ∪ QC7`` — Q7 with an American supplier vs. an American customer: an
+  *overlapping* binary union (both conditions can hold at once);
+* ``QN2 ∪ QP2 ∪ QS2`` — Q2 restricted by nationkey = 0 / even part / even
+  supplier: a 3-way union with large pairwise intersections.
+
+Selections are registered as derived relations by
+:func:`attach_derived_relations`; call it on a generated database before
+building indexes for the UCQs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.database.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_cq
+from repro.query.ucq import UnionOfConjunctiveQueries
+
+
+# --------------------------------------------------------------------- #
+# Derived relations (the UCQ selections)                                 #
+# --------------------------------------------------------------------- #
+
+#: nationkey of UNITED STATES / UNITED KINGDOM in the official nation list.
+NATIONKEY_UNITED_STATES = 24
+NATIONKEY_UNITED_KINGDOM = 23
+
+
+def attach_derived_relations(database: Database) -> Database:
+    """Register every selection the UCQ queries reference (idempotent)."""
+    database.derive("nation", "nation_us", lambda r: r[1] == "UNITED STATES")
+    database.derive("nation", "nation_uk", lambda r: r[1] == "UNITED KINGDOM")
+    database.derive("nation", "nation_key0", lambda r: r[0] == 0)
+    database.derive("part", "part_even", lambda r: r[0] % 2 == 0)
+    database.derive("supplier", "supplier_even", lambda r: r[0] % 2 == 0)
+    return database
+
+
+# --------------------------------------------------------------------- #
+# The six CQs of Figure 1                                                #
+# --------------------------------------------------------------------- #
+
+
+def make_q0() -> ConjunctiveQuery:
+    """Q0: the region–nation–supplier–partsupp chain."""
+    return parse_cq(
+        "Q0(r, n, s, p) :- region(r, rname), nation(n, nname, r), "
+        "supplier(s, n), partsupp(p, s)"
+    )
+
+
+def make_q2() -> ConjunctiveQuery:
+    """Q2: Q0 extended with the part table (ps_partkey = p_partkey)."""
+    return parse_cq(
+        "Q2(r, n, s, p) :- region(r, rname), nation(n, nname, r), "
+        "supplier(s, n), partsupp(p, s), part(p, psize)"
+    )
+
+
+def make_q3() -> ConjunctiveQuery:
+    """Q3: customer ⋈ orders ⋈ lineitem, lineitem keys in the head."""
+    return parse_cq(
+        "Q3(o, c, lp, ls, ln) :- customer(c, cn), orders(o, c), "
+        "lineitem(o, ln, lp, ls)"
+    )
+
+
+def make_q7() -> ConjunctiveQuery:
+    """Q7: Q3 plus supplier and both nation lookups (a self-join)."""
+    return parse_cq(
+        "Q7(o, c, n1, s, lp, ln, n2) :- supplier(s, n1), "
+        "lineitem(o, ln, lp, s), orders(o, c), customer(c, n2), "
+        "nation(n1, m1, r1), nation(n2, m2, r2)"
+    )
+
+
+def make_q9() -> ConjunctiveQuery:
+    """Q9: the six-table join including partsupp on (partkey, suppkey)."""
+    return parse_cq(
+        "Q9(n, s, o, ln, p) :- nation(n, nname, nregion), supplier(s, n), "
+        "lineitem(o, ln, p, s), partsupp(p, s), orders(o, c), part(p, psize)"
+    )
+
+
+def make_q10() -> ConjunctiveQuery:
+    """Q10: Q3 plus the customer's nation."""
+    return parse_cq(
+        "Q10(o, c, lp, ls, ln, n) :- lineitem(o, ln, lp, ls), orders(o, c), "
+        "customer(c, n), nation(n, nname, nregion)"
+    )
+
+
+# --------------------------------------------------------------------- #
+# The UCQs of Section 6.3.3                                              #
+# --------------------------------------------------------------------- #
+
+
+def make_qs7_qc7() -> UnionOfConjunctiveQueries:
+    """QS7 ∪ QC7: Q7 with the supplier (resp. customer) being American."""
+    qs7 = parse_cq(
+        "QS7(o, c, n1, s, lp, ln, n2) :- supplier(s, n1), "
+        "lineitem(o, ln, lp, s), orders(o, c), customer(c, n2), "
+        "nation_us(n1, m1, r1), nation(n2, m2, r2)"
+    )
+    qc7 = parse_cq(
+        "QC7(o, c, n1, s, lp, ln, n2) :- supplier(s, n1), "
+        "lineitem(o, ln, lp, s), orders(o, c), customer(c, n2), "
+        "nation(n1, m1, r1), nation_us(n2, m2, r2)"
+    )
+    return UnionOfConjunctiveQueries([qs7, qc7], name="QS7_or_QC7")
+
+
+def make_qn2_qp2_qs2() -> UnionOfConjunctiveQueries:
+    """QN2 ∪ QP2 ∪ QS2: Q2 under three overlapping selections."""
+    qn2 = parse_cq(
+        "QN2(r, n, s, p) :- region(r, rname), nation_key0(n, nname, r), "
+        "supplier(s, n), partsupp(p, s), part(p, psize)"
+    )
+    qp2 = parse_cq(
+        "QP2(r, n, s, p) :- region(r, rname), nation(n, nname, r), "
+        "supplier(s, n), partsupp(p, s), part_even(p, psize)"
+    )
+    qs2 = parse_cq(
+        "QS2(r, n, s, p) :- region(r, rname), nation(n, nname, r), "
+        "supplier_even(s, n), partsupp(p, s), part(p, psize)"
+    )
+    return UnionOfConjunctiveQueries([qn2, qp2, qs2], name="QN2_or_QP2_or_QS2")
+
+
+def make_qa_qe() -> UnionOfConjunctiveQueries:
+    """QA ∪ QE: orders shipped by American vs. British suppliers (disjoint)."""
+    qa = parse_cq(
+        "QA(o, s, n, r, rname) :- orders(o, c), lineitem(o, ln, lp, s), "
+        "supplier(s, n), nation_us(n, nname, r), region(r, rname)"
+    )
+    qe = parse_cq(
+        "QE(o, s, n, r, rname) :- orders(o, c), lineitem(o, ln, lp, s), "
+        "supplier(s, n), nation_uk(n, nname, r), region(r, rname)"
+    )
+    return UnionOfConjunctiveQueries([qa, qe], name="QA_or_QE")
+
+
+#: name → builder for the six CQ benchmarks.
+CQ_QUERIES: Dict[str, Callable[[], ConjunctiveQuery]] = {
+    "Q0": make_q0,
+    "Q2": make_q2,
+    "Q3": make_q3,
+    "Q7": make_q7,
+    "Q9": make_q9,
+    "Q10": make_q10,
+}
+
+#: name → builder for the three UCQ benchmarks.
+UCQ_QUERIES: Dict[str, Callable[[], UnionOfConjunctiveQueries]] = {
+    "QA_or_QE": make_qa_qe,
+    "QS7_or_QC7": make_qs7_qc7,
+    "QN2_or_QP2_or_QS2": make_qn2_qp2_qs2,
+}
+
+
+def tpch_cq(name: str) -> ConjunctiveQuery:
+    """Look up one of the six benchmark CQs by name."""
+    return CQ_QUERIES[name]()
+
+
+def tpch_ucq(name: str) -> UnionOfConjunctiveQueries:
+    """Look up one of the three benchmark UCQs by name."""
+    return UCQ_QUERIES[name]()

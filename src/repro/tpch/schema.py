@@ -1,0 +1,60 @@
+"""The TPC-H schema slice used by the paper's benchmark queries.
+
+Only the columns the queries join or select on are materialized (plus the
+name columns the UCQ selections filter by). The nation and region lists are
+the official TPC-H ones — in particular nationkey 24 is UNITED STATES and
+23 is UNITED KINGDOM, the constants queries QA and QE hard-code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: region name per regionkey (official TPC-H order).
+REGIONS: Tuple[str, ...] = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+#: (nation name, regionkey) per nationkey 0–24 (official TPC-H list).
+NATIONS: Tuple[Tuple[str, int], ...] = (
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+)
+
+#: table → column tuple; the generator and the queries agree on these.
+TPCH_TABLES: Dict[str, Tuple[str, ...]] = {
+    "region": ("r_regionkey", "r_name"),
+    "nation": ("n_nationkey", "n_name", "n_regionkey"),
+    "supplier": ("s_suppkey", "s_nationkey"),
+    "part": ("p_partkey", "p_size"),
+    "partsupp": ("ps_partkey", "ps_suppkey"),
+    "customer": ("c_custkey", "c_nationkey"),
+    "orders": ("o_orderkey", "o_custkey"),
+    "lineitem": ("l_orderkey", "l_linenumber", "l_partkey", "l_suppkey"),
+}
+
+
+def table_columns(table: str) -> Tuple[str, ...]:
+    """The column tuple of a TPC-H table (KeyError on unknown names)."""
+    return TPCH_TABLES[table]

@@ -1,0 +1,32 @@
+"""Synthetic workload generators beyond TPC-H.
+
+Random structured inputs for stress tests, property tests, and
+microbenchmarks:
+
+* :func:`chain_query` / :func:`star_query` — parametric free-connex query
+  families with controllable arity and projection;
+* :func:`random_acyclic_query` — random join trees turned into acyclic CQs
+  (optionally free-connex by construction);
+* :func:`random_database` — matching data with controllable domain sizes
+  and per-bucket degree skew (the knob behind the Olken-sampler ablation);
+* :func:`graph_database` — the R/S/T triangle encoding of Example 5.1 for
+  arbitrary graphs, plus random-graph helpers.
+"""
+
+from repro.workloads.generators import (
+    chain_query,
+    graph_database,
+    random_acyclic_query,
+    random_database,
+    random_graph_edges,
+    star_query,
+)
+
+__all__ = [
+    "chain_query",
+    "graph_database",
+    "random_acyclic_query",
+    "random_database",
+    "random_graph_edges",
+    "star_query",
+]

@@ -1,0 +1,163 @@
+"""Random query and database generators.
+
+These generators produce *structurally controlled* inputs: the query
+shapes are acyclic by construction (built from explicit join trees), and
+the data generators expose the two knobs the paper's performance story
+turns on — join fan-out (result size relative to input size) and degree
+skew (what rejection samplers pay for).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.database.database import Database
+from repro.database.relation import Relation
+from repro.query.atoms import Atom, Variable
+from repro.query.cq import ConjunctiveQuery
+
+
+def chain_query(length: int, free_prefix: Optional[int] = None, name: str = "Chain") -> ConjunctiveQuery:
+    """The chain ``Q :- R1(x0,x1), R2(x1,x2), …`` of the given length.
+
+    ``free_prefix`` keeps only the first k+1 variables in the head (the
+    full chain when ``None``). Prefix projections of a chain are always
+    free-connex; projecting out a middle variable generally is not —
+    callers wanting hard instances can build those heads directly.
+    """
+    if length < 1:
+        raise ValueError("chain length must be at least 1")
+    variables = [Variable(f"x{i}") for i in range(length + 1)]
+    body = [
+        Atom(f"R{i + 1}", [variables[i], variables[i + 1]]) for i in range(length)
+    ]
+    if free_prefix is None:
+        head = variables
+    else:
+        head = variables[: free_prefix + 1]
+    return ConjunctiveQuery(head, body, name=name)
+
+
+def star_query(arms: int, name: str = "Star") -> ConjunctiveQuery:
+    """The star ``Q :- R1(h, x1), …, Rk(h, xk)`` — full, hence free-connex."""
+    if arms < 1:
+        raise ValueError("a star needs at least one arm")
+    hub = Variable("h")
+    variables = [Variable(f"x{i}") for i in range(1, arms + 1)]
+    body = [Atom(f"R{i + 1}", [hub, v]) for i, v in enumerate(variables)]
+    return ConjunctiveQuery([hub] + variables, body, name=name)
+
+
+def random_acyclic_query(
+    atoms: int,
+    rng: random.Random,
+    max_shared: int = 2,
+    extra_variables: int = 1,
+    full: bool = True,
+    name: str = "Rand",
+) -> ConjunctiveQuery:
+    """A random acyclic CQ built from a random join tree.
+
+    Each atom after the first attaches to a random earlier atom, sharing
+    1…``max_shared`` of its variables and adding ``extra_variables`` fresh
+    ones — the running-intersection property holds by construction, so the
+    query is acyclic; with ``full=True`` it is also free-connex.
+    """
+    if atoms < 1:
+        raise ValueError("need at least one atom")
+    counter = 0
+
+    def fresh() -> Variable:
+        nonlocal counter
+        counter += 1
+        return Variable(f"v{counter}")
+
+    atom_variables: List[List[Variable]] = []
+    first = [fresh() for __ in range(1 + extra_variables)]
+    atom_variables.append(first)
+    for __ in range(atoms - 1):
+        parent = atom_variables[rng.randrange(len(atom_variables))]
+        shared_count = rng.randint(1, min(max_shared, len(parent)))
+        shared = rng.sample(parent, shared_count)
+        atom_variables.append(shared + [fresh() for __ in range(extra_variables)])
+
+    body = [
+        Atom(f"R{i + 1}", variables) for i, variables in enumerate(atom_variables)
+    ]
+    if full:
+        seen: Set[Variable] = set()
+        head: List[Variable] = []
+        for variables in atom_variables:
+            for v in variables:
+                if v not in seen:
+                    seen.add(v)
+                    head.append(v)
+    else:
+        # Project onto the first atom's variables: its vertex set is a
+        # hyperedge, so the extended hypergraph stays acyclic (free-connex).
+        head = list(atom_variables[0])
+    return ConjunctiveQuery(head, body, name=name)
+
+
+def random_database(
+    query: ConjunctiveQuery,
+    rng: random.Random,
+    rows_per_relation: int = 30,
+    domain: int = 8,
+    skew: float = 1.0,
+) -> Database:
+    """Random data matching a query's schema.
+
+    ``skew`` > 1 makes join degrees uneven: under set semantics, frequency
+    skew would be erased by deduplication, so the skew is *structural* —
+    the number of distinct partners of key ``k`` decays geometrically with
+    ``k`` (``size_k ∝ skew^{−k}``), while ``skew = 1`` gives every key the
+    same partner count. All values stay within small integer ranges so
+    relations remain join-compatible.
+    """
+    database = Database()
+    for atom in query.body:
+        if atom.relation in database:
+            continue
+        arity = atom.arity
+        if arity == 1:
+            rows = sorted({(rng.randrange(domain),) for __ in range(rows_per_relation)})
+        else:
+            # Partner counts per key, normalized to ≈ rows_per_relation total.
+            raw = [skew ** (-k) if skew > 1.0 else 1.0 for k in range(domain)]
+            scale = rows_per_relation / sum(raw)
+            sizes = [max(1, int(round(weight * scale))) for weight in raw]
+            row_set = set()
+            for key, size in enumerate(sizes):
+                for partner in range(size):
+                    middle = tuple(rng.randrange(domain) for __ in range(arity - 2))
+                    row_set.add((key,) + middle + (partner,))
+            rows = sorted(row_set)
+        database.add(
+            Relation(atom.relation, tuple(f"c{i}" for i in range(arity)), rows)
+        )
+    return database
+
+
+def random_graph_edges(
+    vertices: int, edge_probability: float, rng: random.Random
+) -> List[Tuple[int, int]]:
+    """An Erdős–Rényi G(n, p) edge list (undirected, no self-loops)."""
+    edges = []
+    for u in range(vertices):
+        for v in range(u + 1, vertices):
+            if rng.random() < edge_probability:
+                edges.append((u, v))
+    return edges
+
+
+def graph_database(edges: Sequence[Tuple[int, int]]) -> Database:
+    """The Example 5.1 encoding: R, S, T all hold the symmetric closure,
+    so ``Q∩(x,y,z) :- R(x,y), S(y,z), T(x,z)`` finds the triangles."""
+    directed = sorted({(u, v) for u, v in edges} | {(v, u) for u, v in edges})
+    return Database([
+        Relation("R", ("x", "y"), directed),
+        Relation("S", ("y", "z"), directed),
+        Relation("T", ("x", "z"), directed),
+    ])

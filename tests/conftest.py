@@ -1,0 +1,43 @@
+"""Shared fixtures: small databases reused across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Relation
+from repro.tpch import TPCHConfig, attach_derived_relations, generate
+
+
+@pytest.fixture()
+def chain_db() -> Database:
+    """A tiny chain-join database with dangling tuples on both sides."""
+    return Database([
+        Relation("R", ("a", "b"), [(1, 10), (2, 20), (3, 30), (4, 99)]),
+        Relation("S", ("b", "c"), [(10, "x"), (10, "y"), (20, "z"), (77, "w")]),
+    ])
+
+
+@pytest.fixture()
+def example44_db() -> Database:
+    """The database of the paper's Example 4.4."""
+    return Database([
+        Relation(
+            "R1",
+            ("v", "w", "x"),
+            [("a1", "b1", "c1"), ("a1", "b1", "c2"), ("a2", "b2", "c1"), ("a2", "b2", "c2")],
+        ),
+        Relation("R2", ("w", "y"), [("b1", "d1"), ("b1", "d2"), ("b2", "d2"), ("b2", "d3")]),
+        Relation("R3", ("x", "z"), [("c1", "e1"), ("c1", "e2"), ("c1", "e3"), ("c2", "e4")]),
+    ])
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch() -> Database:
+    """A very small TPC-H instance shared by the slower integration tests.
+
+    Scale 0.002 with seed 9 gives 20 suppliers including both an American
+    and a British one, so the UCQ benchmarks (QA ∪ QE, QS7 ∪ QC7) have
+    nonempty members.
+    """
+    db = generate(TPCHConfig(scale_factor=0.002, seed=9))
+    return attach_derived_relations(db)

@@ -1,0 +1,89 @@
+"""End-to-end integration: every algorithm against naive ground truth on
+the full TPC-H workload, at a small scale."""
+
+import random
+
+import pytest
+
+from repro import (
+    CQIndex,
+    MCUCQIndex,
+    UnionRandomEnumerator,
+    evaluate_cq,
+    evaluate_ucq,
+)
+from repro.sampling import ExactWeightSampler, sample_distinct
+from repro.tpch.queries import CQ_QUERIES, UCQ_QUERIES
+
+
+@pytest.mark.parametrize("name", sorted(CQ_QUERIES))
+def test_cq_index_complete_pipeline(name, tiny_tpch):
+    query = CQ_QUERIES[name]()
+    truth = evaluate_cq(query, tiny_tpch)
+    index = CQIndex(query, tiny_tpch)
+
+    # Counting.
+    assert index.count == len(truth)
+
+    # Access enumerates exactly the answer set, each position distinct.
+    answers = [index.access(i) for i in range(index.count)]
+    assert set(answers) == truth
+    assert len(set(answers)) == len(answers)
+
+    # Inverted access is the inverse of access.
+    for position in range(0, index.count, max(1, index.count // 50)):
+        assert index.inverted_access(answers[position]) == position
+
+    # Ordered enumeration agrees with access order.
+    assert list(index) == answers
+
+    # Random-order enumeration is a permutation of the answers.
+    permuted = list(index.random_order(random.Random(13)))
+    assert sorted(permuted) == sorted(answers)
+
+
+@pytest.mark.parametrize("name", sorted(UCQ_QUERIES))
+def test_ucq_algorithms_complete_pipeline(name, tiny_tpch):
+    ucq = UCQ_QUERIES[name]()
+    truth = evaluate_ucq(ucq, tiny_tpch)
+
+    # Theorem 5.4 (Algorithm 5).
+    enumerator = UnionRandomEnumerator.for_indexes(
+        [CQIndex(q, tiny_tpch) for q in ucq.queries], rng=random.Random(7)
+    )
+    random_out = list(enumerator)
+    assert set(random_out) == truth
+    assert len(random_out) == len(truth)
+
+    # Theorem 5.5 (mc-UCQ random access) — all benchmark UCQs are aligned.
+    index = MCUCQIndex(ucq, tiny_tpch)
+    assert index.count == len(truth)
+    accessed = [index.access(i) for i in range(index.count)]
+    assert set(accessed) == truth
+    assert len(set(accessed)) == len(accessed)
+    assert list(index) == accessed
+
+    shuffled = list(index.random_order(random.Random(21)))
+    assert sorted(shuffled) == sorted(accessed)
+
+
+def test_sampling_pipeline_matches_truth(tiny_tpch):
+    query = CQ_QUERIES["Q0"]()
+    truth = evaluate_cq(query, tiny_tpch)
+    sampler = ExactWeightSampler(query, tiny_tpch, rng=random.Random(2))
+    assert sampler.answer_count == len(truth)
+    distinct = sample_distinct(sampler, len(truth))
+    assert set(distinct) == truth
+
+
+def test_member_and_intersection_orders_are_compatible(tiny_tpch):
+    """The mc-UCQ prerequisite, verified directly: each intersection
+    index's order is a subsequence of each member's order."""
+    ucq = UCQ_QUERIES["QS7_or_QC7"]()
+    index = MCUCQIndex(ucq, tiny_tpch)
+    member = index.member_indexes[0]
+    subset = index.intersection_indexes[(0, frozenset({1}))]
+    member_rank = {answer: i for i, answer in enumerate(member)}
+    ranks = [member_rank[answer] for answer in subset]
+    assert all(answer in member_rank for answer in subset)
+    assert ranks == sorted(ranks)

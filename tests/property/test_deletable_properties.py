@@ -1,0 +1,53 @@
+"""Model-based property test for Lemma 5.3's deletable answer set:
+a random sequence of delete/test/sample operations against a plain set."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CQIndex, Database, DeletableAnswerSet, Relation, parse_cq
+
+
+def _make_index(pairs):
+    db = Database([
+        Relation("R", ("a", "b"), [(a, b) for a, b in pairs]),
+        Relation("S", ("b", "c"), [(b, b) for __, b in pairs]),
+    ])
+    return CQIndex(parse_cq("Q(a, b, c) :- R(a, b), S(b, c)"), db)
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 3)), min_size=1, max_size=15
+    ),
+    operations=st.lists(st.integers(0, 2), max_size=40),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=80, deadline=None)
+def test_against_set_model(pairs, operations, seed):
+    index = _make_index(pairs)
+    rng = random.Random(seed)
+    deletable = DeletableAnswerSet(index, rng=rng)
+    model = {index.access(i) for i in range(index.count)}
+    universe = list(model)
+
+    for op in operations:
+        assert deletable.count() == len(model)
+        if not universe:
+            break
+        target = universe[rng.randrange(len(universe))]
+        if op == 0:  # delete
+            assert deletable.delete(target) == (target in model)
+            model.discard(target)
+        elif op == 1:  # test
+            assert deletable.test(target) == (target in model)
+        else:  # sample
+            if model:
+                assert deletable.sample() in model
+            else:
+                try:
+                    deletable.sample()
+                    raise AssertionError("sample from empty set must raise")
+                except LookupError:
+                    pass
+    assert deletable.count() == len(model)

@@ -1,0 +1,46 @@
+"""Property-based testing of the dynamic index: arbitrary update sequences
+must leave it agreeing with naive evaluation of the resulting database."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, DynamicCQIndex, Relation, parse_cq
+from repro.database.joins import evaluate_cq
+
+QUERY = parse_cq("Q(a, b, c) :- R(a, b), S(b, c)")
+
+# An operation: (which relation, insert?, value1, value2)
+operation = st.tuples(
+    st.booleans(), st.booleans(), st.integers(0, 4), st.integers(0, 3)
+)
+
+
+@given(st.lists(operation, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_update_sequences_match_naive_evaluation(operations):
+    db = Database([Relation("R", ("a", "b"), []), Relation("S", ("b", "c"), [])])
+    index = DynamicCQIndex(QUERY, db)
+    live = {"R": set(), "S": set()}
+
+    for use_r, is_insert, v1, v2 in operations:
+        relation = "R" if use_r else "S"
+        row = (v1, v2)
+        if is_insert:
+            if row not in live[relation]:
+                live[relation].add(row)
+                index.insert(relation, row)
+        else:
+            if row in live[relation]:
+                live[relation].remove(row)
+                index.delete(relation, row)
+
+    current = Database([
+        Relation("R", ("a", "b"), sorted(live["R"])),
+        Relation("S", ("b", "c"), sorted(live["S"])),
+    ])
+    truth = evaluate_cq(QUERY, current)
+    assert index.count == len(truth)
+    answers = [index.access(i) for i in range(index.count)]
+    assert set(answers) == truth
+    assert len(set(answers)) == len(answers)
+    for position, answer in enumerate(answers):
+        assert index.inverted_access(answer) == position

@@ -1,0 +1,105 @@
+"""Property-based tests for the random-access index (Algorithms 2–4).
+
+Strategy: random databases over small value domains, joined by a family of
+free-connex query shapes (chains, stars, projections, cartesian products,
+self-joins). Invariants, against the naive evaluator:
+
+* ``count`` equals the true answer count;
+* ``access`` enumerates exactly the answer set, without repetitions;
+* ``inverted_access ∘ access = id`` and non-answers map to ``None``.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CQIndex, Database, Relation, parse_cq
+from repro.database.joins import evaluate_cq
+
+
+def relation_strategy(name, columns, domain=4, max_rows=12):
+    row = st.tuples(*(st.integers(0, domain - 1) for __ in columns))
+    return st.lists(row, max_size=max_rows).map(
+        lambda rows: Relation(name, columns, rows)
+    )
+
+
+QUERY_SHAPES = [
+    # (query text, relation schemas)
+    ("Q(a, b, c) :- R(a, b), S(b, c)", {"R": ("x", "y"), "S": ("x", "y")}),
+    ("Q(a) :- R(a, b), S(b, c)", {"R": ("x", "y"), "S": ("x", "y")}),
+    ("Q(a, b) :- R(a, b), S(b, c), T(b, d)", {"R": ("x", "y"), "S": ("x", "y"), "T": ("x", "y")}),
+    ("Q(a, d) :- R(a, b), S(b, c), T(c, d)", None),  # not free-connex: skipped below
+    ("Q(a, b, c, d) :- R(a, b), S(c, d)", {"R": ("x", "y"), "S": ("x", "y")}),
+    ("Q(a, b, c) :- R(a, b), R(b, c)", {"R": ("x", "y")}),
+    ("Q(a) :- R(a, a)", {"R": ("x", "y")}),
+    ("Q(a, b) :- R(a, b), S(b, 1)", {"R": ("x", "y"), "S": ("x", "y")}),
+]
+FREE_CONNEX_SHAPES = [
+    (text, schemas) for text, schemas in QUERY_SHAPES if schemas is not None
+]
+
+
+@st.composite
+def database_and_query(draw):
+    text, schemas = draw(st.sampled_from(FREE_CONNEX_SHAPES))
+    relations = [draw(relation_strategy(name, cols)) for name, cols in schemas.items()]
+    return parse_cq(text), Database(relations)
+
+
+@given(database_and_query())
+@settings(max_examples=120, deadline=None)
+def test_count_matches_naive_evaluation(case):
+    query, db = case
+    index = CQIndex(query, db)
+    assert index.count == len(evaluate_cq(query, db))
+
+
+@given(database_and_query())
+@settings(max_examples=80, deadline=None)
+def test_access_enumerates_answer_set_without_repetition(case):
+    query, db = case
+    index = CQIndex(query, db)
+    answers = [index.access(i) for i in range(index.count)]
+    assert len(set(answers)) == len(answers)
+    assert set(answers) == evaluate_cq(query, db)
+
+
+@given(database_and_query())
+@settings(max_examples=80, deadline=None)
+def test_inverted_access_inverts_access(case):
+    query, db = case
+    index = CQIndex(query, db)
+    for position in range(index.count):
+        assert index.inverted_access(index.access(position)) == position
+
+
+@given(database_and_query(), st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_non_answers_are_rejected(case, salt):
+    query, db = case
+    index = CQIndex(query, db)
+    truth = evaluate_cq(query, db)
+    rng = random.Random(salt)
+    arity = len(query.head)
+    for __ in range(10):
+        candidate = tuple(rng.randrange(6) for __ in range(arity))
+        expected = candidate in truth
+        assert (index.inverted_access(candidate) is not None) == expected
+
+
+@given(database_and_query())
+@settings(max_examples=50, deadline=None)
+def test_ordered_enumeration_matches_access_order(case):
+    query, db = case
+    index = CQIndex(query, db)
+    assert list(index) == [index.access(i) for i in range(index.count)]
+
+
+@given(database_and_query(), st.integers(0, 2**32 - 1))
+@settings(max_examples=50, deadline=None)
+def test_random_order_is_a_permutation(case, seed):
+    query, db = case
+    index = CQIndex(query, db)
+    out = list(index.random_order(random.Random(seed)))
+    assert sorted(out) == sorted(index)

@@ -1,0 +1,33 @@
+"""Property-based tests (hypothesis) for Algorithm 1."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.shuffle import LazyShuffle
+
+
+@given(n=st.integers(min_value=0, max_value=500), seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=80)
+def test_always_a_permutation(n, seed):
+    out = list(LazyShuffle(n, random.Random(seed)))
+    assert sorted(out) == list(range(n))
+
+
+@given(n=st.integers(min_value=1, max_value=200), seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=50)
+def test_prefix_is_duplicate_free(n, seed):
+    shuffle = LazyShuffle(n, random.Random(seed))
+    prefix = [next(shuffle) for __ in range(n // 2 + 1)]
+    assert len(set(prefix)) == len(prefix)
+    assert all(0 <= v < n for v in prefix)
+
+
+@given(n=st.integers(min_value=0, max_value=300), seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=50)
+def test_memory_bounded_by_emissions(n, seed):
+    shuffle = LazyShuffle(n, random.Random(seed))
+    emitted = 0
+    for __ in shuffle:
+        emitted += 1
+        assert len(shuffle._cells) <= 2 * emitted

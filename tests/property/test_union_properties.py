@@ -1,0 +1,96 @@
+"""Property-based tests for the union machinery (Algorithms 5–8)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CQIndex,
+    Database,
+    MCUCQIndex,
+    Relation,
+    UnionRandomEnumerator,
+    parse_ucq,
+)
+from repro.database.joins import evaluate_ucq
+
+UNION2 = "Q(a, b, c) :- R1(a, b), S(b, c) ; Q(a, b, c) :- R2(a, b), S(b, c)"
+UNION3 = UNION2 + " ; Q(a, b, c) :- R3(a, b), S(b, c)"
+
+
+def _pairs(max_size=14):
+    return st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 2)), max_size=max_size
+    )
+
+
+@st.composite
+def union_case(draw, members=2):
+    names = ["R1", "R2", "R3"][:members]
+    relations = [Relation(n, ("a", "b"), draw(_pairs())) for n in names]
+    relations.append(
+        Relation("S", ("b", "c"), draw(st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 2)), max_size=8
+        )))
+    )
+    text = UNION2 if members == 2 else UNION3
+    return parse_ucq(text), Database(relations)
+
+
+@given(union_case(members=2), st.integers(0, 2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_algorithm5_emits_union_exactly(case, seed):
+    ucq, db = case
+    truth = evaluate_ucq(ucq, db)
+    enum = UnionRandomEnumerator.for_indexes(
+        [CQIndex(q, db) for q in ucq.queries], rng=random.Random(seed)
+    )
+    out = list(enum)
+    assert set(out) == truth
+    assert len(out) == len(truth)
+    # Amortized-constant argument: at most one rejection per answer overall.
+    assert enum.iterations <= 2 * max(1, len(truth))
+
+
+@given(union_case(members=3), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_algorithm5_three_members(case, seed):
+    ucq, db = case
+    truth = evaluate_ucq(ucq, db)
+    enum = UnionRandomEnumerator.for_indexes(
+        [CQIndex(q, db) for q in ucq.queries], rng=random.Random(seed)
+    )
+    out = list(enum)
+    assert set(out) == truth and len(out) == len(truth)
+
+
+@given(union_case(members=2))
+@settings(max_examples=60, deadline=None)
+def test_mcucq_access_bijective_onto_union(case):
+    ucq, db = case
+    truth = evaluate_ucq(ucq, db)
+    index = MCUCQIndex(ucq, db)
+    assert index.count == len(truth)
+    answers = [index.access(i) for i in range(index.count)]
+    assert set(answers) == truth
+    assert len(set(answers)) == len(answers)
+
+
+@given(union_case(members=3))
+@settings(max_examples=30, deadline=None)
+def test_mcucq_matches_durand_strozecki_order(case):
+    ucq, db = case
+    index = MCUCQIndex(ucq, db)
+    assert list(index) == [index.access(i) for i in range(index.count)]
+
+
+@given(union_case(members=2))
+@settings(max_examples=40, deadline=None)
+def test_intersection_order_compatible_with_members(case):
+    ucq, db = case
+    index = MCUCQIndex(ucq, db)
+    member = index.member_indexes[0]
+    subset = index.intersection_indexes[(0, frozenset({1}))]
+    member_rank = {answer: i for i, answer in enumerate(member)}
+    ranks = [member_rank[answer] for answer in subset]
+    assert ranks == sorted(ranks)

@@ -1,0 +1,139 @@
+"""Unit tests for hypergraphs, GYO reduction, and join trees."""
+
+import pytest
+
+from repro.query import Hypergraph, gyo_reduction, is_acyclic, join_tree, parse_cq
+from repro.query.atoms import Variable
+
+
+def _v(*names):
+    return [Variable(n) for n in names]
+
+
+class TestHypergraph:
+    def test_of_query(self):
+        q = parse_cq("Q(x) :- R(x, y), S(y, z)")
+        h = Hypergraph.of_query(q)
+        assert h.edges == [frozenset(_v("x", "y")), frozenset(_v("y", "z"))]
+
+    def test_of_query_with_head_appends_free_edge(self):
+        q = parse_cq("Q(x, z) :- R(x, y), S(y, z)")
+        h = Hypergraph.of_query_with_head(q)
+        assert h.edges[-1] == frozenset(_v("x", "z"))
+
+    def test_restricted_to(self):
+        h = Hypergraph([_v("x", "y"), _v("y", "z")])
+        r = h.restricted_to(_v("x", "z"))
+        assert r.edges == [frozenset(_v("x")), frozenset(_v("z"))]
+
+    def test_vertices(self):
+        h = Hypergraph([_v("x", "y"), _v("y", "z")])
+        assert h.vertices == frozenset(_v("x", "y", "z"))
+
+
+class TestGYO:
+    def test_path_is_acyclic(self):
+        assert is_acyclic(Hypergraph([_v("a", "b"), _v("b", "c"), _v("c", "d")]))
+
+    def test_triangle_is_cyclic(self):
+        assert not is_acyclic(Hypergraph([_v("x", "y"), _v("y", "z"), _v("x", "z")]))
+
+    def test_triangle_with_covering_edge_is_acyclic(self):
+        # Adding the full edge {x,y,z} absorbs the triangle's three edges.
+        assert is_acyclic(
+            Hypergraph([_v("x", "y"), _v("y", "z"), _v("x", "z"), _v("x", "y", "z")])
+        )
+
+    def test_star_is_acyclic(self):
+        assert is_acyclic(Hypergraph([_v("h", "a"), _v("h", "b"), _v("h", "c")]))
+
+    def test_cycle_of_length_four_is_cyclic(self):
+        assert not is_acyclic(
+            Hypergraph([_v("a", "b"), _v("b", "c"), _v("c", "d"), _v("d", "a")])
+        )
+
+    def test_duplicate_edges_are_acyclic(self):
+        ok, tree = gyo_reduction(Hypergraph([_v("x", "y"), _v("x", "y")]))
+        assert ok
+        assert len(tree.all_nodes()) == 2
+
+    def test_empty_hypergraph(self):
+        ok, tree = gyo_reduction(Hypergraph([]))
+        assert ok
+        assert tree.roots == []
+
+    def test_disconnected_components_give_forest(self):
+        ok, tree = gyo_reduction(Hypergraph([_v("a", "b"), _v("c", "d")]))
+        assert ok
+        assert len(tree.roots) == 2
+
+    def test_empty_edge_is_ear(self):
+        ok, tree = gyo_reduction(Hypergraph([[], _v("x", "y")]))
+        assert ok
+
+
+class TestJoinTree:
+    def test_running_intersection_validated(self):
+        q = parse_cq("Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d)")
+        tree = join_tree(q)
+        tree.validate()  # must not raise
+        assert len(tree.all_nodes()) == 3
+
+    def test_cyclic_query_rejected(self):
+        q = parse_cq("Q(x, y, z) :- R(x, y), S(y, z), T(x, z)")
+        with pytest.raises(ValueError):
+            join_tree(q)
+
+    def test_children_sorted_by_index(self):
+        q = parse_cq("Q(h, a, b, c) :- Hub(h, a, b, c), A(a), B(b), C(c)")
+        tree = join_tree(q)
+        for node in tree.all_nodes():
+            indices = [c.index for c in node.children]
+            assert indices == sorted(indices)
+        hub = tree.nodes_by_index[0]
+        assert [c.index for c in hub.children] == [1, 2]  # C became Hub's witness
+
+    def test_deterministic_shape(self):
+        q1 = parse_cq("Q(h, a, b, c) :- Hub(h, a, b, c), A(a), B(b), C(c)")
+        q2 = parse_cq("Q(h, a, b, c) :- Hub2(h, a, b, c), A2(a), B2(b), C2(c)")
+        t1, t2 = join_tree(q1), join_tree(q2)
+
+        def shape(node):
+            return (node.index, sorted(v.name for v in node.variables),
+                    [shape(c) for c in node.children])
+
+        assert [shape(r) for r in t1.roots] == [shape(r) for r in t2.roots]
+
+    def test_reroot_preserves_running_intersection(self):
+        q = parse_cq("Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d)")
+        tree = join_tree(q)
+        for index in range(3):
+            rerooted = tree.rerooted_at(index)
+            rerooted.validate()
+            assert rerooted.roots[0].index == index
+            assert len(rerooted.all_nodes()) == 3
+
+    def test_reroot_keeps_other_components(self):
+        q = parse_cq("Q(a, b, c, d) :- R(a, b), S(c, d)")
+        tree = join_tree(q)
+        rerooted = tree.rerooted_at(1)
+        assert {r.index for r in rerooted.roots} == {0, 1}
+        assert rerooted.roots[0].index == 1  # requested root comes first
+
+    def test_parent_variables(self):
+        q = parse_cq("Q(a, b, c) :- R(a, b), S(b, c)")
+        tree = join_tree(q)
+        root = tree.roots[0]
+        assert root.parent_variables() == frozenset()
+        child = root.children[0]
+        assert child.parent_variables() == frozenset([Variable("b")])
+
+    def test_validate_catches_violations(self):
+        from repro.query.acyclicity import JoinTree, JoinTreeNode
+
+        # Two disconnected nodes sharing a variable: running intersection fails.
+        a = JoinTreeNode(0, frozenset(_v("x", "y")))
+        b = JoinTreeNode(1, frozenset(_v("x", "z")))
+        broken = JoinTree([a, b], {0: a, 1: b})
+        with pytest.raises(ValueError):
+            broken.validate()

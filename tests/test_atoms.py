@@ -1,0 +1,82 @@
+"""Unit tests for terms and atoms."""
+
+import pytest
+
+from repro.query.atoms import Atom, Constant, Variable, variables_of
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_distinct_from_constant_of_same_payload(self):
+        assert Variable("x") != Constant("x")
+        assert hash(Variable("x")) != hash(Constant("x"))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_renamed(self):
+        assert Variable("y").renamed("#1") == Variable("y#1")
+
+    def test_str(self):
+        assert str(Variable("abc")) == "abc"
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(5) == Constant(5)
+        assert Constant(5) != Constant("5")
+
+    def test_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            Constant([1, 2])
+
+
+class TestAtom:
+    def test_arity_and_variables(self):
+        atom = Atom("R", [Variable("x"), Constant(5), Variable("y"), Variable("x")])
+        assert atom.arity == 4
+        assert atom.variables() == (Variable("x"), Variable("y"), Variable("x"))
+        assert atom.variable_set() == frozenset({Variable("x"), Variable("y")})
+        assert atom.constants() == (Constant(5),)
+
+    def test_repeated_variables(self):
+        assert Atom("R", [Variable("x"), Variable("x")]).has_repeated_variables()
+        assert not Atom("R", [Variable("x"), Variable("y")]).has_repeated_variables()
+
+    def test_substitute(self):
+        atom = Atom("R", [Variable("x"), Variable("y")])
+        mapped = atom.substitute({Variable("x"): Variable("z")})
+        assert mapped == Atom("R", [Variable("z"), Variable("y")])
+        # Substitution does not mutate the original.
+        assert atom.terms[0] == Variable("x")
+
+    def test_substitute_to_constant(self):
+        atom = Atom("R", [Variable("x")])
+        assert atom.substitute({Variable("x"): Constant(3)}) == Atom("R", [Constant(3)])
+
+    def test_rejects_bad_terms(self):
+        with pytest.raises(TypeError):
+            Atom("R", ["not-a-term"])
+
+    def test_rejects_empty_relation_name(self):
+        with pytest.raises(ValueError):
+            Atom("", [Variable("x")])
+
+    def test_str(self):
+        atom = Atom("R", [Variable("x"), Constant(1)])
+        assert str(atom) == "R(x, 1)"
+
+
+def test_variables_of_union():
+    atoms = [
+        Atom("R", [Variable("x"), Variable("y")]),
+        Atom("S", [Variable("y"), Constant(0), Variable("z")]),
+    ]
+    assert variables_of(atoms) == frozenset({Variable("x"), Variable("y"), Variable("z")})

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface and the query renderer."""
+
+import pytest
+
+from repro.cli import load_csv_database, main
+from repro.query import parse_cq
+from repro.query.render import describe_query, render_join_tree
+from repro.query.acyclicity import join_tree
+
+
+@pytest.fixture()
+def csv_db(tmp_path):
+    (tmp_path / "R.csv").write_text("a,b\n1,10\n2,20\n")
+    (tmp_path / "S.csv").write_text("b,c\n10,x\n10,y\n20,z\n")
+    return tmp_path
+
+
+class TestCsvLoading:
+    def test_loads_relations(self, csv_db):
+        db = load_csv_database(str(csv_db))
+        assert sorted(db.names()) == ["R", "S"]
+        assert db.relation("R").rows == [(1, 10), (2, 20)]
+        assert db.relation("S").rows[0] == (10, "x")
+
+    def test_value_parsing(self, tmp_path):
+        (tmp_path / "T.csv").write_text("a,b,c\n1,2.5,hello\n")
+        db = load_csv_database(str(tmp_path))
+        assert db.relation("T").rows == [(1, 2.5, "hello")]
+
+    def test_missing_directory(self):
+        with pytest.raises(SystemExit):
+            load_csv_database("/no/such/dir")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(SystemExit):
+            load_csv_database(str(tmp_path))
+
+
+class TestCommands:
+    def test_classify_free_connex(self, capsys):
+        assert main(["classify", "Q(x, y) :- R(x, y), S(y, z)"]) == 0
+        out = capsys.readouterr().out
+        assert "free-connex acyclic" in out
+        assert "join tree" in out
+
+    def test_classify_hard_query(self, capsys):
+        main(["classify", "Q(x, z) :- R(x, y), S(y, z)"])
+        out = capsys.readouterr().out
+        assert "acyclic but not free-connex" in out
+        assert "intractable" in out
+
+    def test_count(self, csv_db, capsys):
+        code = main(["count", "Q(a, b, c) :- R(a, b), S(b, c)", str(csv_db)])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_access(self, csv_db, capsys):
+        main(["access", "Q(a, b, c) :- R(a, b), S(b, c)", str(csv_db), "0", "99"])
+        out = capsys.readouterr().out
+        assert "1, 10, x" in out
+        assert "out-of-bound" in out
+
+    def test_shuffle_with_seed(self, csv_db, capsys):
+        main(["shuffle", "Q(a, b, c) :- R(a, b), S(b, c)", str(csv_db),
+              "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["shuffle", "Q(a, b, c) :- R(a, b), S(b, c)", str(csv_db),
+              "--seed", "3"])
+        second = capsys.readouterr().out
+        assert first == second
+        assert len(first.strip().splitlines()) == 3
+
+    def test_shuffle_limit(self, csv_db, capsys):
+        main(["shuffle", "Q(a, b, c) :- R(a, b), S(b, c)", str(csv_db),
+              "--seed", "1", "--limit", "2"])
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    def test_tpch_sizes(self, capsys):
+        main(["tpch", "--scale-factor", "0.001", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert "lineitem" in out and "region\t5" in out
+
+
+class TestRenderer:
+    def test_join_tree_drawing(self):
+        q = parse_cq("Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d)")
+        text = render_join_tree(join_tree(q), q)
+        assert "R(a, b)" in text and "└──" in text
+
+    def test_forest_drawing(self):
+        q = parse_cq("Q(a, b) :- R(a), S(b)")
+        text = render_join_tree(join_tree(q), q)
+        assert "R(a)" in text and "S(b)" in text
+
+    def test_describe_self_join(self):
+        text = describe_query(parse_cq("Q(x, y, z) :- R(x, y), R(y, z)"))
+        assert "self-join free : False" in text
+
+    def test_describe_cyclic(self):
+        text = describe_query(parse_cq("Q(x, y, z) :- R(x, y), S(y, z), T(x, z)"))
+        assert "cyclic" in text

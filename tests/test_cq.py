@@ -1,0 +1,88 @@
+"""Unit tests for ConjunctiveQuery and conjunction."""
+
+import pytest
+
+from repro.query import ConjunctiveQuery, QueryConstructionError, parse_cq
+from repro.query.atoms import Atom, Variable
+from repro.query.cq import conjoin
+
+
+def test_variable_classification():
+    q = parse_cq("Q(x) :- R(x, y), S(y, z)")
+    assert q.free_variables == frozenset({Variable("x")})
+    assert q.existential_variables == frozenset({Variable("y"), Variable("z")})
+    assert q.all_variables == frozenset({Variable("x"), Variable("y"), Variable("z")})
+
+
+def test_is_full():
+    assert parse_cq("Q(x, y) :- R(x, y)").is_full()
+    assert not parse_cq("Q(x) :- R(x, y)").is_full()
+
+
+def test_self_joins():
+    q = parse_cq("Q(x, y, z) :- R(x, y), R(y, z), S(z, x)")
+    assert not q.is_self_join_free()
+    assert q.self_joins() == [(0, 1)]
+    assert parse_cq("Q(x, y) :- R(x, y), S(y, x)").is_self_join_free()
+
+
+def test_relation_symbols_in_order():
+    q = parse_cq("Q(x, y, z) :- S(x, y), R(y, z), S(z, x)")
+    assert q.relation_symbols() == ("S", "R")
+
+
+def test_safety_enforced():
+    with pytest.raises(QueryConstructionError):
+        ConjunctiveQuery([Variable("w")], [Atom("R", [Variable("x")])])
+
+
+def test_duplicate_head_rejected():
+    with pytest.raises(QueryConstructionError):
+        ConjunctiveQuery(
+            [Variable("x"), Variable("x")], [Atom("R", [Variable("x")])]
+        )
+
+
+def test_empty_body_rejected():
+    with pytest.raises(QueryConstructionError):
+        ConjunctiveQuery([Variable("x")], [])
+
+
+def test_rename_existentials():
+    q = parse_cq("Q(x) :- R(x, y), S(y, z)")
+    renamed = q.rename_existentials("#0")
+    assert renamed.head == q.head
+    assert renamed.existential_variables == frozenset({Variable("y#0"), Variable("z#0")})
+
+
+def test_project():
+    q = parse_cq("Q(x, y) :- R(x, y)")
+    p = q.project([Variable("x")])
+    assert p.head == (Variable("x"),)
+    assert p.body == q.body
+
+
+class TestConjoin:
+    def test_intersection_body(self):
+        q1 = parse_cq("Q(x) :- R(x, y)")
+        q2 = parse_cq("Q(x) :- S(x, y)")
+        joint = conjoin([q1, q2])
+        assert joint.head == q1.head
+        assert len(joint.body) == 2
+        # Existentials renamed apart: the two y's must differ.
+        ys = {t for atom in joint.body for t in atom.variable_set()} - set(joint.head)
+        assert len(ys) == 2
+
+    def test_dedupes_identical_atoms(self):
+        q1 = parse_cq("Q(x, y) :- R(x, y), T(x, y)")
+        q2 = parse_cq("Q(x, y) :- R(x, y), U(x, y)")
+        joint = conjoin([q1, q2])
+        assert [a.relation for a in joint.body] == ["R", "T", "U"]
+
+    def test_head_mismatch_rejected(self):
+        with pytest.raises(QueryConstructionError):
+            conjoin([parse_cq("Q(x) :- R(x)"), parse_cq("Q(y) :- R(y)")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryConstructionError):
+            conjoin([])

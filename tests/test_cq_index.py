@@ -1,0 +1,155 @@
+"""Unit tests for CQIndex — Theorem 4.3's counting / access / inverted
+access contract, including the paper's Example 4.4 numbers."""
+
+import random
+
+import pytest
+
+from repro import CQIndex, Database, NotFreeConnexError, OutOfBoundError, Relation, parse_cq
+from repro.database.joins import evaluate_cq
+
+
+@pytest.fixture()
+def example44_index(example44_db):
+    # The paper's Example 4.4 join tree: R1 as root, children R2 and R3.
+    # (The printed query in the paper reads R2(v,y), R3(w,z), but its data
+    # tables and weights join R2 on w and R3 on x; we encode the latter.)
+    q = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)")
+    return CQIndex(q, example44_db, root_atom=0)
+
+
+class TestExample44:
+    def test_count_is_16(self, example44_index):
+        assert example44_index.count == 16
+
+    def test_access_13(self, example44_index):
+        assert example44_index.access(13) == ("a2", "b2", "c1", "d3", "e3")
+
+    def test_inverted_access_13(self, example44_index):
+        assert example44_index.inverted_access(("a2", "b2", "c1", "d3", "e3")) == 13
+
+    def test_weights_and_start_indexes_match_the_paper(self, example44_db):
+        q = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)")
+        index = CQIndex(q, example44_db, root_atom=0)
+        root = index._forest.roots[0]
+        bucket = root.buckets[()]
+        assert bucket.weights == [6, 2, 6, 2]
+        assert bucket.start == [0, 6, 8, 14]
+
+    def test_full_bijection(self, example44_index):
+        for position in range(16):
+            answer = example44_index.access(position)
+            assert example44_index.inverted_access(answer) == position
+
+    def test_non_answers_report_not_a_member(self, example44_index):
+        assert example44_index.inverted_access(("a1", "b1", "c1", "d3", "e1")) is None
+        assert example44_index.inverted_access(("zz", "b1", "c1", "d1", "e1")) is None
+        assert example44_index.inverted_access(("a1",)) is None
+
+
+class TestContract:
+    def test_out_of_bounds(self, chain_db):
+        index = CQIndex(parse_cq("Q(a, b, c) :- R(a, b), S(b, c)"), chain_db)
+        with pytest.raises(OutOfBoundError):
+            index.access(index.count)
+        with pytest.raises(OutOfBoundError):
+            index.access(-1)
+
+    def test_matches_ground_truth(self, chain_db):
+        q = parse_cq("Q(a, b, c) :- R(a, b), S(b, c)")
+        index = CQIndex(q, chain_db)
+        truth = evaluate_cq(q, chain_db)
+        assert index.count == len(truth)
+        assert {index.access(i) for i in range(index.count)} == truth
+
+    def test_enumeration_matches_access_order(self, chain_db):
+        q = parse_cq("Q(a, b, c) :- R(a, b), S(b, c)")
+        index = CQIndex(q, chain_db)
+        assert list(index) == [index.access(i) for i in range(index.count)]
+
+    def test_unreduced_index_equivalent_for_full_query(self, chain_db):
+        q = parse_cq("Q(a, b, c) :- R(a, b), S(b, c)")
+        reduced = CQIndex(q, chain_db, reduce=True)
+        unreduced = CQIndex(q, chain_db, reduce=False)
+        assert reduced.count == unreduced.count
+        assert list(reduced) == list(unreduced)
+        # Dangling tuples in the unreduced index are not members.
+        assert unreduced.inverted_access((4, 99, "w")) is None
+
+    def test_rejects_non_free_connex(self, chain_db):
+        with pytest.raises(NotFreeConnexError):
+            CQIndex(parse_cq("Q(a, c) :- R(a, b), S(b, c)"), chain_db)
+
+    def test_contains(self, chain_db):
+        index = CQIndex(parse_cq("Q(a, b, c) :- R(a, b), S(b, c)"), chain_db)
+        assert (1, 10, "x") in index
+        assert (4, 99, "w") not in index
+
+    def test_empty_answer_set(self):
+        db = Database([
+            Relation("R", ("a", "b"), [(1, 5)]),
+            Relation("S", ("b", "c"), [(9, 9)]),
+        ])
+        index = CQIndex(parse_cq("Q(a, b, c) :- R(a, b), S(b, c)"), db)
+        assert index.count == 0
+        assert list(index) == []
+        with pytest.raises(OutOfBoundError):
+            index.access(0)
+
+    def test_boolean_query_true_and_false(self):
+        db = Database([Relation("R", ("a",), [(1,)]), Relation("S", ("a",), [(1,)])])
+        true_index = CQIndex(parse_cq("Q() :- R(x), S(x)"), db)
+        assert true_index.count == 1
+        assert true_index.access(0) == ()
+        assert true_index.inverted_access(()) == 0
+
+        db_false = Database([Relation("R", ("a",), [(1,)]), Relation("S", ("a",), [(2,)])])
+        false_index = CQIndex(parse_cq("Q() :- R(x), S(x)"), db_false)
+        assert false_index.count == 0
+
+    def test_cartesian_product_forest(self):
+        db = Database([
+            Relation("R", ("a",), [(1,), (2,), (3,)]),
+            Relation("S", ("b",), [(7,), (8,)]),
+        ])
+        q = parse_cq("Q(a, b) :- R(a), S(b)")
+        index = CQIndex(q, db)
+        assert index.count == 6
+        answers = {index.access(i) for i in range(6)}
+        assert answers == evaluate_cq(q, db)
+        for i in range(6):
+            assert index.inverted_access(index.access(i)) == i
+
+    def test_projection_with_existentials(self, chain_db):
+        q = parse_cq("Q(a) :- R(a, b), S(b, c)")
+        index = CQIndex(q, chain_db)
+        assert {index.access(i) for i in range(index.count)} == evaluate_cq(q, chain_db)
+
+    def test_constants_in_atoms(self, chain_db):
+        q = parse_cq("Q(a) :- R(a, 10)")
+        index = CQIndex(q, chain_db)
+        assert {index.access(i) for i in range(index.count)} == {(1,)}
+
+    def test_self_join_supported(self):
+        db = Database([Relation("E", ("u", "v"), [(1, 2), (2, 3), (3, 4)])])
+        q = parse_cq("Q(a, b, c) :- E(a, b), E(b, c)")
+        index = CQIndex(q, db)
+        assert {index.access(i) for i in range(index.count)} == {(1, 2, 3), (2, 3, 4)}
+
+    def test_random_order_is_complete(self, chain_db):
+        q = parse_cq("Q(a, b, c) :- R(a, b), S(b, c)")
+        index = CQIndex(q, chain_db)
+        out = list(index.random_order(random.Random(5)))
+        assert sorted(out) == sorted(index)
+
+    def test_single_atom_query(self):
+        db = Database([Relation("R", ("a", "b"), [(2, 1), (1, 2)])])
+        index = CQIndex(parse_cq("Q(a, b) :- R(a, b)"), db)
+        assert index.count == 2
+        # Canonical bucket sorting puts (1,2) first regardless of load order.
+        assert index.access(0) == (1, 2)
+
+    def test_head_order_respected(self):
+        db = Database([Relation("R", ("a", "b"), [(1, 2)])])
+        index = CQIndex(parse_cq("Q(b, a) :- R(a, b)"), db)
+        assert index.access(0) == (2, 1)

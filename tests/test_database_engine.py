@@ -1,0 +1,162 @@
+"""Unit tests for Database, HashIndex, naive evaluation, and the
+Yannakakis full reducer."""
+
+import pytest
+
+from repro.database import Database, HashIndex, Relation, RelationError
+from repro.database.joins import evaluate_cq, evaluate_ucq, join_rows
+from repro.database.yannakakis import full_reduction, semijoin
+from repro.query import join_tree, parse_cq, parse_ucq
+
+
+class TestDatabase:
+    def test_add_and_lookup(self):
+        db = Database([Relation("R", ("a",), [(1,)])])
+        assert "R" in db
+        assert len(db.relation("R")) == 1
+        with pytest.raises(RelationError):
+            db.relation("missing")
+
+    def test_no_silent_overwrite(self):
+        db = Database([Relation("R", ("a",), [])])
+        with pytest.raises(RelationError):
+            db.add(Relation("R", ("a",), []))
+        db.replace(Relation("R", ("a",), [(9,)]))
+        assert len(db.relation("R")) == 1
+
+    def test_size_counts_facts(self):
+        db = Database([
+            Relation("R", ("a",), [(1,), (2,)]),
+            Relation("S", ("a",), [(3,)]),
+        ])
+        assert db.size() == 3
+
+    def test_derive_idempotent(self):
+        db = Database([Relation("R", ("a",), [(1,), (2,)])])
+        first = db.derive("R", "R_even", lambda t: t[0] % 2 == 0)
+        second = db.derive("R", "R_even", lambda t: True)  # ignored: cached
+        assert first is second
+        assert first.rows == [(2,)]
+
+    def test_copy_isolates_derivations(self):
+        db = Database([Relation("R", ("a",), [(1,)])])
+        clone = db.copy()
+        clone.derive("R", "D", lambda t: True)
+        assert "D" in clone and "D" not in db
+
+
+class TestHashIndex:
+    def test_groups(self):
+        r = Relation("R", ("a", "b"), [(1, "x"), (1, "y"), (2, "z")])
+        ix = HashIndex(r, ("a",))
+        assert ix.lookup((1,)) == [(1, "x"), (1, "y")]
+        assert ix.lookup((9,)) == []
+        assert ix.group_count() == 2
+        assert ix.max_group_size() == 2
+
+    def test_empty_key_single_group(self):
+        r = Relation("R", ("a",), [(1,), (2,)])
+        ix = HashIndex(r, ())
+        assert ix.lookup(()) == [(1,), (2,)]
+
+
+class TestNaiveEvaluation:
+    def test_chain(self):
+        db = Database([
+            Relation("R", ("a", "b"), [(1, 2), (3, 4)]),
+            Relation("S", ("b", "c"), [(2, 5), (2, 6)]),
+        ])
+        q = parse_cq("Q(a, c) :- R(a, b), S(b, c)")
+        assert evaluate_cq(q, db) == {(1, 5), (1, 6)}
+
+    def test_constants_and_repeats(self):
+        db = Database([Relation("R", ("a", "b", "c"), [(1, 1, 9), (1, 2, 9), (2, 2, 7)])])
+        q = parse_cq("Q(x) :- R(x, x, 9)")
+        assert evaluate_cq(q, db) == {(1,)}
+
+    def test_self_join(self):
+        db = Database([Relation("E", ("u", "v"), [(1, 2), (2, 3)])])
+        q = parse_cq("Q(a, c) :- E(a, b), E(b, c)")
+        assert evaluate_cq(q, db) == {(1, 3)}
+
+    def test_cyclic_query_supported(self):
+        db = Database([Relation("E", ("u", "v"), [(1, 2), (2, 3), (1, 3), (3, 1)])])
+        q = parse_cq("Q(x, y, z) :- E(x, y), E(y, z), E(x, z)")
+        assert (1, 2, 3) in evaluate_cq(q, db)
+
+    def test_ucq_union(self):
+        db = Database([
+            Relation("R", ("a",), [(1,)]),
+            Relation("S", ("a",), [(1,), (2,)]),
+        ])
+        u = parse_ucq("Q(a) :- R(a) ; Q(a) :- S(a)")
+        assert evaluate_ucq(u, db) == {(1,), (2,)}
+
+    def test_cartesian_product(self):
+        db = Database([
+            Relation("R", ("a",), [(1,), (2,)]),
+            Relation("S", ("b",), [(8,), (9,)]),
+        ])
+        q = parse_cq("Q(a, b) :- R(a), S(b)")
+        assert len(evaluate_cq(q, db)) == 4
+
+
+class TestJoinRows:
+    def test_natural_join(self):
+        left = Relation("L", ("a", "b"), [(1, 2), (3, 4)])
+        right = Relation("R", ("b", "c"), [(2, "x"), (2, "y")])
+        joined = join_rows(left, right)
+        assert joined.columns == ("a", "b", "c")
+        assert set(joined.rows) == {(1, 2, "x"), (1, 2, "y")}
+
+
+class TestSemijoinAndReducer:
+    def test_semijoin_filters(self):
+        left = Relation("L", ("a", "b"), [(1, 2), (3, 4)])
+        right = Relation("R", ("b",), [(2,)])
+        assert semijoin(left, right).rows == [(1, 2)]
+
+    def test_semijoin_disjoint_columns(self):
+        left = Relation("L", ("a",), [(1,)])
+        assert semijoin(left, Relation("R", ("z",), [(5,)])).rows == [(1,)]
+        assert semijoin(left, Relation("R", ("z",), [])).rows == []
+
+    def test_full_reduction_removes_dangling(self):
+        q = parse_cq("Q(a, b, c) :- R(a, b), S(b, c)")
+        tree = join_tree(q)
+        relations = {
+            0: Relation("R", ("a", "b"), [(1, 10), (2, 20), (3, 99)]),
+            1: Relation("S", ("b", "c"), [(10, 5), (20, 6), (77, 7)]),
+        }
+        reduced = full_reduction(relations, tree)
+        assert set(reduced[0].rows) == {(1, 10), (2, 20)}
+        assert set(reduced[1].rows) == {(10, 5), (20, 6)}
+
+    def test_full_reduction_empties_everything_on_no_answers(self):
+        q = parse_cq("Q(a, b) :- R(a), S(b)")
+        tree = join_tree(q)
+        relations = {
+            0: Relation("R", ("a",), [(1,)]),
+            1: Relation("S", ("b",), []),
+        }
+        reduced = full_reduction(relations, tree)
+        assert len(reduced[0]) == 0 and len(reduced[1]) == 0
+
+    def test_full_reduction_achieves_global_consistency(self):
+        # Every remaining fact must extend to an answer: check by re-joining.
+        q = parse_cq("Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d)")
+        tree = join_tree(q)
+        relations = {
+            0: Relation("R", ("a", "b"), [(i, i % 3) for i in range(9)]),
+            1: Relation("S", ("b", "c"), [(i % 3, i % 2) for i in range(4)]),
+            2: Relation("T", ("c", "d"), [(0, "x")]),
+        }
+        reduced = full_reduction(relations, tree)
+        db = Database([
+            reduced[0].rename("R"), reduced[1].rename("S"), reduced[2].rename("T"),
+        ])
+        answers = evaluate_cq(q, db)
+        for index, columns in ((0, ("a", "b")), (1, ("b", "c")), (2, ("c", "d"))):
+            positions = [("a", "b", "c", "d").index(c) for c in columns]
+            participating = {tuple(ans[p] for p in positions) for ans in answers}
+            assert set(reduced[index].rows) == participating

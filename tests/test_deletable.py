@@ -1,0 +1,93 @@
+"""Tests for Lemma 5.3 — the deletable answer set."""
+
+import random
+
+import pytest
+
+from repro import CQIndex, Database, DeletableAnswerSet, Relation, parse_cq
+
+
+@pytest.fixture()
+def answer_set():
+    db = Database([
+        Relation("R", ("a", "b"), [(i, i % 3) for i in range(9)]),
+        Relation("S", ("b", "c"), [(i % 3, i) for i in range(6)]),
+    ])
+    index = CQIndex(parse_cq("Q(a, b, c) :- R(a, b), S(b, c)"), db)
+    return index, DeletableAnswerSet(index, rng=random.Random(0))
+
+
+class TestOperations:
+    def test_count_starts_full(self, answer_set):
+        index, deletable = answer_set
+        assert deletable.count() == index.count
+
+    def test_delete_shrinks_count(self, answer_set):
+        index, deletable = answer_set
+        answer = index.access(0)
+        assert deletable.delete(answer)
+        assert deletable.count() == index.count - 1
+        assert not deletable.test(answer)
+
+    def test_double_delete_is_noop(self, answer_set):
+        index, deletable = answer_set
+        answer = index.access(3)
+        assert deletable.delete(answer)
+        assert not deletable.delete(answer)
+        assert deletable.count() == index.count - 1
+
+    def test_delete_non_member(self, answer_set):
+        __, deletable = answer_set
+        assert not deletable.delete(("no", "such", "row"))
+
+    def test_test_membership(self, answer_set):
+        index, deletable = answer_set
+        assert deletable.test(index.access(1))
+        assert not deletable.test(("no", "such", "row"))
+
+    def test_sample_avoids_deleted(self, answer_set):
+        index, deletable = answer_set
+        keep = {index.access(i) for i in range(index.count)}
+        removed = index.access(5)
+        deletable.delete(removed)
+        keep.discard(removed)
+        for __ in range(200):
+            assert deletable.sample() in keep
+
+    def test_sample_exhausted_raises(self, answer_set):
+        index, deletable = answer_set
+        for i in range(index.count):
+            deletable.delete(index.access(i))
+        assert deletable.count() == 0
+        with pytest.raises(LookupError):
+            deletable.sample()
+
+    def test_delete_all_in_random_order(self, answer_set):
+        """Stress the swap bookkeeping: delete in a scrambled order and
+        check counts and membership at every step."""
+        index, deletable = answer_set
+        order = list(range(index.count))
+        random.Random(42).shuffle(order)
+        remaining = index.count
+        for position in order:
+            answer = index.access(position)
+            assert deletable.test(answer)
+            assert deletable.delete(answer)
+            remaining -= 1
+            assert deletable.count() == remaining
+            assert not deletable.test(answer)
+
+    def test_sample_uniform_over_survivors(self, answer_set):
+        from collections import Counter
+
+        index, deletable = answer_set
+        for i in range(0, index.count, 2):
+            deletable.delete(index.access(i))
+        survivors = {index.access(i) for i in range(1, index.count, 2)}
+        trials = 6000
+        counts = Counter(deletable.sample() for __ in range(trials))
+        assert set(counts) == survivors
+        expected = trials / len(survivors)
+        chi2 = sum((counts[s] - expected) ** 2 / expected for s in survivors)
+        # dof = |survivors| - 1; generous 99.9% bound for ≤ 9 dof.
+        assert chi2 < 30.0, f"chi2={chi2:.1f}"

@@ -1,0 +1,24 @@
+"""Run the doctests embedded in module and package docstrings.
+
+The README-style examples in docstrings are part of the public contract;
+this keeps them executable.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.shuffle
+import repro.query.parser
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.core.shuffle, repro.query.parser],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

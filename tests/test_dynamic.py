@@ -1,0 +1,200 @@
+"""Tests for the dynamic index: Theorem 4.3's contract maintained under
+inserts and deletes, checked against a freshly built static index."""
+
+import random
+
+import pytest
+
+from repro import (
+    CQIndex,
+    Database,
+    DynamicCQIndex,
+    NotFreeConnexError,
+    OutOfBoundError,
+    Relation,
+    parse_cq,
+)
+from repro.database.joins import evaluate_cq
+
+QUERY = parse_cq("Q(a, b, c) :- R(a, b), S(b, c)")
+
+
+def _db(rows_r=(), rows_s=()):
+    return Database([
+        Relation("R", ("a", "b"), rows_r),
+        Relation("S", ("b", "c"), rows_s),
+    ])
+
+
+def _assert_matches_static(dynamic: DynamicCQIndex, database: Database):
+    """The dynamic index must agree with ground truth in count, answer set,
+    and the access/inverted-access bijection."""
+    truth = evaluate_cq(dynamic.query, database)
+    assert dynamic.count == len(truth)
+    answers = [dynamic.access(i) for i in range(dynamic.count)]
+    assert set(answers) == truth
+    assert len(set(answers)) == len(answers)
+    for position, answer in enumerate(answers):
+        assert dynamic.inverted_access(answer) == position
+
+
+class TestConstruction:
+    def test_initial_load_matches_static(self):
+        db = _db([(1, 10), (2, 20)], [(10, "x"), (10, "y"), (20, "z")])
+        dynamic = DynamicCQIndex(QUERY, db)
+        static = CQIndex(QUERY, db)
+        assert dynamic.count == static.count
+        assert {dynamic.access(i) for i in range(dynamic.count)} == set(static)
+
+    def test_empty_start(self):
+        dynamic = DynamicCQIndex(QUERY, _db())
+        assert dynamic.count == 0
+        with pytest.raises(OutOfBoundError):
+            dynamic.access(0)
+
+    def test_rejects_non_full_query(self):
+        with pytest.raises(NotFreeConnexError):
+            DynamicCQIndex(parse_cq("Q(a) :- R(a, b), S(b, c)"), _db())
+
+    def test_rejects_non_free_connex(self):
+        with pytest.raises(NotFreeConnexError):
+            DynamicCQIndex(parse_cq("Q(a, c) :- R(a, b), S(b, c)"), _db())
+
+
+class TestUpdates:
+    def test_insert_extends_answers(self):
+        db = _db([(1, 10)], [(10, "x")])
+        dynamic = DynamicCQIndex(QUERY, db)
+        assert dynamic.count == 1
+        dynamic.insert("S", (10, "y"))
+        db.relation("S").rows.append((10, "y"))
+        _assert_matches_static(dynamic, db)
+        assert dynamic.count == 2
+
+    def test_insert_dangling_then_join_partner(self):
+        dynamic = DynamicCQIndex(QUERY, _db())
+        dynamic.insert("R", (1, 10))
+        assert dynamic.count == 0  # dangling: no S partner yet
+        dynamic.insert("S", (10, "x"))
+        assert dynamic.count == 1
+        assert dynamic.access(0) == (1, 10, "x")
+
+    def test_delete_removes_answers(self):
+        db = _db([(1, 10), (2, 10)], [(10, "x"), (10, "y")])
+        dynamic = DynamicCQIndex(QUERY, db)
+        assert dynamic.count == 4
+        dynamic.delete("S", (10, "y"))
+        assert dynamic.count == 2
+        assert dynamic.inverted_access((1, 10, "y")) is None
+        assert dynamic.inverted_access((1, 10, "x")) is not None
+
+    def test_delete_then_reinsert_revives(self):
+        db = _db([(1, 10)], [(10, "x")])
+        dynamic = DynamicCQIndex(QUERY, db)
+        dynamic.delete("R", (1, 10))
+        assert dynamic.count == 0
+        dynamic.insert("R", (1, 10))
+        assert dynamic.count == 1
+        assert dynamic.access(0) == (1, 10, "x")
+
+    def test_duplicate_insert_is_multiplicity_not_duplicate_answer(self):
+        dynamic = DynamicCQIndex(QUERY, _db([(1, 10)], [(10, "x")]))
+        dynamic.insert("R", (1, 10))  # same fact again (set semantics)
+        assert dynamic.count == 1
+        dynamic.delete("R", (1, 10))  # one of two multiplicities remains
+        assert dynamic.count == 1
+        dynamic.delete("R", (1, 10))
+        assert dynamic.count == 0
+
+    def test_delete_never_inserted_is_noop(self):
+        dynamic = DynamicCQIndex(QUERY, _db([(1, 10)], [(10, "x")]))
+        dynamic.delete("R", (9, 99))
+        dynamic.delete("S", (10, "zzz"))
+        assert dynamic.count == 1
+
+    def test_constants_filtered_on_insert(self):
+        query = parse_cq("Q(a) :- R(a, 10)")
+        dynamic = DynamicCQIndex(query, _db())
+        dynamic.insert("R", (1, 10))
+        dynamic.insert("R", (2, 20))  # fails the constant filter
+        assert dynamic.count == 1
+        assert dynamic.access(0) == (1,)
+
+    def test_repeated_variable_atom(self):
+        query = parse_cq("Q(a) :- E(a, a)")
+        db = Database([Relation("E", ("u", "v"), [])])
+        dynamic = DynamicCQIndex(query, db)
+        dynamic.insert("E", (1, 1))
+        dynamic.insert("E", (1, 2))  # filtered: u ≠ v
+        assert dynamic.count == 1
+
+    def test_self_join_updates_both_occurrences(self):
+        query = parse_cq("Q(a, b, c) :- E(a, b), E(b, c)")
+        db = Database([Relation("E", ("u", "v"), [(1, 2)])])
+        dynamic = DynamicCQIndex(query, db)
+        assert dynamic.count == 0
+        dynamic.insert("E", (2, 3))
+        assert dynamic.count == 1
+        assert dynamic.access(0) == (1, 2, 3)
+        dynamic.delete("E", (1, 2))
+        assert dynamic.count == 0
+
+    def test_arity_mismatch_rejected(self):
+        dynamic = DynamicCQIndex(QUERY, _db())
+        with pytest.raises(ValueError):
+            dynamic.insert("R", (1, 2, 3))
+
+    def test_three_level_propagation(self):
+        query = parse_cq("Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d)")
+        db = Database([
+            Relation("R", ("a", "b"), [(1, 10)]),
+            Relation("S", ("b", "c"), [(10, 100)]),
+            Relation("T", ("c", "d"), [(100, "x")]),
+        ])
+        dynamic = DynamicCQIndex(query, db)
+        assert dynamic.count == 1
+        # A leaf-level change must ripple through two ancestors.
+        dynamic.insert("T", (100, "y"))
+        assert dynamic.count == 2
+        dynamic.delete("T", (100, "x"))
+        dynamic.delete("T", (100, "y"))
+        assert dynamic.count == 0
+        dynamic.insert("T", (100, "z"))
+        assert dynamic.count == 1
+        assert dynamic.access(0) == (1, 10, 100, "z")
+
+
+class TestRandomizedAgainstGroundTruth:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_update_storm(self, seed):
+        """Hundreds of random inserts/deletes; full contract re-checked
+        periodically against naive evaluation of the current database."""
+        rng = random.Random(seed)
+        db = _db()
+        dynamic = DynamicCQIndex(QUERY, db)
+        live_r, live_s = [], []
+        for step in range(300):
+            action = rng.random()
+            if action < 0.45 or not (live_r or live_s):
+                row = (rng.randrange(6), rng.randrange(4))
+                if row not in live_r:
+                    dynamic.insert("R", row)
+                    live_r.append(row)
+                    db.relation("R").rows.append(row)
+            elif action < 0.75:
+                row = (rng.randrange(4), rng.randrange(5))
+                if row not in live_s:
+                    dynamic.insert("S", row)
+                    live_s.append(row)
+                    db.relation("S").rows.append(row)
+            elif live_r and action < 0.9:
+                row = live_r.pop(rng.randrange(len(live_r)))
+                dynamic.delete("R", row)
+                db.relation("R").rows.remove(row)
+            elif live_s:
+                row = live_s.pop(rng.randrange(len(live_s)))
+                dynamic.delete("S", row)
+                db.relation("S").rows.remove(row)
+            if step % 50 == 49:
+                _assert_matches_static(dynamic, db)
+        _assert_matches_static(dynamic, db)

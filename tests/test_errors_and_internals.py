@@ -1,0 +1,119 @@
+"""Error-path coverage and internal-invariant tests for the core index."""
+
+import pytest
+
+from repro import (
+    CQIndex,
+    Database,
+    IncompatibleUnionError,
+    MCUCQIndex,
+    NotFreeConnexError,
+    OutOfBoundError,
+    Relation,
+    parse_cq,
+    parse_ucq,
+)
+from repro.core.union_access import MAX_UNION_MEMBERS
+from repro.database.relation import row_sort_key
+
+
+class TestErrorTypes:
+    def test_not_free_connex_carries_context(self):
+        q = parse_cq("Q(a, c) :- R(a, b), S(b, c)")
+        db = Database([Relation("R", ("a", "b"), []), Relation("S", ("b", "c"), [])])
+        with pytest.raises(NotFreeConnexError) as excinfo:
+            CQIndex(q, db)
+        assert excinfo.value.query is q
+        assert excinfo.value.classification == "acyclic but not free-connex"
+        assert "Theorem 4.3" in str(excinfo.value)
+
+    def test_out_of_bound_reports_count(self):
+        db = Database([Relation("R", ("a",), [(1,)])])
+        index = CQIndex(parse_cq("Q(a) :- R(a)"), db)
+        with pytest.raises(OutOfBoundError) as excinfo:
+            index.access(5)
+        assert excinfo.value.position == 5
+        assert excinfo.value.count == 1
+        assert isinstance(excinfo.value, IndexError)  # Theorem 3.7 probing
+
+    def test_union_member_cap(self):
+        members = " ; ".join(f"Q(a) :- R{i}(a)" for i in range(MAX_UNION_MEMBERS + 1))
+        ucq = parse_ucq(members)
+        db = Database(
+            [Relation(f"R{i}", ("a",), [(i,)]) for i in range(MAX_UNION_MEMBERS + 1)]
+        )
+        with pytest.raises(IncompatibleUnionError) as excinfo:
+            MCUCQIndex(ucq, db)
+        assert "2^m" in str(excinfo.value)
+
+
+class TestEnumerationOrderInvariant:
+    """With sorted buckets, the index order is the lexicographic order of
+    the join-forest traversal — the invariant mc-UCQ compatibility rests
+    on. Verified directly: for a single-atom query the order must be the
+    row-sorted order; for trees, root rows must appear in sorted blocks."""
+
+    def test_single_atom_order_is_sorted(self):
+        rows = [(3, "c"), (1, "b"), (2, "a"), (1, "a")]
+        db = Database([Relation("R", ("x", "y"), rows)])
+        index = CQIndex(parse_cq("Q(x, y) :- R(x, y)"), db)
+        assert list(index) == sorted(rows, key=row_sort_key)
+
+    def test_root_blocks_are_sorted(self):
+        db = Database([
+            Relation("R", ("a", "b"), [(2, 0), (1, 0), (3, 0)]),
+            Relation("S", ("b", "c"), [(0, "z"), (0, "a")]),
+        ])
+        index = CQIndex(parse_cq("Q(a, b, c) :- R(a, b), S(b, c)"), db, root_atom=0)
+        order = list(index)
+        a_sequence = [answer[0] for answer in order]
+        assert a_sequence == sorted(a_sequence)
+        # Within each root tuple's block, the child values are sorted too.
+        for a in {1, 2, 3}:
+            block = [answer[2] for answer in order if answer[0] == a]
+            assert block == sorted(block)
+
+    def test_unsorted_buckets_follow_insertion_order(self):
+        rows = [(3,), (1,), (2,)]
+        db = Database([Relation("R", ("x",), rows)])
+        index = CQIndex(parse_cq("Q(x) :- R(x)"), db, sort_buckets=False)
+        assert list(index) == rows
+
+    def test_same_data_different_load_order_same_index(self):
+        rows = [(i, i % 3) for i in range(9)]
+        db_forward = Database([
+            Relation("R", ("a", "b"), rows),
+            Relation("S", ("b", "c"), [(i % 3, i) for i in range(5)]),
+        ])
+        db_reversed = Database([
+            Relation("R", ("a", "b"), list(reversed(rows))),
+            Relation("S", ("b", "c"), list(reversed([(i % 3, i) for i in range(5)]))),
+        ])
+        q = parse_cq("Q(a, b, c) :- R(a, b), S(b, c)")
+        assert list(CQIndex(q, db_forward)) == list(CQIndex(q, db_reversed))
+
+
+class TestWeightInvariants:
+    def test_weights_sum_to_count_in_every_bucket_chain(self):
+        db = Database([
+            Relation("R", ("a", "b"), [(i, i % 4) for i in range(12)]),
+            Relation("S", ("b", "c"), [(i % 4, i) for i in range(10)]),
+        ])
+        index = CQIndex(parse_cq("Q(a, b, c) :- R(a, b), S(b, c)"), db)
+        forest = index._forest
+        for root in forest.roots:
+            for node in root.all_nodes():
+                for bucket in node.buckets.values():
+                    assert bucket.total == sum(bucket.weights)
+                    assert bucket.start == [
+                        sum(bucket.weights[:i]) for i in range(len(bucket.weights))
+                    ]
+
+    def test_root_weight_equals_count(self):
+        db = Database([
+            Relation("R", ("a", "b"), [(i, i % 2) for i in range(6)]),
+            Relation("S", ("b", "c"), [(i % 2, i) for i in range(4)]),
+        ])
+        index = CQIndex(parse_cq("Q(a, b, c) :- R(a, b), S(b, c)"), db)
+        root = index._forest.roots[0]
+        assert root.buckets[()].total == index.count

@@ -1,0 +1,100 @@
+"""Example 5.1 — the union whose random access is Triangle-hard.
+
+``Q1(x,y,z) :- R(x,y), S(y,z)`` and ``Q2(x,y,z) :- S(y,z), T(x,z)`` are
+both free-connex, yet counting their union decides triangle existence:
+``|Q∪(D)| < |Q1(D)| + |Q2(D)|`` iff ``Q1(D) ∩ Q2(D) ≠ ∅`` iff the graph
+encoded by R, S, T has a triangle. The tests reproduce the reduction and
+confirm that the library surfaces the boundary honestly: the intersection
+CQ is the (non-free-connex) triangle query, so inclusion–exclusion counting
+refuses, while the Theorem 5.4 enumerator still works.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    CQIndex,
+    Database,
+    IncompatibleUnionError,
+    MCUCQIndex,
+    NotFreeConnexError,
+    Relation,
+    UnionRandomEnumerator,
+    is_free_connex,
+    parse_ucq,
+)
+from repro.core.counting import ucq_count, ucq_count_naive
+from repro.database.joins import evaluate_ucq
+
+
+def _encode_graph(edges):
+    """Encode an undirected graph into R, S, T as in the reduction: the
+    triangle query Q∩(x,y,z) :- R(x,y), S(y,z), T(x,z) finds its triangles."""
+    directed = set()
+    for u, v in edges:
+        directed.add((u, v))
+        directed.add((v, u))
+    rows = sorted(directed)
+    return Database([
+        Relation("R", ("x", "y"), rows),
+        Relation("S", ("y", "z"), rows),
+        Relation("T", ("x", "z"), rows),
+    ])
+
+
+UNION = "Q(x, y, z) :- R(x, y), S(y, z) ; Q(x, y, z) :- S(y, z), T(x, z)"
+
+TRIANGLE_GRAPH = [(1, 2), (2, 3), (1, 3), (3, 4)]
+TRIANGLE_FREE_GRAPH = [(1, 2), (2, 3), (3, 4), (4, 1)]  # a 4-cycle
+
+
+class TestReduction:
+    def test_members_are_free_connex(self):
+        ucq = parse_ucq(UNION)
+        assert all(is_free_connex(q) for q in ucq.queries)
+
+    def test_member_counts_are_linear_time_available(self):
+        db = _encode_graph(TRIANGLE_GRAPH)
+        ucq = parse_ucq(UNION)
+        c1 = CQIndex(ucq.queries[0], db).count
+        c2 = CQIndex(ucq.queries[1], db).count
+        assert c1 > 0 and c2 > 0
+
+    @pytest.mark.parametrize(
+        "graph,has_triangle",
+        [(TRIANGLE_GRAPH, True), (TRIANGLE_FREE_GRAPH, False)],
+    )
+    def test_union_count_detects_triangles(self, graph, has_triangle):
+        db = _encode_graph(graph)
+        ucq = parse_ucq(UNION)
+        c1 = CQIndex(ucq.queries[0], db).count
+        c2 = CQIndex(ucq.queries[1], db).count
+        union_count = ucq_count_naive(ucq, db)
+        assert (union_count < c1 + c2) == has_triangle
+
+    def test_intersection_counting_refuses(self):
+        # The inclusion–exclusion counter needs |Q1 ∩ Q2| — the triangle
+        # query — and must refuse rather than silently degrade.
+        db = _encode_graph(TRIANGLE_GRAPH)
+        ucq = parse_ucq(UNION)
+        with pytest.raises(NotFreeConnexError):
+            ucq_count(ucq, db)
+
+    def test_mcucq_index_refuses(self):
+        db = _encode_graph(TRIANGLE_GRAPH)
+        ucq = parse_ucq(UNION)
+        with pytest.raises((IncompatibleUnionError, NotFreeConnexError)):
+            MCUCQIndex(ucq, db)
+
+    def test_theorem_5_4_enumeration_still_works(self):
+        # Random-order enumeration does NOT require random access: Algorithm
+        # 5 handles this union (expected logarithmic delay).
+        db = _encode_graph(TRIANGLE_GRAPH)
+        ucq = parse_ucq(UNION)
+        truth = evaluate_ucq(ucq, db)
+        enum = UnionRandomEnumerator.for_indexes(
+            [CQIndex(q, db) for q in ucq.queries], rng=random.Random(17)
+        )
+        out = list(enum)
+        assert set(out) == truth and len(out) == len(truth)

@@ -1,0 +1,122 @@
+"""Unit + property tests for the Fenwick tree substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fenwick import FenwickTree
+
+
+class TestBasics:
+    def test_construction_and_prefixes(self):
+        tree = FenwickTree([6, 2, 6, 2])
+        assert tree.total == 16
+        assert [tree.prefix(i) for i in range(5)] == [0, 6, 8, 14, 16]
+
+    def test_value(self):
+        tree = FenwickTree([3, 0, 5])
+        assert [tree.value(i) for i in range(3)] == [3, 0, 5]
+
+    def test_update(self):
+        tree = FenwickTree([1, 2, 3])
+        tree.update(1, 10)
+        assert tree.total == 14
+        assert tree.prefix(2) == 11
+        tree.update(1, 0)
+        assert tree.total == 4
+
+    def test_append(self):
+        tree = FenwickTree()
+        for weight in (4, 0, 7):
+            tree.append(weight)
+        assert tree.total == 11
+        assert tree.prefix(2) == 4
+
+    def test_negative_rejected(self):
+        tree = FenwickTree([1])
+        with pytest.raises(ValueError):
+            tree.update(0, -1)
+        with pytest.raises(ValueError):
+            tree.append(-5)
+
+    def test_locate_example(self):
+        # The Example 4.4 weights: ranges [0,6), [6,8), [8,14), [14,16).
+        tree = FenwickTree([6, 2, 6, 2])
+        assert tree.locate(0) == 0
+        assert tree.locate(5) == 0
+        assert tree.locate(6) == 1
+        assert tree.locate(13) == 2
+        assert tree.locate(14) == 3
+        assert tree.locate(15) == 3
+
+    def test_locate_skips_zero_weights(self):
+        tree = FenwickTree([0, 5, 0, 4])
+        assert tree.locate(0) == 1
+        assert tree.locate(4) == 1
+        assert tree.locate(5) == 3
+        assert tree.locate(8) == 3
+
+    def test_locate_out_of_range(self):
+        tree = FenwickTree([2])
+        with pytest.raises(IndexError):
+            tree.locate(2)
+        with pytest.raises(IndexError):
+            tree.locate(-1)
+        with pytest.raises(IndexError):
+            FenwickTree().locate(0)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 50), max_size=60))
+    @settings(max_examples=100)
+    def test_prefix_matches_list_sums(self, weights):
+        tree = FenwickTree(weights)
+        for count in range(len(weights) + 1):
+            assert tree.prefix(count) == sum(weights[:count])
+
+    @given(
+        st.lists(st.integers(0, 20), min_size=1, max_size=40),
+        st.lists(st.tuples(st.integers(0, 39), st.integers(0, 20)), max_size=40),
+    )
+    @settings(max_examples=100)
+    def test_updates_match_model(self, weights, updates):
+        tree = FenwickTree(weights)
+        model = list(weights)
+        for position, weight in updates:
+            position %= len(model)
+            tree.update(position, weight)
+            model[position] = weight
+        assert tree.total == sum(model)
+        for count in range(len(model) + 1):
+            assert tree.prefix(count) == sum(model[:count])
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=40))
+    @settings(max_examples=100)
+    def test_locate_matches_bisect_semantics(self, weights):
+        from bisect import bisect_right
+
+        tree = FenwickTree(weights)
+        if tree.total == 0:
+            return
+        starts = [sum(weights[:i]) for i in range(len(weights))]
+        for offset in range(tree.total):
+            expected = bisect_right(starts, offset) - 1
+            assert tree.locate(offset) == expected
+
+    @given(st.lists(st.integers(0, 30), max_size=30), st.lists(st.integers(0, 30), max_size=10))
+    @settings(max_examples=60)
+    def test_append_after_updates(self, initial, appended):
+        tree = FenwickTree(initial)
+        model = list(initial)
+        rng = random.Random(0)
+        for weight in appended:
+            if model:
+                position = rng.randrange(len(model))
+                tree.update(position, 7)
+                model[position] = 7
+            tree.append(weight)
+            model.append(weight)
+        assert tree.total == sum(model)
+        for count in range(len(model) + 1):
+            assert tree.prefix(count) == sum(model[:count])

@@ -1,0 +1,64 @@
+"""Unit tests for the free-connex classification (the paper's Section 4
+frontier)."""
+
+from repro.query import free_connex_report, is_free_connex, parse_cq
+from repro.tpch.queries import CQ_QUERIES, UCQ_QUERIES
+
+
+class TestKnownClassifications:
+    def test_full_acyclic_is_free_connex(self):
+        assert is_free_connex(parse_cq("Q(x, y, z) :- R(x, y), S(y, z)"))
+
+    def test_matrix_multiplication_query_is_not(self):
+        # The canonical acyclic non-free-connex CQ: Enum⟨lin,polylog⟩ for it
+        # would give sparse Boolean matrix multiplication (Theorem 4.1).
+        report = free_connex_report(parse_cq("Q(x, z) :- R(x, y), S(y, z)"))
+        assert report.acyclic
+        assert not report.free_connex
+        assert report.classification() == "acyclic but not free-connex"
+
+    def test_projection_to_one_end_is_free_connex(self):
+        assert is_free_connex(parse_cq("Q(x) :- R(x, y), S(y, z)"))
+        assert is_free_connex(parse_cq("Q(x, y) :- R(x, y), S(y, z)"))
+
+    def test_triangle_is_cyclic(self):
+        report = free_connex_report(parse_cq("Q(x, y, z) :- R(x, y), S(y, z), T(x, z)"))
+        assert not report.acyclic
+        assert report.classification() == "cyclic"
+
+    def test_boolean_query_is_free_connex(self):
+        # With no free variables the head edge is empty and changes nothing.
+        assert is_free_connex(parse_cq("Q() :- R(x, y), S(y, z)"))
+
+    def test_example_5_1_members_are_free_connex(self):
+        q1 = parse_cq("Q(x, y, z) :- R(x, y), S(y, z)")
+        q2 = parse_cq("Q(x, y, z) :- S(y, z), T(x, z)")
+        assert is_free_connex(q1)
+        assert is_free_connex(q2)
+
+    def test_example_5_1_intersection_is_not(self):
+        # Q1 ∩ Q2 is the triangle query — the heart of Example 5.1's lower
+        # bound for UCQ random access.
+        intersection = parse_cq("Q(x, y, z) :- R(x, y), S(y, z), T(x, z)")
+        assert not is_free_connex(intersection)
+
+    def test_self_join_flag(self):
+        report = free_connex_report(parse_cq("Q(x, y, z) :- R(x, y), R(y, z)"))
+        assert not report.self_join_free
+
+
+class TestPaperQueries:
+    def test_all_six_benchmark_cqs_are_free_connex(self):
+        for name, make in CQ_QUERIES.items():
+            assert is_free_connex(make()), name
+
+    def test_all_ucq_members_are_free_connex(self):
+        for name, make in UCQ_QUERIES.items():
+            ucq = make()
+            assert ucq.is_union_of_free_connex(), name
+
+    def test_ucq_intersections_are_free_connex(self):
+        # The benchmark UCQs are mc-UCQ candidates: every intersection CQ
+        # (conjoined bodies) is itself free-connex.
+        for name, make in UCQ_QUERIES.items():
+            assert make().is_mutually_compatible_candidate(), name

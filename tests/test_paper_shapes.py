@@ -1,0 +1,143 @@
+"""Shape-regression tests: the paper's qualitative findings, asserted on
+counting statistics rather than wall-clock (so they are robust in CI).
+
+Each test pins one row of EXPERIMENTS.md to a mechanism the code must
+exhibit — if a refactor breaks the *reason* a figure looks the way it
+does, these fail even when absolute timings drift.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import CQIndex, UnionRandomEnumerator
+from repro.database.joins import evaluate_cq
+from repro.sampling import ExactWeightSampler, WithoutReplacementSampler
+from repro.tpch.queries import CQ_QUERIES, UCQ_QUERIES
+
+
+class TestFigure1Mechanism:
+    """Sample(EW)'s blow-up at large k is the coupon collector: reaching
+    k of n distinct answers costs ≈ n·(H_n − H_{n−k}) draws, while
+    REnum(CQ) performs exactly k accesses."""
+
+    def test_ew_draw_counts_follow_coupon_collector(self, tiny_tpch):
+        query = CQ_QUERIES["Q0"]()
+        n = CQIndex(query, tiny_tpch).count
+        sampler = ExactWeightSampler(query, tiny_tpch, rng=random.Random(0))
+        stream = WithoutReplacementSampler(sampler)
+        k = int(n * 0.9)
+        for __ in range(k):
+            next(stream)
+        expected = n * (_harmonic(n) - _harmonic(n - k))
+        assert 0.8 * expected <= stream.draws <= 1.25 * expected
+
+    def test_renum_never_draws_more_than_k(self, tiny_tpch):
+        query = CQ_QUERIES["Q0"]()
+        index = CQIndex(query, tiny_tpch)
+        k = int(index.count * 0.9)
+        emitted = 0
+        for __ in index.random_order(random.Random(0)):
+            emitted += 1
+            if emitted == k:
+                break
+        assert emitted == k  # one access per answer; no rejections exist
+
+    def test_ew_duplicates_grow_superlinearly(self, tiny_tpch):
+        """Draws per decile must increase toward the end of the collection."""
+        query = CQ_QUERIES["Q0"]()
+        n = CQIndex(query, tiny_tpch).count
+        sampler = ExactWeightSampler(query, tiny_tpch, rng=random.Random(1))
+        stream = WithoutReplacementSampler(sampler)
+        decile = n // 10
+        draws_at = []
+        for __ in range(decile * 9):
+            next(stream)
+            if stream.emitted() % decile == 0:
+                draws_at.append(stream.draws)
+        per_decile = [b - a for a, b in zip(draws_at, draws_at[1:])]
+        assert per_decile[-1] > 2 * per_decile[0]
+
+
+class TestFigure4Mechanism:
+    """REnum(UCQ)'s overhead over the member enumerations scales with the
+    intersection: disjoint unions never reject; heavy overlap rejects up
+    to once per shared answer."""
+
+    def test_rejections_ordered_by_intersection_size(self, tiny_tpch):
+        rates = {}
+        for name, make in UCQ_QUERIES.items():
+            ucq = make()
+            enum = UnionRandomEnumerator.for_indexes(
+                [CQIndex(q, tiny_tpch) for q in ucq.queries], rng=random.Random(3)
+            )
+            emitted = sum(1 for __ in enum)
+            rates[name] = enum.rejections / max(1, emitted)
+        assert rates["QA_or_QE"] == 0.0  # disjoint union
+        # The 3-way Q2 union has by far the largest pairwise intersections.
+        assert rates["QN2_or_QP2_or_QS2"] > rates["QS7_or_QC7"]
+        assert rates["QN2_or_QP2_or_QS2"] > 0.05
+
+    def test_rejections_bounded_by_shared_answers(self, tiny_tpch):
+        ucq = UCQ_QUERIES["QN2_or_QP2_or_QS2"]()
+        members = [evaluate_cq(q, tiny_tpch) for q in ucq.queries]
+        union_size = len(set().union(*members))
+        shared = sum(len(m) for m in members) - union_size
+        enum = UnionRandomEnumerator.for_indexes(
+            [CQIndex(q, tiny_tpch) for q in ucq.queries], rng=random.Random(4)
+        )
+        emitted = sum(1 for __ in enum)
+        assert emitted == union_size
+        assert enum.rejections <= shared  # each shared answer rejects ≤ once
+
+
+class TestFigure5Mechanism:
+    def test_rejections_concentrate_early(self, tiny_tpch):
+        """Shared answers are likelier to be drawn early (double weight)
+        and are deleted from non-owners on first rejection, so the second
+        half of a run must see at most as many rejections as the first."""
+        ucq = UCQ_QUERIES["QN2_or_QP2_or_QS2"]()
+        halves = [0, 0]
+        for seed in range(5):  # average out run-to-run noise
+            enum = UnionRandomEnumerator.for_indexes(
+                [CQIndex(q, tiny_tpch) for q in ucq.queries],
+                rng=random.Random(seed),
+            )
+            total = sum(1 for __ in enum)
+            enum2 = UnionRandomEnumerator.for_indexes(
+                [CQIndex(q, tiny_tpch) for q in ucq.queries],
+                rng=random.Random(seed),
+            )
+            emitted = 0
+            previous = 0
+            for __ in enum2:
+                emitted += 1
+                if emitted == total // 2:
+                    previous = enum2.rejections
+            halves[0] += previous
+            halves[1] += enum2.rejections - previous
+        assert halves[0] >= halves[1]
+
+
+class TestRSMechanism:
+    def test_acceptance_rate_is_answer_over_product(self, tiny_tpch):
+        from repro.sampling import NaiveRejectionSampler
+
+        query = CQ_QUERIES["Q0"]()
+        truth = CQIndex(query, tiny_tpch).count
+        sampler = NaiveRejectionSampler(query, tiny_tpch, rng=random.Random(5))
+        product = 1
+        for node in sampler.reduced.all_nodes():
+            product *= max(1, len(node.relation))
+        theoretical = truth / product
+        for __ in range(20000):
+            sampler.sample_attempt()
+        measured = sampler.statistics.acceptance_rate
+        assert measured == pytest.approx(theoretical, rel=0.5)
+
+
+def _harmonic(n: int) -> float:
+    if n <= 0:
+        return 0.0
+    return math.log(n) + 0.5772156649 + 1 / (2 * n)

@@ -1,0 +1,80 @@
+"""Unit tests for the datalog-style parser."""
+
+import pytest
+
+from repro.query import ParseError, parse_atom, parse_cq, parse_ucq
+from repro.query.atoms import Atom, Constant, Variable
+
+
+class TestParseAtom:
+    def test_variables(self):
+        assert parse_atom("R(x, y)") == Atom("R", [Variable("x"), Variable("y")])
+
+    def test_constants(self):
+        atom = parse_atom("R(x, 5, -2, 3.5, 'abc')")
+        assert atom.terms == (
+            Variable("x"),
+            Constant(5),
+            Constant(-2),
+            Constant(3.5),
+            Constant("abc"),
+        )
+
+    def test_nullary(self):
+        assert parse_atom("R()").arity == 0
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x) extra")
+
+    def test_unbalanced(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x")
+
+
+class TestParseCQ:
+    def test_simple(self):
+        q = parse_cq("Q(x, y) :- R(x, z), S(z, y)")
+        assert q.name == "Q"
+        assert [v.name for v in q.head] == ["x", "y"]
+        assert len(q.body) == 2
+        assert q.existential_variables == frozenset({Variable("z")})
+
+    def test_roundtrip_str(self):
+        text = "Q(x, y) :- R(x, z), S(z, y)"
+        assert str(parse_cq(text)) == text
+
+    def test_constants_in_body(self):
+        q = parse_cq("Q(x) :- R(x, 7)")
+        assert q.body[0].terms[1] == Constant(7)
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(Exception):
+            parse_cq("Q(x, w) :- R(x, y)")
+
+    def test_constant_in_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("Q(3) :- R(x)")
+
+    def test_missing_body(self):
+        with pytest.raises(ParseError):
+            parse_cq("Q(x) :- ")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_cq("Q(x) :- R(x) @ S(x)")
+
+
+class TestParseUCQ:
+    def test_two_members(self):
+        u = parse_ucq("Q(x) :- R(x, y) ; Q(x) :- S(x, y)")
+        assert len(u.queries) == 2
+        assert u.queries[0].body[0].relation == "R"
+        assert u.queries[1].body[0].relation == "S"
+
+    def test_single_member(self):
+        assert len(parse_ucq("Q(x) :- R(x)").queries) == 1
+
+    def test_mismatched_heads_rejected(self):
+        with pytest.raises(Exception):
+            parse_ucq("Q(x) :- R(x) ; Q(y) :- S(y)")

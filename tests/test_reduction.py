@@ -1,0 +1,109 @@
+"""Unit tests for Proposition 4.2 — normalization and the free-connex →
+full-acyclic reduction."""
+
+import pytest
+
+from repro import Database, Relation, NotFreeConnexError, parse_cq
+from repro.core.reduction import prepare_query, reduce_to_full_acyclic
+from repro.database.joins import evaluate_cq
+
+
+class TestPrepareQuery:
+    def test_constant_selection(self):
+        db = Database([Relation("R", ("c1", "c2"), [(1, "a"), (2, "a"), (1, "b")])])
+        q = parse_cq("Q(x) :- R(x, 'a')")
+        prepared = prepare_query(q, db)
+        assert prepared.atoms[0].variables == ("x",)
+        assert set(prepared.atoms[0].relation.rows) == {(1,), (2,)}
+
+    def test_repeated_variable_filter(self):
+        db = Database([Relation("R", ("c1", "c2"), [(1, 1), (1, 2), (3, 3)])])
+        q = parse_cq("Q(x) :- R(x, x)")
+        prepared = prepare_query(q, db)
+        assert set(prepared.atoms[0].relation.rows) == {(1,), (3,)}
+
+    def test_columns_are_sorted_variable_names(self):
+        db = Database([Relation("R", ("c1", "c2", "c3"), [(1, 2, 3)])])
+        q = parse_cq("Q(z, a) :- R(z, a, z)")
+        prepared = prepare_query(q, db)
+        assert prepared.atoms[0].relation.columns == ("a", "z")
+        # Row values reordered accordingly: a=2, z must satisfy z=c1=c3.
+        assert prepared.atoms[0].relation.rows == []
+
+    def test_arity_mismatch_rejected(self):
+        db = Database([Relation("R", ("c1",), [(1,)])])
+        with pytest.raises(ValueError):
+            prepare_query(parse_cq("Q(x, y) :- R(x, y)"), db)
+
+    def test_self_join_gets_independent_copies(self):
+        db = Database([Relation("E", ("u", "v"), [(1, 2), (2, 3)])])
+        q = parse_cq("Q(a, b, c) :- E(a, b), E(b, c)")
+        prepared = prepare_query(q, db)
+        assert prepared.atoms[0].relation.name != prepared.atoms[1].relation.name
+
+
+class TestReduceToFullAcyclic:
+    def test_rejects_non_free_connex(self):
+        db = Database([Relation("R", ("a", "b"), []), Relation("S", ("b", "c"), [])])
+        with pytest.raises(NotFreeConnexError):
+            reduce_to_full_acyclic(parse_cq("Q(x, z) :- R(x, y), S(y, z)"), db)
+
+    def test_projection_case(self, chain_db):
+        q = parse_cq("Q(a) :- R(a, b), S(b, c)")
+        reduced = reduce_to_full_acyclic(q, chain_db)
+        all_columns = {c for node in reduced.all_nodes() for c in node.variables}
+        assert all_columns == {"a"}
+        # The full join over the reduced nodes equals the answers.
+        answers = evaluate_cq(q, chain_db)
+        node_rows = [set(n.relation.rows) for n in reduced.all_nodes() if n.variables]
+        assert set().union(*node_rows) == answers
+
+    def test_existential_only_node_becomes_zero_ary_root(self):
+        db = Database([
+            Relation("R", ("a",), [(1,), (2,)]),
+            Relation("S", ("b",), [(5,)]),
+        ])
+        q = parse_cq("Q(a) :- R(a), S(b)")
+        reduced = reduce_to_full_acyclic(q, db)
+        arities = sorted(len(r.variables) for r in reduced.roots)
+        assert arities == [0, 1]
+
+    def test_empty_answer_set_propagates(self):
+        db = Database([
+            Relation("R", ("a",), [(1,)]),
+            Relation("S", ("b",), []),
+        ])
+        q = parse_cq("Q(a) :- R(a), S(b)")
+        reduced = reduce_to_full_acyclic(q, db)
+        assert any(len(node.relation) == 0 for node in reduced.all_nodes())
+
+    def test_unreduced_full_query_allowed(self, chain_db):
+        q = parse_cq("Q(a, b, c) :- R(a, b), S(b, c)")
+        reduced = reduce_to_full_acyclic(q, chain_db, reduce=False)
+        # Dangling tuples survive in the nodes but weights will zero them out.
+        total_rows = sum(len(n.relation) for n in reduced.all_nodes())
+        assert total_rows == len(chain_db.relation("R")) + len(chain_db.relation("S"))
+
+    def test_non_full_query_always_reduces(self, chain_db):
+        q = parse_cq("Q(a) :- R(a, b), S(b, c)")
+        reduced = reduce_to_full_acyclic(q, chain_db, reduce=False)  # ignored
+        rows = set().union(
+            *(set(n.relation.rows) for n in reduced.all_nodes() if n.variables)
+        )
+        assert rows == evaluate_cq(q, chain_db)
+
+    def test_root_atom_rerooting(self, example44_db):
+        q = parse_cq("Q(v, w, x, y, z) :- R1(v, w, x), R2(w, y), R3(x, z)")
+        reduced = reduce_to_full_acyclic(q, example44_db, root_atom=0)
+        assert len(reduced.roots) == 1
+        assert set(reduced.roots[0].variables) == {"v", "w", "x"}
+        assert [set(c.variables) for c in reduced.roots[0].children] == [
+            {"w", "y"},
+            {"x", "z"},
+        ]
+
+    def test_boolean_query(self):
+        db = Database([Relation("R", ("a", "b"), [(1, 2)])])
+        q = parse_cq("Q() :- R(x, y)")
+        reduced = reduce_to_full_acyclic(q, db)
+        assert all(node.variables == () for node in reduced.all_nodes())

@@ -1,0 +1,80 @@
+"""Unit tests for relations and their operators."""
+
+import pytest
+
+from repro.database import Relation, RelationError
+from repro.database.relation import row_sort_key, value_sort_key
+
+
+class TestConstruction:
+    def test_set_semantics(self):
+        r = Relation("R", ("a", "b"), [(1, 2), (1, 2), (3, 4)])
+        assert len(r) == 2
+        assert r.rows == [(1, 2), (3, 4)]
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(RelationError):
+            Relation("R", ("a", "b"), [(1,)])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(RelationError):
+            Relation("R", ("a", "a"), [])
+
+    def test_nullary_relation(self):
+        r = Relation("R", (), [(), ()])
+        assert len(r) == 1
+        assert r.rows == [()]
+
+
+class TestOperators:
+    def test_select(self):
+        r = Relation("R", ("a", "b"), [(1, 2), (3, 4)])
+        assert r.select(lambda t: t[0] > 1).rows == [(3, 4)]
+
+    def test_select_by_column(self):
+        r = Relation("R", ("a", "b"), [(1, 2), (3, 4), (3, 5)])
+        assert r.select_by_column("a", 3).rows == [(3, 4), (3, 5)]
+
+    def test_project_dedupes(self):
+        r = Relation("R", ("a", "b"), [(1, 2), (1, 3)])
+        assert r.project(("a",)).rows == [(1,)]
+
+    def test_project_reorders(self):
+        r = Relation("R", ("a", "b"), [(1, 2)])
+        assert r.project(("b", "a")).rows == [(2, 1)]
+
+    def test_project_unknown_column(self):
+        with pytest.raises(RelationError):
+            Relation("R", ("a",), []).project(("zzz",))
+
+    def test_rename(self):
+        r = Relation("R", ("a", "b"), [(1, 2)])
+        s = r.rename(name="S", columns=("x", "y"))
+        assert s.name == "S" and s.columns == ("x", "y") and s.rows == [(1, 2)]
+        with pytest.raises(RelationError):
+            r.rename(columns=("only",))
+
+    def test_intersect(self):
+        r = Relation("R", ("a",), [(1,), (2,)])
+        s = Relation("S", ("a",), [(2,), (3,)])
+        assert r.intersect(s).rows == [(2,)]
+        with pytest.raises(RelationError):
+            r.intersect(Relation("T", ("b",), []))
+
+    def test_sorted_rows(self):
+        r = Relation("R", ("a",), [(3,), (1,), (2,)])
+        assert r.sorted_rows().rows == [(1,), (2,), (3,)]
+
+
+class TestSortKeys:
+    def test_mixed_types_total_order(self):
+        values = ["b", 2, "a", 1, 2.5]
+        ordered = sorted(values, key=value_sort_key)
+        assert ordered == [1, 2, 2.5, "a", "b"]
+
+    def test_row_key(self):
+        rows = [(1, "b"), (1, "a"), (0, "z")]
+        assert sorted(rows, key=row_sort_key) == [(0, "z"), (1, "a"), (1, "b")]
+
+    def test_bool_sorts_with_ints(self):
+        assert sorted([True, 0, 2], key=value_sort_key) == [0, True, 2]

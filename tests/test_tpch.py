@@ -1,0 +1,131 @@
+"""Tests for the TPC-H substrate: generator invariants and query objects."""
+
+import pytest
+
+from repro.tpch import (
+    NATIONS,
+    REGIONS,
+    TPCHConfig,
+    attach_derived_relations,
+    generate,
+    table_columns,
+    tpch_cq,
+    tpch_ucq,
+)
+from repro.tpch.queries import (
+    CQ_QUERIES,
+    NATIONKEY_UNITED_KINGDOM,
+    NATIONKEY_UNITED_STATES,
+    UCQ_QUERIES,
+)
+
+
+class TestSchema:
+    def test_official_nation_keys(self):
+        assert NATIONS[NATIONKEY_UNITED_STATES][0] == "UNITED STATES"
+        assert NATIONS[NATIONKEY_UNITED_KINGDOM][0] == "UNITED KINGDOM"
+        assert len(NATIONS) == 25
+        assert len(REGIONS) == 5
+
+    def test_nation_regions_in_range(self):
+        assert all(0 <= region < 5 for __, region in NATIONS)
+
+    def test_table_columns(self):
+        assert table_columns("lineitem") == (
+            "l_orderkey", "l_linenumber", "l_partkey", "l_suppkey",
+        )
+        with pytest.raises(KeyError):
+            table_columns("nope")
+
+
+class TestGenerator:
+    def test_cardinality_ratios(self, tiny_tpch):
+        supplier = len(tiny_tpch.relation("supplier"))
+        part = len(tiny_tpch.relation("part"))
+        partsupp = len(tiny_tpch.relation("partsupp"))
+        orders = len(tiny_tpch.relation("orders"))
+        lineitem = len(tiny_tpch.relation("lineitem"))
+        assert partsupp == 4 * part  # 4 suppliers per part
+        assert part == 20 * supplier  # 200k : 10k per sf
+        assert orders / lineitem == pytest.approx(1 / 4.0, rel=0.25)  # 1–7 lines
+
+    def test_referential_integrity(self, tiny_tpch):
+        suppliers = {r[0] for r in tiny_tpch.relation("supplier")}
+        parts = {r[0] for r in tiny_tpch.relation("part")}
+        customers = {r[0] for r in tiny_tpch.relation("customer")}
+        orders = {r[0] for r in tiny_tpch.relation("orders")}
+        partsupp = set(tiny_tpch.relation("partsupp").rows)
+
+        for p, s in partsupp:
+            assert p in parts and s in suppliers
+        for o, c in tiny_tpch.relation("orders"):
+            assert c in customers
+        for o, __, p, s in tiny_tpch.relation("lineitem"):
+            assert o in orders
+            # dbgen invariant: lineitem's supplier stocks its part.
+            assert (p, s) in partsupp
+
+    def test_only_two_thirds_of_customers_order(self, tiny_tpch):
+        customers = len(tiny_tpch.relation("customer"))
+        ordering = {c for __, c in tiny_tpch.relation("orders")}
+        assert max(ordering) <= int(customers * 2 / 3) + 1
+
+    def test_deterministic_under_seed(self):
+        a = generate(TPCHConfig(scale_factor=0.001, seed=5))
+        b = generate(TPCHConfig(scale_factor=0.001, seed=5))
+        assert a.relation("lineitem").rows == b.relation("lineitem").rows
+
+    def test_scaling(self):
+        small = generate(TPCHConfig(scale_factor=0.001, seed=1))
+        large = generate(TPCHConfig(scale_factor=0.002, seed=1))
+        assert len(large.relation("orders")) == 2 * len(small.relation("orders"))
+
+    def test_derived_relations(self, tiny_tpch):
+        us = tiny_tpch.relation("nation_us")
+        assert us.rows == [(24, "UNITED STATES", 1)]
+        uk = tiny_tpch.relation("nation_uk")
+        assert uk.rows == [(23, "UNITED KINGDOM", 3)]
+        evens = tiny_tpch.relation("part_even")
+        assert all(r[0] % 2 == 0 for r in evens)
+
+
+class TestQueries:
+    def test_lookup_helpers(self):
+        assert tpch_cq("Q3").name == "Q3"
+        assert tpch_ucq("QA_or_QE").name == "QA_or_QE"
+        with pytest.raises(KeyError):
+            tpch_cq("Q99")
+
+    def test_cq_bodies_reference_existing_tables(self, tiny_tpch):
+        for name, make in CQ_QUERIES.items():
+            for atom in make().body:
+                assert atom.relation in tiny_tpch, (name, atom.relation)
+
+    def test_ucq_bodies_reference_existing_tables(self, tiny_tpch):
+        for name, make in UCQ_QUERIES.items():
+            for member in make():
+                for atom in member.body:
+                    assert atom.relation in tiny_tpch, (name, atom.relation)
+
+    def test_q7_is_a_self_join(self):
+        assert not tpch_cq("Q7").is_self_join_free()
+
+    def test_qa_qe_is_disjoint(self, tiny_tpch):
+        from repro.database.joins import evaluate_cq
+
+        ucq = tpch_ucq("QA_or_QE")
+        a = evaluate_cq(ucq.queries[0], tiny_tpch)
+        e = evaluate_cq(ucq.queries[1], tiny_tpch)
+        assert not (a & e)
+
+    def test_result_sizes_relative_shape(self, tiny_tpch):
+        """Q0 and Q2 return one answer per partsupp row; Q3/Q7/Q9/Q10 one
+        per lineitem (the keys added for set=bag equivalence)."""
+        from repro import CQIndex
+
+        partsupp = len(tiny_tpch.relation("partsupp"))
+        lineitem = len(tiny_tpch.relation("lineitem"))
+        assert CQIndex(tpch_cq("Q0"), tiny_tpch).count == partsupp
+        assert CQIndex(tpch_cq("Q2"), tiny_tpch).count == partsupp
+        for name in ("Q3", "Q7", "Q9", "Q10"):
+            assert CQIndex(tpch_cq(name), tiny_tpch).count == lineitem, name

@@ -1,0 +1,106 @@
+"""Unit tests for the UnionOfConjunctiveQueries class itself."""
+
+import pytest
+
+from repro.query import (
+    ConjunctiveQuery,
+    QueryConstructionError,
+    UnionOfConjunctiveQueries,
+    intersection_cq,
+    parse_cq,
+    parse_ucq,
+)
+
+
+@pytest.fixture()
+def union3():
+    return parse_ucq(
+        "Q(a, b) :- R1(a, b) ; Q(a, b) :- R2(a, b) ; Q(a, b) :- R3(a, b)"
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self, union3):
+        assert len(union3) == 3
+        assert union3[0].body[0].relation == "R1"
+        assert [q.body[0].relation for q in union3] == ["R1", "R2", "R3"]
+
+    def test_default_name(self, union3):
+        assert union3.name == "Q_or_Q_or_Q"
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryConstructionError):
+            UnionOfConjunctiveQueries([])
+
+    def test_mismatched_heads_rejected(self):
+        q1 = parse_cq("Q(x) :- R(x)")
+        q2 = parse_cq("Q(x, y) :- S(x, y)")
+        with pytest.raises(QueryConstructionError):
+            UnionOfConjunctiveQueries([q1, q2])
+
+    def test_str_mentions_union(self, union3):
+        assert str(union3).count("UNION") == 2
+
+
+class TestIntersections:
+    def test_single_intersection_is_member(self, union3):
+        q = union3.intersection([1])
+        assert [a.relation for a in q.body] == ["R2"]
+
+    def test_pairwise_intersection_conjoins(self, union3):
+        q = union3.intersection([0, 2])
+        assert sorted(a.relation for a in q.body) == ["R1", "R3"]
+
+    def test_indices_deduplicated_and_sorted(self, union3):
+        assert union3.intersection([2, 0, 2]) == union3.intersection([0, 2])
+
+    def test_empty_indices_rejected(self, union3):
+        with pytest.raises(QueryConstructionError):
+            union3.intersection([])
+
+    def test_all_intersections_count(self, union3):
+        assert len(union3.all_intersections()) == 7
+
+    def test_intersection_cq_renames_existentials(self):
+        q1 = parse_cq("Q(x) :- R(x, y)")
+        q2 = parse_cq("Q(x) :- S(x, y)")
+        joint = intersection_cq([q1, q2])
+        existentials = {v.name for v in joint.existential_variables}
+        assert len(existentials) == 2  # y#0 and y#1, not a shared y
+
+    def test_shared_existential_would_change_semantics(self):
+        # Sanity check of *why* renaming matters: with a shared y, the
+        # conjoined query would demand a single witness for both atoms.
+        q1 = parse_cq("Q(x) :- R(x, y)")
+        q2 = parse_cq("Q(x) :- S(x, y)")
+        joint = intersection_cq([q1, q2])
+        from repro import Database, Relation, evaluate_cq
+
+        db = Database([
+            Relation("R", ("a", "b"), [(1, 100)]),
+            Relation("S", ("a", "b"), [(1, 200)]),
+        ])
+        # (1,) answers both CQs with different witnesses — the intersection
+        # must keep it.
+        assert evaluate_cq(joint, db) == {(1,)}
+
+
+class TestClassPredicates:
+    def test_union_of_free_connex(self, union3):
+        assert union3.is_union_of_free_connex()
+
+    def test_union_with_hard_member(self):
+        u = parse_ucq(
+            "Q(x, z) :- R(x, y), S(y, z) ; Q(x, z) :- T(x, z)"
+        )
+        assert not u.is_union_of_free_connex()
+
+    def test_mc_candidate_positive(self, union3):
+        assert union3.is_mutually_compatible_candidate()
+
+    def test_mc_candidate_negative_example_5_1(self):
+        u = parse_ucq(
+            "Q(x, y, z) :- R(x, y), S(y, z) ; Q(x, y, z) :- S(y, z), T(x, z)"
+        )
+        assert u.is_union_of_free_connex()
+        assert not u.is_mutually_compatible_candidate()

@@ -1,0 +1,179 @@
+"""Tests for Algorithms 6–8 / Theorem 5.5 — mc-UCQ random access."""
+
+import random
+
+import pytest
+
+from repro import (
+    CQIndex,
+    Database,
+    IncompatibleUnionError,
+    MCUCQIndex,
+    OutOfBoundError,
+    Relation,
+    parse_ucq,
+)
+from repro.core.union_access import enumerate_union, rank_in_member_order
+from repro.database.joins import evaluate_ucq
+
+
+@pytest.fixture()
+def overlapping_union():
+    db = Database([
+        Relation("R1", ("a", "b"), [(i, i % 3) for i in range(12)]),
+        Relation("R2", ("a", "b"), [(i, i % 3) for i in range(6, 18)]),
+        Relation("S", ("b", "c"), [(i % 3, i % 2) for i in range(6)]),
+    ])
+    ucq = parse_ucq(
+        "Q(a, b, c) :- R1(a, b), S(b, c) ; Q(a, b, c) :- R2(a, b), S(b, c)"
+    )
+    return ucq, db
+
+
+@pytest.fixture()
+def three_way_union():
+    db = Database([
+        Relation("R1", ("a", "b"), [(i, i % 2) for i in range(0, 10)]),
+        Relation("R2", ("a", "b"), [(i, i % 2) for i in range(4, 14)]),
+        Relation("R3", ("a", "b"), [(i, i % 2) for i in range(8, 18)]),
+        Relation("S", ("b", "c"), [(0, "p"), (1, "q"), (1, "r")]),
+    ])
+    ucq = parse_ucq(
+        "Q(a, b, c) :- R1(a, b), S(b, c) ; "
+        "Q(a, b, c) :- R2(a, b), S(b, c) ; "
+        "Q(a, b, c) :- R3(a, b), S(b, c)"
+    )
+    return ucq, db
+
+
+class TestRankInMemberOrder:
+    def test_counts_elements_not_succeeding(self, overlapping_union):
+        ucq, db = overlapping_union
+        index = MCUCQIndex(ucq, db)
+        member = index.member_indexes[0]
+        subset = index.intersection_indexes[(0, frozenset({1}))]
+        # Walk the member order; the rank must be monotone and end at |T|.
+        previous = 0
+        for position in range(member.count):
+            answer = member.access(position)
+            rank = rank_in_member_order(subset, member, answer)
+            assert rank in (previous, previous + 1)
+            in_subset = subset.inverted_access(answer) is not None
+            assert rank == previous + 1 if in_subset else rank == previous
+            previous = rank
+        assert previous == subset.count
+
+    def test_requires_member_element(self, overlapping_union):
+        ucq, db = overlapping_union
+        index = MCUCQIndex(ucq, db)
+        member = index.member_indexes[0]
+        subset = index.intersection_indexes[(0, frozenset({1}))]
+        with pytest.raises(ValueError):
+            rank_in_member_order(subset, member, ("nope", 0, 0))
+
+
+class TestMCUCQIndex:
+    def test_count_matches_ground_truth(self, overlapping_union):
+        ucq, db = overlapping_union
+        index = MCUCQIndex(ucq, db)
+        assert index.count == len(evaluate_ucq(ucq, db))
+
+    def test_access_is_a_bijection_onto_the_union(self, overlapping_union):
+        ucq, db = overlapping_union
+        index = MCUCQIndex(ucq, db)
+        answers = [index.access(i) for i in range(index.count)]
+        assert len(set(answers)) == len(answers)
+        assert set(answers) == evaluate_ucq(ucq, db)
+
+    def test_access_order_equals_durand_strozecki_order(self, overlapping_union):
+        ucq, db = overlapping_union
+        index = MCUCQIndex(ucq, db)
+        assert list(index) == [index.access(i) for i in range(index.count)]
+
+    def test_out_of_bounds(self, overlapping_union):
+        ucq, db = overlapping_union
+        index = MCUCQIndex(ucq, db)
+        with pytest.raises(OutOfBoundError):
+            index.access(index.count)
+        with pytest.raises(OutOfBoundError):
+            index.access(-1)
+
+    def test_three_way_union(self, three_way_union):
+        ucq, db = three_way_union
+        index = MCUCQIndex(ucq, db)
+        truth = evaluate_ucq(ucq, db)
+        assert index.count == len(truth)
+        answers = [index.access(i) for i in range(index.count)]
+        assert set(answers) == truth
+        assert len(set(answers)) == len(answers)
+        assert list(index) == answers
+
+    def test_random_order_is_a_permutation(self, three_way_union):
+        ucq, db = three_way_union
+        index = MCUCQIndex(ucq, db)
+        out = list(index.random_order(random.Random(9)))
+        assert sorted(out) == sorted(evaluate_ucq(ucq, db))
+
+    def test_disjoint_union(self):
+        db = Database([
+            Relation("R1", ("a", "b"), [(1, 0), (2, 0)]),
+            Relation("R2", ("a", "b"), [(10, 0), (11, 0)]),
+            Relation("S", ("b", "c"), [(0, "x")]),
+        ])
+        ucq = parse_ucq(
+            "Q(a, b, c) :- R1(a, b), S(b, c) ; Q(a, b, c) :- R2(a, b), S(b, c)"
+        )
+        index = MCUCQIndex(ucq, db)
+        assert index.count == 4
+        assert {index.access(i) for i in range(4)} == evaluate_ucq(ucq, db)
+
+    def test_identical_members(self):
+        db = Database([
+            Relation("R1", ("a", "b"), [(1, 0), (2, 0)]),
+            Relation("S", ("b", "c"), [(0, "x")]),
+        ])
+        ucq = parse_ucq(
+            "Q(a, b, c) :- R1(a, b), S(b, c) ; Q(a, b, c) :- R1(a, b), S(b, c)"
+        )
+        index = MCUCQIndex(ucq, db)
+        assert index.count == 2
+
+    def test_empty_member(self):
+        db = Database([
+            Relation("R1", ("a", "b"), [(1, 0)]),
+            Relation("R2", ("a", "b"), []),
+            Relation("S", ("b", "c"), [(0, "x")]),
+        ])
+        ucq = parse_ucq(
+            "Q(a, b, c) :- R1(a, b), S(b, c) ; Q(a, b, c) :- R2(a, b), S(b, c)"
+        )
+        index = MCUCQIndex(ucq, db)
+        assert index.count == 1
+        assert index.access(0) == (1, 0, "x")
+
+    def test_misaligned_union_rejected(self):
+        # Shapes differ: a 2-atom chain vs a single binary atom.
+        db = Database([
+            Relation("R", ("a", "b"), [(1, 0)]),
+            Relation("S", ("b", "c"), [(0, "x")]),
+            Relation("T", ("a", "b", "c"), [(1, 0, "x"), (5, 5, "y")]),
+        ])
+        ucq = parse_ucq(
+            "Q(a, b, c) :- R(a, b), S(b, c) ; Q(a, b, c) :- T(a, b, c)"
+        )
+        with pytest.raises(IncompatibleUnionError):
+            MCUCQIndex(ucq, db)
+
+
+class TestEnumerateUnion:
+    def test_single_member(self, overlapping_union):
+        ucq, db = overlapping_union
+        index = CQIndex(ucq.queries[0], db)
+        assert list(enumerate_union([index])) == list(index)
+
+    def test_no_repetitions(self, overlapping_union):
+        ucq, db = overlapping_union
+        members = [CQIndex(q, db) for q in ucq.queries]
+        out = list(enumerate_union(members))
+        assert len(out) == len(set(out))
+        assert set(out) == evaluate_ucq(ucq, db)

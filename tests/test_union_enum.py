@@ -1,0 +1,112 @@
+"""Tests for Algorithm 5 — random-order UCQ enumeration (Theorem 5.4)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro import CQIndex, Database, Relation, UnionRandomEnumerator, parse_ucq
+from repro.database.joins import evaluate_ucq
+
+
+def _union_fixture(overlap: str):
+    """Build a 2-member union with controlled overlap."""
+    if overlap == "disjoint":
+        r1 = [(i, 0) for i in range(6)]
+        r2 = [(i, 0) for i in range(10, 16)]
+    elif overlap == "identical":
+        r1 = r2 = [(i, 0) for i in range(6)]
+    else:  # partial
+        r1 = [(i, 0) for i in range(8)]
+        r2 = [(i, 0) for i in range(4, 12)]
+    db = Database([
+        Relation("R1", ("a", "b"), r1),
+        Relation("R2", ("a", "b"), r2),
+        Relation("S", ("b", "c"), [(0, "x"), (0, "y")]),
+    ])
+    ucq = parse_ucq("Q(a, b, c) :- R1(a, b), S(b, c) ; Q(a, b, c) :- R2(a, b), S(b, c)")
+    return ucq, db
+
+
+@pytest.mark.parametrize("overlap", ["disjoint", "partial", "identical"])
+def test_emits_union_exactly_once(overlap):
+    ucq, db = _union_fixture(overlap)
+    truth = evaluate_ucq(ucq, db)
+    enum = UnionRandomEnumerator.for_indexes(
+        [CQIndex(q, db) for q in ucq.queries], rng=random.Random(3)
+    )
+    out = list(enum)
+    assert len(out) == len(truth)
+    assert set(out) == truth
+
+
+def test_disjoint_union_never_rejects():
+    ucq, db = _union_fixture("disjoint")
+    enum = UnionRandomEnumerator.for_indexes(
+        [CQIndex(q, db) for q in ucq.queries], rng=random.Random(0)
+    )
+    list(enum)
+    assert enum.rejections == 0
+
+
+def test_each_answer_rejects_at_most_once():
+    """The deletion rule bounds total iterations by 2 × |answers|."""
+    ucq, db = _union_fixture("identical")
+    truth_size = len(evaluate_ucq(ucq, db))
+    enum = UnionRandomEnumerator.for_indexes(
+        [CQIndex(q, db) for q in ucq.queries], rng=random.Random(5)
+    )
+    list(enum)
+    assert enum.iterations <= 2 * truth_size
+    assert enum.rejections <= truth_size
+
+
+def test_three_member_union(tiny_tpch):
+    from repro.tpch.queries import make_qn2_qp2_qs2
+
+    ucq = make_qn2_qp2_qs2()
+    truth = evaluate_ucq(ucq, tiny_tpch)
+    enum = UnionRandomEnumerator.for_indexes(
+        [CQIndex(q, tiny_tpch) for q in ucq.queries], rng=random.Random(1)
+    )
+    out = list(enum)
+    assert set(out) == truth and len(out) == len(truth)
+
+
+def test_empty_union():
+    db = Database([
+        Relation("R1", ("a", "b"), []),
+        Relation("R2", ("a", "b"), []),
+        Relation("S", ("b", "c"), [(0, "x")]),
+    ])
+    ucq = parse_ucq("Q(a, b, c) :- R1(a, b), S(b, c) ; Q(a, b, c) :- R2(a, b), S(b, c)")
+    enum = UnionRandomEnumerator.for_indexes(
+        [CQIndex(q, db) for q in ucq.queries], rng=random.Random(0)
+    )
+    assert list(enum) == []
+
+
+def test_requires_at_least_one_set():
+    with pytest.raises(ValueError):
+        UnionRandomEnumerator([])
+
+
+def test_first_emission_uniform_over_union():
+    """Every union element must be equally likely to be emitted first —
+    the bias-correction (owner/rejection) logic is what guarantees it.
+    An element in both sets is twice as likely to be *drawn*, but rejection
+    restores uniformity."""
+    ucq, db = _union_fixture("partial")
+    truth = sorted(evaluate_ucq(ucq, db))
+    trials = 8000
+    rng = random.Random(2024)
+    counts = Counter()
+    for __ in range(trials):
+        enum = UnionRandomEnumerator.for_indexes(
+            [CQIndex(q, db) for q in ucq.queries], rng=rng
+        )
+        counts[next(enum)] += 1
+    expected = trials / len(truth)
+    chi2 = sum((counts[t] - expected) ** 2 / expected for t in truth)
+    # dof = 23 for 24 answers; 99.9% quantile ≈ 49.7.
+    assert chi2 < 49.7, f"chi2={chi2:.1f}"

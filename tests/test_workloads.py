@@ -1,0 +1,128 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro import CQIndex, evaluate_cq, is_free_connex
+from repro.query.free_connex import free_connex_report
+from repro.workloads import (
+    chain_query,
+    graph_database,
+    random_acyclic_query,
+    random_database,
+    random_graph_edges,
+    star_query,
+)
+
+
+class TestQueryFamilies:
+    def test_chain_full(self):
+        q = chain_query(3)
+        assert len(q.body) == 3
+        assert q.is_full()
+        assert is_free_connex(q)
+
+    def test_chain_prefix_projection_is_free_connex(self):
+        q = chain_query(4, free_prefix=2)
+        assert not q.is_full()
+        assert is_free_connex(q)
+
+    def test_chain_endpoints_projection_is_not_free_connex(self):
+        # Q(x0, xk) over a chain is the classic hard case for k ≥ 2.
+        from repro.query.cq import ConjunctiveQuery
+
+        base = chain_query(2)
+        hard = ConjunctiveQuery([base.head[0], base.head[-1]], base.body)
+        report = free_connex_report(hard)
+        assert report.acyclic and not report.free_connex
+
+    def test_star(self):
+        q = star_query(4)
+        assert len(q.body) == 4
+        assert is_free_connex(q)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            chain_query(0)
+        with pytest.raises(ValueError):
+            star_query(0)
+
+
+class TestRandomQueries:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_acyclic_and_free_connex(self, seed):
+        rng = random.Random(seed)
+        q = random_acyclic_query(atoms=rng.randint(1, 6), rng=rng,
+                                 full=bool(seed % 2))
+        report = free_connex_report(q)
+        assert report.acyclic
+        assert report.free_connex
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_indexable_end_to_end(self, seed):
+        rng = random.Random(100 + seed)
+        q = random_acyclic_query(atoms=4, rng=rng, full=(seed % 2 == 0))
+        db = random_database(q, rng, rows_per_relation=20, domain=4)
+        index = CQIndex(q, db)
+        truth = evaluate_cq(q, db)
+        assert index.count == len(truth)
+        assert {index.access(i) for i in range(index.count)} == truth
+
+
+class TestRandomData:
+    def test_skew_shifts_mass(self):
+        rng = random.Random(0)
+        q = chain_query(1)
+        uniform = random_database(q, random.Random(0), rows_per_relation=500,
+                                  domain=6, skew=1.0)
+        skewed = random_database(q, random.Random(0), rows_per_relation=500,
+                                 domain=6, skew=3.0)
+
+        def zero_fraction(db):
+            rows = db.relation("R1").rows
+            return sum(1 for r in rows if r[0] == 0) / len(rows)
+
+        assert zero_fraction(skewed) > zero_fraction(uniform) + 0.2
+
+    def test_one_relation_per_symbol_even_with_self_joins(self):
+        from repro.query.parser import parse_cq
+
+        q = parse_cq("Q(a, b, c) :- E(a, b), E(b, c)")
+        db = random_database(q, random.Random(1))
+        assert db.names() == ["E"]
+
+
+class TestGraphs:
+    def test_random_graph_probability_extremes(self):
+        rng = random.Random(0)
+        assert random_graph_edges(6, 0.0, rng) == []
+        assert len(random_graph_edges(6, 1.0, rng)) == 15
+
+    def test_graph_database_symmetric(self):
+        db = graph_database([(1, 2)])
+        assert set(db.relation("R").rows) == {(1, 2), (2, 1)}
+        assert db.relation("R").rows == db.relation("S").rows
+
+    def test_triangle_detection_via_union_count(self):
+        """Example 5.1's reduction over random graphs: the union-count
+        criterion must agree with direct triangle detection."""
+        from repro.core.counting import ucq_count_naive
+        from repro.query.parser import parse_cq, parse_ucq
+        from repro import evaluate_cq
+
+        union = parse_ucq(
+            "Q(x, y, z) :- R(x, y), S(y, z) ; Q(x, y, z) :- S(y, z), T(x, z)"
+        )
+        triangle = parse_cq("Qt(x, y, z) :- R(x, y), S(y, z), T(x, z)")
+        for seed in range(6):
+            rng = random.Random(seed)
+            edges = random_graph_edges(7, 0.3, rng)
+            if not edges:
+                continue
+            db = graph_database(edges)
+            c1 = len(evaluate_cq(union.queries[0], db))
+            c2 = len(evaluate_cq(union.queries[1], db))
+            union_count = ucq_count_naive(union, db)
+            has_triangle = bool(evaluate_cq(triangle, db))
+            assert (union_count < c1 + c2) == has_triangle, f"seed={seed}"
