@@ -3,24 +3,27 @@
 Jumping to page 4711 of a join's results normally means enumerating (and
 discarding) the 47,110 answers before it. With the Theorem 4.3 index, any
 page costs page_size × O(log n): retrieval time is independent of the page
-number. The demo pages through TPC-H Q3 and also locates the page of a
-specific known answer via inverted access.
+number — and each page is served by one *batched* access over its
+contiguous index range. The paginator comes from a ``QueryService``, so
+every page request after the first reuses the same cached index instead
+of rebuilding it. The demo pages through TPC-H Q3 and also locates the
+page of a specific known answer via inverted access.
 
 Run:  python examples/search_pagination.py
 """
 
 import time
 
-from repro import CQIndex
-from repro.apps import Paginator
+from repro import QueryService
 from repro.tpch import TPCHConfig, generate
 from repro.tpch.queries import make_q3
 
 
 def main() -> None:
     db = generate(TPCHConfig(scale_factor=0.005))
-    index = CQIndex(make_q3(), db)
-    pages = Paginator(index, page_size=10)
+    service = QueryService(db)
+    index = service.index(make_q3())
+    pages = service.paginator(make_q3(), page_size=10)
 
     print(f"result: {pages.total_answers} answers, {pages.total_pages} pages of 10")
 

@@ -35,6 +35,7 @@ from repro.query import (
     parse_ucq,
 )
 from repro.database import Database, Relation, evaluate_cq, evaluate_ucq
+from repro.service import IndexCache, QueryService
 from repro.core import (
     CQIndex,
     DeletableAnswerSet,
@@ -71,6 +72,8 @@ __all__ = [
     "evaluate_cq",
     "evaluate_ucq",
     "CQIndex",
+    "IndexCache",
+    "QueryService",
     "DeletableAnswerSet",
     "DynamicCQIndex",
     "FenwickTree",

@@ -6,6 +6,13 @@ random-access structure turns page retrieval into ``page_size`` access
 calls — page 4711 costs the same as page 0, with no enumeration of the
 pages in between — and the total page count is known upfront from the O(1)
 answer count.
+
+Serving note: a page is a contiguous index range, exactly the best case of
+the batched access engine, so :meth:`Paginator.page` issues one
+``batch(range(start, stop))`` call when the index supports it. Call sites
+that serve many pages (or many queries) should obtain their paginator from
+:meth:`repro.service.QueryService.paginator`, which reuses one cached
+index instead of rebuilding per request.
 """
 
 from __future__ import annotations
@@ -56,6 +63,9 @@ class Paginator:
             )
         start = number * self.page_size
         stop = min(start + self.page_size, self.index.count)
+        batch = getattr(self.index, "batch", None)
+        if batch is not None:
+            return batch(range(start, stop))
         return [self.index.access(position) for position in range(start, stop)]
 
     def page_of_answer(self, answer: tuple) -> Optional[int]:

@@ -7,6 +7,9 @@ Commands
 ``count`` / ``access`` / ``shuffle``
     Build the index for a query over a CSV-loaded database and count the
     answers, fetch specific positions, or stream a random permutation.
+``page`` / ``sample``
+    Serve one page of the enumeration order, or ``k`` uniform draws
+    without replacement — both through a single batched access.
 ``tpch``
     Generate the synthetic TPC-H instance and print table cardinalities.
 ``figures``
@@ -15,6 +18,11 @@ Commands
 Databases are directories of CSV files: each ``<name>.csv`` becomes the
 relation ``<name>``, the first line naming its columns. Values parse as
 int, then float, then string.
+
+All query-serving commands go through a
+:class:`~repro.service.QueryService`, so a command that touches the same
+query several times (e.g. ``access`` with many positions) builds the index
+exactly once and serves the positions from one batch.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ import random
 import sys
 from typing import List, Optional
 
-from repro import CQIndex, Database, Relation, parse_cq
+from repro import Database, QueryService, Relation, parse_cq
 from repro.query.render import describe_query
 
 
@@ -71,33 +79,61 @@ def command_classify(args) -> int:
     return 0
 
 
-def _build_index(args) -> CQIndex:
-    database = load_csv_database(args.database)
-    return CQIndex(parse_cq(args.query), database)
+def _build_service(args) -> QueryService:
+    return QueryService(load_csv_database(args.database))
 
 
 def command_count(args) -> int:
-    print(_build_index(args).count)
+    print(_build_service(args).count(args.query))
     return 0
 
 
 def command_access(args) -> int:
-    index = _build_index(args)
+    service = _build_service(args)
+    count = service.count(args.query)
+    in_bounds = [p for p in args.positions if 0 <= p < count]
+    answers = dict(zip(in_bounds, service.batch(args.query, in_bounds)))
     for position in args.positions:
-        try:
-            print(f"{position}\t{_format_answer(index.access(position))}")
-        except IndexError:
-            print(f"{position}\tout-of-bound (count is {index.count})")
+        if position in answers:
+            print(f"{position}\t{_format_answer(answers[position])}")
+        else:
+            print(f"{position}\tout-of-bound (count is {count})")
     return 0
 
 
 def command_shuffle(args) -> int:
-    index = _build_index(args)
+    service = _build_service(args)
     rng = random.Random(args.seed) if args.seed is not None else random.Random()
-    limit = args.limit if args.limit is not None else index.count
-    for emitted, answer in enumerate(index.random_order(rng)):
+    limit = args.limit if args.limit is not None else service.count(args.query)
+    for emitted, answer in enumerate(service.random_order(args.query, rng)):
         if emitted >= limit:
             break
+        print(_format_answer(answer))
+    return 0
+
+
+def command_page(args) -> int:
+    service = _build_service(args)
+    paginator = service.paginator(args.query, page_size=args.page_size)
+    try:
+        answers = paginator.page(args.number)
+    except IndexError:
+        print(
+            f"page {args.number} out-of-bound "
+            f"(result has {paginator.total_pages} pages)"
+        )
+        return 1
+    print(f"page {args.number} of {paginator.total_pages} "
+          f"({paginator.total_answers} answers)")
+    for answer in answers:
+        print(_format_answer(answer))
+    return 0
+
+
+def command_sample(args) -> int:
+    service = _build_service(args)
+    rng = random.Random(args.seed) if args.seed is not None else random.Random()
+    for answer in service.sample(args.query, args.k, rng):
         print(_format_answer(answer))
     return 0
 
@@ -149,6 +185,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("count", "count the answers of a free-connex CQ", command_count),
         ("access", "random-access specific answer positions", command_access),
         ("shuffle", "stream answers in uniformly random order", command_shuffle),
+        ("page", "serve one page of the enumeration order", command_page),
+        ("sample", "draw k uniform answers without replacement", command_sample),
     ):
         sub = commands.add_parser(name, help=help_text)
         sub.add_argument("query", help="datalog rule over the CSV relations")
@@ -160,6 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--seed", type=int, default=None)
             sub.add_argument("--limit", type=int, default=None,
                              help="stop after this many answers")
+        if name == "page":
+            sub.add_argument("number", type=int, help="0-based page number")
+            sub.add_argument("--page-size", type=int, default=10)
+        if name == "sample":
+            sub.add_argument("k", type=int, help="number of draws")
+            sub.add_argument("--seed", type=int, default=None)
         sub.set_defaults(run=runner)
 
     tpch = commands.add_parser("tpch", help="generate TPC-H and print sizes")

@@ -14,7 +14,7 @@ a tuple-level interface: after linear-time construction it supports
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.database.database import Database
 from repro.query.cq import ConjunctiveQuery
@@ -97,6 +97,35 @@ class CQIndex:
         """
         assignment = self._forest.access(index)
         return tuple(assignment[name] for name in self.head_variables)
+
+    def batch(self, indices: Sequence[int]) -> List[tuple]:
+        """The answers at ``indices`` — ``[self.access(i) for i in indices]``.
+
+        The request may be unsorted and contain duplicates; the result is
+        aligned with it. Amortized via
+        :meth:`~repro.core.index.JoinForestIndex.batch_access`: positions
+        are served in sorted order so that root-to-leaf walks, bucket
+        binary searches, and parent-tuple resolutions are shared across
+        adjacent positions. Raises
+        :class:`~repro.core.errors.OutOfBoundError` if any position is
+        outside ``[0, count)``.
+        """
+        return self._forest.batch_access(indices, project=self.head_variables)
+
+    def sample_many(self, k: int, rng: Optional[random.Random] = None) -> List[tuple]:
+        """The first ``min(k, count)`` draws of :meth:`random_order`.
+
+        Exactly equal — element for element, and in randomness consumed —
+        to ``k`` sequential draws from a
+        :class:`~repro.core.permutation.RandomPermutationEnumerator` seeded
+        with the same ``rng``: the positions come from one vectorized
+        :meth:`~repro.core.shuffle.LazyShuffle.take`, then a single batched
+        access serves them all. Draws are without replacement.
+        """
+        from repro.core.shuffle import LazyShuffle
+
+        positions = LazyShuffle(self.count, rng).take(k)
+        return self.batch(positions)
 
     def inverted_access(self, answer: tuple) -> Optional[int]:
         """The position of ``answer``, or ``None`` when not an answer."""

@@ -32,11 +32,37 @@ mc-UCQ compatibility requirements of Section 5.2.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from operator import itemgetter
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.database.relation import Relation, row_sort_key
 from repro.core.errors import OutOfBoundError
 from repro.core.reduction import ReducedJoin, ReducedNode
+
+try:  # numpy ships with this environment (scipy depends on it); the sort
+    import numpy as _np  # of a large batch is ~10× faster through argsort.
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+
+def _sorted_items(indices: Sequence[int]) -> List[Tuple[int, int]]:
+    """``(position, slot)`` pairs sorted by position (ties by slot).
+
+    Duplicate positions stay adjacent and simply resolve twice. Uses a
+    numpy argsort when available — for batches of 10⁵ positions the sort
+    is otherwise a third of the total batch cost.
+    """
+    if _np is not None and len(indices) >= 2048:
+        try:
+            array = _np.fromiter(indices, dtype=_np.int64, count=len(indices))
+        except OverflowError:
+            # Answer counts are polynomial in |D| and can exceed 2^63
+            # (e.g. wide cartesian products); such positions sort fine as
+            # Python ints.
+            return sorted(zip(indices, range(len(indices))))
+        order = _np.argsort(array, kind="stable")
+        return list(zip(array[order].tolist(), order.tolist()))
+    return sorted(zip(indices, range(len(indices))))
 
 
 class _Bucket:
@@ -233,6 +259,230 @@ class JoinForestIndex:
             self._subtree_access(child, child_key, parts[child_position], assignment)
 
     # ------------------------------------------------------------------ #
+    # Batched random access (amortized Algorithm 3)                       #
+    # ------------------------------------------------------------------ #
+
+    def batch_access(
+        self, indices: Sequence[int], project: Optional[Sequence[str]] = None
+    ) -> List[object]:
+        """The answers at ``indices``, one per requested position.
+
+        Semantically equal to ``[self.access(i) for i in indices]`` (the
+        result is aligned with the request, which may be unsorted and may
+        contain duplicates), but amortized: the requested positions are
+        sorted once, and the root-to-leaf walk is shared across positions
+        that resolve through the same tuples. Each bucket's binary-search
+        tier is entered once per contiguous run of positions instead of once
+        per position, and a parent tuple's column bindings and child-bucket
+        resolution are computed once for all positions under its index
+        range.
+
+        With ``project`` (a sequence of variable names) each result is the
+        tuple of those variables' values instead of a full assignment dict —
+        the head-tuple fast path used by
+        :meth:`~repro.core.cq_index.CQIndex.batch`, which skips one dict
+        copy per answer.
+
+        Raises :class:`OutOfBoundError` (like :meth:`access`) if *any*
+        requested position is outside ``[0, count)`` — the batch is
+        all-or-nothing, checked before any position is resolved.
+        """
+        out: List[object] = [None] * len(indices)
+        if not indices:
+            return out
+        count = self.count
+        if min(indices) < 0 or max(indices) >= count:
+            for index in indices:
+                if index < 0 or index >= count:
+                    raise OutOfBoundError(index, count)
+        acc: Dict[str, object] = {}
+        if project is None:
+            def finish(slot: int) -> None:
+                out[slot] = dict(acc)
+        elif len(project) == 0:
+            def finish(slot: int) -> None:
+                out[slot] = ()
+        elif len(project) == 1:
+            name = project[0]
+
+            def finish(slot: int) -> None:
+                out[slot] = (acc[name],)
+        else:
+            getter = itemgetter(*project)
+
+            def finish(slot: int) -> None:
+                out[slot] = getter(acc)
+
+        def finish_leaf_group(
+            items: List[Tuple[int, int]],
+            rows: List[tuple],
+            columns: Tuple[str, ...],
+            shift: int,
+        ) -> None:
+            """Terminal fast path: a leaf bucket whose completion ends the
+            walk. Materializes the answers in one loop — no per-item
+            continuation calls, and (under ``project``) no dict writes for
+            the leaf's own columns: a per-group plan splits each output
+            position into "from this row" vs "already bound upstream"."""
+            if project is None:
+                update = acc.update
+                for position, slot in items:
+                    update(zip(columns, rows[position - shift]))
+                    out[slot] = dict(acc)
+                return
+            col_position = {c: i for i, c in enumerate(columns)}
+            plan = [
+                (col_position[name], None) if name in col_position else (None, acc[name])
+                for name in project
+            ]
+            for position, slot in items:
+                row = rows[position - shift]
+                out[slot] = tuple(
+                    [row[p] if p is not None else v for p, v in plan]
+                )
+
+        finish.leaf_group = finish_leaf_group
+        if not self.roots:
+            for slot in range(len(indices)):
+                finish(slot)
+            return out
+        self._batch_roots(0, _sorted_items(indices), acc, finish)
+        return out
+
+    def _batch_roots(
+        self,
+        root_position: int,
+        items: List[Tuple[int, object]],
+        acc: Dict[str, object],
+        cont: Callable[[object], None],
+    ) -> None:
+        """Distribute sorted (index, payload) items across the root digits.
+
+        ``acc`` is one shared working assignment: every node along the
+        current path writes its columns into it before descending, and the
+        answer is materialized by ``cont`` exactly when the path is fully
+        bound. The last root consumes the whole remaining index, so it gets
+        the items verbatim — no re-grouping pass.
+        """
+        roots = self.roots
+        root = roots[root_position]
+        if root_position == len(roots) - 1:
+            self._subtree_batch(root, (), items, 0, acc, cont)
+            return
+        suffix = 1
+        for later in roots[root_position + 1:]:
+            suffix *= later.buckets[()].total
+        self._subtree_batch(
+            root,
+            (),
+            _digit_groups(items, 0, suffix),
+            0,
+            acc,
+            lambda rest: self._batch_roots(root_position + 1, rest, acc, cont),
+        )
+
+    def _subtree_batch(
+        self,
+        node: _IndexNode,
+        key: tuple,
+        items: List[Tuple[int, object]],
+        shift: int,
+        acc: Dict[str, object],
+        cont: Callable[[object], None],
+    ) -> None:
+        """Resolve sorted (index, payload) items within one bucket.
+
+        The bucket-local position of an item is ``item[0] - shift``;
+        carrying the shift instead of rebuilding shifted item lists is what
+        keeps per-item allocation out of the hot path. Items are grouped by
+        the tuple whose index range contains them — one binary search per
+        group, not per item — the tuple's columns are bound into the shared
+        ``acc``, and the in-range offsets recurse into the children.
+        ``cont(payload)`` fires once per item when its path is fully bound.
+        """
+        bucket = node.buckets[key]
+        rows = bucket.rows
+        columns = node.columns
+        children = node.children
+        if not children:
+            # Leaf buckets assign weight 1 to every row (Algorithm 2 with no
+            # children), so the bucket-local offset *is* the row position —
+            # no binary search needed. When this leaf terminates the walk
+            # (cont is the batch's finish), write the whole group in one
+            # fused loop; otherwise bind + continue per item.
+            leaf_group = getattr(cont, "leaf_group", None)
+            if leaf_group is not None:
+                leaf_group(items, rows, columns, shift)
+                return
+            update = acc.update
+            for value, payload in items:
+                update(zip(columns, rows[value - shift]))
+                cont(payload)
+            return
+        start = bucket.start
+        weights = bucket.weights
+        n = len(items)
+        i = 0
+        while i < n:
+            local = items[i][0] - shift
+            position = bisect_right(start, local) - 1
+            base = start[position]
+            end = shift + base + weights[position]
+            j = i + 1
+            while j < n and items[j][0] < end:
+                j += 1
+            row = rows[position]
+            for column, value in zip(columns, row):
+                acc[column] = value
+            self._batch_children(node, row, 0, items, i, j, shift + base, acc, cont)
+            i = j
+
+    def _batch_children(
+        self,
+        node: _IndexNode,
+        row: tuple,
+        child_position: int,
+        items: List[Tuple[int, object]],
+        lo: int,
+        hi: int,
+        shift: int,
+        acc: Dict[str, object],
+        cont: Callable[[object], None],
+    ) -> None:
+        """SplitIndex over a batch: peel off one child's digit at a time.
+
+        Handles ``items[lo:hi]``, whose in-tuple offsets are
+        ``item[0] - shift``. The last child takes the offset modulus (as in
+        scalar SplitIndex); because it consumes everything that remains, it
+        receives the item range verbatim with an adjusted shift — only
+        *interior* children (nodes with ≥ 2 children) pay a re-grouping
+        pass that materializes quotient/remainder pairs.
+        """
+        children = node.children
+        child = children[child_position]
+        child_key = node.child_bucket_key(row, child_position)
+        if child_position == len(children) - 1:
+            if lo == 0 and hi == len(items):
+                group = items
+            else:
+                group = items[lo:hi]
+            self._subtree_batch(child, child_key, group, shift, acc, cont)
+            return
+        suffix = 1
+        for later in range(child_position + 1, len(children)):
+            suffix *= children[later].buckets[node.child_bucket_key(row, later)].total
+        self._subtree_batch(
+            child,
+            child_key,
+            _digit_groups(items[lo:hi], shift, suffix),
+            0,
+            acc,
+            lambda rest: self._batch_children(
+                node, row, child_position + 1, rest, 0, len(rest), 0, acc, cont
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
     # Algorithm 4 — inverted access                                       #
     # ------------------------------------------------------------------ #
 
@@ -329,3 +579,30 @@ class JoinForestIndex:
         child_key = node.child_bucket_key(row, child_position)
         for assignment in self._node_assignments(child, child_key, acc):
             yield from self._children_assignments(node, row, child_position + 1, assignment)
+
+
+def _digit_groups(
+    items: List[Tuple[int, object]], shift: int, suffix: int
+) -> List[Tuple[int, List[Tuple[int, object]]]]:
+    """Group sorted (index, payload) items by ``(index - shift) // suffix``.
+
+    The quotient is the digit consumed at the current level of the
+    mixed-radix SplitIndex decomposition; the remainders (still sorted)
+    travel as each group's payload to the next level. Sorted input makes
+    equal digits contiguous, so grouping is a single linear scan.
+    """
+    groups: List[Tuple[int, List[Tuple[int, object]]]] = []
+    i = 0
+    n = len(items)
+    while i < n:
+        quotient, remainder = divmod(items[i][0] - shift, suffix)
+        rest: List[Tuple[int, object]] = [(remainder, items[i][1])]
+        i += 1
+        while i < n:
+            q, r = divmod(items[i][0] - shift, suffix)
+            if q != quotient:
+                break
+            rest.append((r, items[i][1]))
+            i += 1
+        groups.append((quotient, rest))
+    return groups

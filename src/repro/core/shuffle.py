@@ -15,7 +15,7 @@ Proposition 3.6: the emitted sequence is a uniformly random permutation of
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 
 class LazyShuffle:
@@ -69,6 +69,37 @@ class LazyShuffle:
         cells[j] = value_i
         self._i = i + 1
         return value_j
+
+    def take(self, k: int) -> List[int]:
+        """The next ``min(k, remaining())`` elements as a list.
+
+        Equal to ``[next(self) for __ in range(k)]`` (stopping at
+        exhaustion) — including in how much randomness is consumed — but
+        runs as one tight loop with the lookup table and the generator
+        bound locally, which is what the batched access path wants.
+
+        >>> LazyShuffle(5, random.Random(0)).take(3) == \\
+        ...     [next(s) for s in [LazyShuffle(5, random.Random(0))] for __ in range(3)]
+        True
+        """
+        if k < 0:
+            raise ValueError(f"cannot take a negative number of elements: {k}")
+        cells = self._cells
+        randrange = self._rng.randrange
+        n = self.n
+        i = self._i
+        out: List[int] = []
+        append = out.append
+        for __ in range(min(k, n - i)):
+            j = randrange(i, n)
+            value_i = cells.get(i, i)
+            value_j = cells.get(j, j)
+            cells[i] = value_j
+            cells[j] = value_i
+            append(value_j)
+            i += 1
+        self._i = i
+        return out
 
 
 def random_permutation_indices(n: int, rng: Optional[random.Random] = None) -> Iterator[int]:

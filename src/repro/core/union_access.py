@@ -348,6 +348,44 @@ class MCUCQIndex:
         """
         return self._union.access(index)
 
+    def batch(self, indices: Sequence[int]) -> List[tuple]:
+        """The union answers at ``indices``, aligned with the request.
+
+        Equal to ``[self.access(i) for i in indices]``. Unlike the CQ
+        index, the union walk has no per-position prefix to share (each
+        access re-runs the inclusion–exclusion rank searches), so the batch
+        win here is deduplication plus a sorted walk: each *distinct*
+        position is resolved once, in ascending order, which keeps the
+        member indexes' bucket walks cache-friendly. Raises
+        :class:`~repro.core.errors.OutOfBoundError` on any position outside
+        ``[0, count)`` before resolving anything.
+        """
+        out: List[Optional[tuple]] = [None] * len(indices)
+        if not indices:
+            return out
+        count = self.count
+        for index in indices:
+            if index < 0 or index >= count:
+                raise OutOfBoundError(index, count)
+        access = self._union.access
+        resolved: Dict[int, tuple] = {}
+        for slot in sorted(range(len(indices)), key=indices.__getitem__):
+            index = indices[slot]
+            answer = resolved.get(index)
+            if answer is None:
+                answer = resolved[index] = access(index)
+            out[slot] = answer
+        return out
+
+    def sample_many(self, k: int, rng: Optional[random.Random] = None) -> List[tuple]:
+        """The first ``min(k, count)`` draws of :meth:`random_order`.
+
+        Randomness-compatible with ``k`` sequential draws from
+        :meth:`random_order` under the same seeded ``rng``; served by one
+        vectorized shuffle plus one deduplicated batch.
+        """
+        return self.batch(LazyShuffle(self.count, rng).take(k))
+
     def __iter__(self) -> Iterator[tuple]:
         """Enumerate in the union's order (Algorithm 6)."""
         return enumerate_union(self.member_indexes)

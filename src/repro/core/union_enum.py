@@ -111,3 +111,50 @@ class UnionRandomEnumerator:
 
             self.rejections += 1
             self.rejection_seconds += time.perf_counter() - started
+
+    def take(self, k: int) -> List[tuple]:
+        """Up to ``k`` further answers as one batched draw.
+
+        Equal to ``k`` sequential ``next`` calls (stopping early when the
+        union is exhausted), including in randomness consumed, but the
+        member counts are maintained incrementally across iterations —
+        every ``delete`` decrements a local tally — instead of re-querying
+        every set on every loop, which is the dominant Python overhead of
+        the scalar path for large ``k``.
+        """
+        if k < 0:
+            raise ValueError(f"cannot take a negative number of answers: {k}")
+        out: List[tuple] = []
+        sets = self.sets
+        rng = self._rng
+        counts = [s.count() for s in sets]
+        total = sum(counts)
+        while len(out) < k and total > 0:
+            started = time.perf_counter()
+            self.iterations += 1
+
+            pick = rng.randrange(total)
+            chosen = 0
+            while pick >= counts[chosen]:
+                pick -= counts[chosen]
+                chosen += 1
+
+            element = sets[chosen].sample()
+            providers = [j for j, s in enumerate(sets) if s.test(element)]
+            owner = providers[0]
+            for j in providers:
+                if j != owner:
+                    sets[j].delete(element)
+                    counts[j] -= 1
+                    total -= 1
+
+            if owner == chosen:
+                sets[owner].delete(element)
+                counts[owner] -= 1
+                total -= 1
+                out.append(element)
+                self.answer_seconds += time.perf_counter() - started
+            else:
+                self.rejections += 1
+                self.rejection_seconds += time.perf_counter() - started
+        return out

@@ -15,10 +15,17 @@ from repro.database.relation import Relation, RelationError
 
 
 class Database:
-    """A mutable mapping of relation symbols to relations."""
+    """A mutable mapping of relation symbols to relations.
+
+    Every mutation — registering, replacing, inserting into, or deleting
+    from a relation — bumps :attr:`version`, a monotone counter that lets
+    derived structures (notably :class:`repro.service.IndexCache`) detect
+    staleness in O(1) without fingerprinting the data.
+    """
 
     def __init__(self, relations: Iterable[Relation] = ()):
         self._relations: Dict[str, Relation] = {}
+        self.version = 0
         for relation in relations:
             self.add(relation)
 
@@ -27,10 +34,56 @@ class Database:
         if relation.name in self._relations:
             raise RelationError(f"relation {relation.name!r} already present")
         self._relations[relation.name] = relation
+        self.version += 1
 
     def replace(self, relation: Relation) -> None:
         """Register or overwrite a relation under its own name."""
         self._relations[relation.name] = relation
+        self.version += 1
+
+    def insert(self, name: str, row: tuple) -> bool:
+        """Insert a fact into relation ``name`` (set semantics).
+
+        Returns ``True`` when the fact was new; re-inserting an existing
+        fact is a no-op that leaves :attr:`version` untouched.
+
+        Copy-on-write: the relation object is never mutated — a fresh
+        ``Relation`` replaces it, so :meth:`copy` clones (which share
+        relation objects) are insulated from later mutations. The O(|R|)
+        per-call cost is inherent to that isolation; bulk loads should
+        construct relations directly instead of inserting fact by fact.
+        """
+        relation = self.relation(name)
+        row = tuple(row)
+        if len(row) != relation.arity:
+            raise RelationError(
+                f"row {row!r} has arity {len(row)}, expected {relation.arity} "
+                f"in relation {name}"
+            )
+        if row in relation.rows:
+            return False
+        rows = list(relation.rows)
+        rows.append(row)
+        self.replace(Relation.copy_from(relation.name, relation.columns, rows))
+        return True
+
+    def delete(self, name: str, row: tuple) -> bool:
+        """Delete a fact from relation ``name`` (copy-on-write, see
+        :meth:`insert`).
+
+        Returns ``True`` when the fact was present; deleting an absent fact
+        is a no-op that leaves :attr:`version` untouched.
+        """
+        relation = self.relation(name)
+        row = tuple(row)
+        try:
+            position = relation.rows.index(row)
+        except ValueError:
+            return False
+        rows = list(relation.rows)
+        del rows[position]
+        self.replace(Relation.copy_from(relation.name, relation.columns, rows))
+        return True
 
     def relation(self, name: str) -> Relation:
         try:
@@ -67,6 +120,7 @@ class Database:
             return self._relations[name]
         derived = self.relation(source).select(predicate, name=name)
         self._relations[name] = derived
+        self.version += 1
         return derived
 
     def copy(self) -> "Database":
@@ -74,6 +128,7 @@ class Database:
         enough to let callers add derived relations without aliasing)."""
         clone = Database()
         clone._relations = dict(self._relations)
+        clone.version = self.version
         return clone
 
     def __repr__(self) -> str:

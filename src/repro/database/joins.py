@@ -122,4 +122,7 @@ def join_rows(left: Relation, right: Relation, name: str = None) -> Relation:
         key = tuple(row[p] for p in left_positions)
         for match in index.lookup(key):
             rows.append(row + tuple(match[p] for p in right_positions))
-    return Relation(name or f"{left.name}_join_{right.name}", out_columns, rows)
+    # A natural join of set-semantic inputs is duplicate-free (distinct
+    # (left row, match) pairs differ in the output columns), so the
+    # intermediate can skip __init__'s dedup scan.
+    return Relation.copy_from(name or f"{left.name}_join_{right.name}", out_columns, rows)

@@ -51,6 +51,27 @@ class Relation:
                 seen.add(row)
                 self.rows.append(row)
 
+    @classmethod
+    def copy_from(cls, name: str, columns: Sequence[str], rows: Iterable[tuple]) -> "Relation":
+        """Trusted fast-path constructor: skip the dedup scan.
+
+        ``__init__`` walks every row through a throwaway ``seen`` set to
+        enforce set semantics — pure overhead when ``rows`` is already a
+        list of distinct, correct-arity tuples, e.g. another
+        :class:`Relation`'s ``rows`` or the output of an operator that
+        preserves distinctness (selection, semijoin, natural join of sets).
+        The caller vouches for distinctness and arity; nothing is checked
+        beyond the column names.
+        """
+        instance = cls.__new__(cls)
+        instance.name = name
+        instance.columns = tuple(columns)
+        if len(set(instance.columns)) != len(instance.columns):
+            raise RelationError(f"duplicate column names in relation {name}: {columns}")
+        instance._position = {c: i for i, c in enumerate(instance.columns)}
+        instance.rows = list(rows)
+        return instance
+
     # ------------------------------------------------------------------ #
     # Introspection                                                       #
     # ------------------------------------------------------------------ #
@@ -91,12 +112,16 @@ class Relation:
 
     def select(self, predicate: Callable[[tuple], bool], name: str = None) -> "Relation":
         """Rows satisfying ``predicate`` (applied to the raw tuple)."""
-        return Relation(name or self.name, self.columns, (r for r in self.rows if predicate(r)))
+        return Relation.copy_from(
+            name or self.name, self.columns, (r for r in self.rows if predicate(r))
+        )
 
     def select_by_column(self, column: str, value, name: str = None) -> "Relation":
         """Equality selection ``σ_{column = value}``."""
         pos = self.column_position(column)
-        return Relation(name or self.name, self.columns, (r for r in self.rows if r[pos] == value))
+        return Relation.copy_from(
+            name or self.name, self.columns, (r for r in self.rows if r[pos] == value)
+        )
 
     def project(self, columns: Sequence[str], name: str = None) -> "Relation":
         """Projection ``π_columns`` with duplicate elimination."""
@@ -114,7 +139,7 @@ class Relation:
             raise RelationError(
                 f"rename of {self.name} must keep arity {self.arity}, got {len(new_columns)}"
             )
-        return Relation(name or self.name, new_columns, self.rows)
+        return Relation.copy_from(name or self.name, new_columns, self.rows)
 
     def intersect(self, other: "Relation", name: str = None) -> "Relation":
         """Set intersection; requires identical column tuples."""
@@ -123,7 +148,7 @@ class Relation:
                 f"intersection requires matching columns: {self.columns} vs {other.columns}"
             )
         other_rows = other.row_set()
-        return Relation(
+        return Relation.copy_from(
             name or f"{self.name}_and_{other.name}",
             self.columns,
             (r for r in self.rows if r in other_rows),
@@ -136,7 +161,9 @@ class Relation:
         by type name first, then value. Canonical row order is what makes
         index enumeration orders *compatible* across queries (Section 5.2).
         """
-        return Relation(name or self.name, self.columns, sorted(self.rows, key=row_sort_key))
+        return Relation.copy_from(
+            name or self.name, self.columns, sorted(self.rows, key=row_sort_key)
+        )
 
     def __repr__(self) -> str:
         return f"Relation({self.name!r}, columns={self.columns!r}, rows={len(self.rows)})"

@@ -33,11 +33,13 @@ def semijoin(left: Relation, right: Relation) -> Relation:
     shared = [c for c in left.columns if c in right.columns]
     if not shared:
         if len(right) == 0:
-            return Relation(left.name, left.columns, [])
+            return Relation.copy_from(left.name, left.columns, [])
         return left
     right_keys = set(HashIndex(right, shared).keys())
     positions = left.positions_of(shared)
-    return Relation(
+    # A semijoin keeps a subset of already-distinct rows, so the dedup scan
+    # of Relation.__init__ is pure overhead on this hot path.
+    return Relation.copy_from(
         left.name,
         left.columns,
         (row for row in left.rows if tuple(row[p] for p in positions) in right_keys),

@@ -1,0 +1,43 @@
+"""Serving layer: index reuse and batched answering for (U)CQ workloads.
+
+The paper's guarantee — O(log n) random access after *linear*
+preprocessing — is only a win when the preprocessing is paid once and the
+index is then hit many times. The modules here supply that "build once,
+serve many" shape:
+
+* :mod:`repro.service.cache` — :class:`IndexCache`, an LRU of built
+  indexes keyed by the canonicalized query and the database's mutation
+  version, so repeated queries skip preprocessing entirely and any
+  mutation invalidates exactly the stale entries;
+* :mod:`repro.service.query_service` — :class:`QueryService`, the façade
+  the applications (pagination, online aggregation, the CLI) talk to:
+  ``count`` / ``get`` / ``batch`` / ``sample`` / ``page`` plus
+  ``insert`` / ``delete`` mutations that keep the cache honest.
+
+Quickstart
+----------
+>>> import random
+>>> from repro import Database, Relation
+>>> from repro.service import QueryService
+>>> db = Database([
+...     Relation("R", ("a", "b"), [(1, 10), (2, 20)]),
+...     Relation("S", ("b", "c"), [(10, "x"), (10, "y"), (20, "z")]),
+... ])
+>>> service = QueryService(db)
+>>> q = "Q(a, b, c) :- R(a, b), S(b, c)"
+>>> service.count(q)
+3
+>>> service.batch(q, [2, 0, 2])
+[(2, 20, 'z'), (1, 10, 'x'), (2, 20, 'z')]
+>>> service.cache_info().hits  # count built the index; batch reused it
+1
+>>> service.insert("R", (3, 20))         # invalidates cached indexes
+True
+>>> service.count(q)
+4
+"""
+
+from repro.service.cache import IndexCache, canonical_query_key
+from repro.service.query_service import QueryService
+
+__all__ = ["IndexCache", "QueryService", "canonical_query_key"]

@@ -1,0 +1,187 @@
+"""A shared LRU cache of built random-access indexes.
+
+Keying
+------
+A cache entry is addressed by ``(database, database version, query key)``:
+
+* the *database* is the :class:`~repro.database.database.Database` object
+  itself (identity hash) — keeping it in the key pins it alive for the
+  entry's lifetime, so a key can never be recycled by a later allocation
+  the way an ``id()`` token could;
+* the *database version* is the database's monotone mutation counter —
+  any ``insert`` / ``delete`` / ``replace`` bumps it, so entries built
+  against older contents can never be returned again;
+* the *query key* is the canonicalized structural form produced by
+  :func:`canonical_query_key`, making the cache insensitive to how the
+  query text was formatted or what the query object instance is.
+
+Canonicalization is deliberately conservative: it preserves atom order and
+variable names, because both influence the join-tree construction and
+hence the *enumeration order* of the resulting index. Two requests that
+canonicalize equal are guaranteed to build byte-for-byte interchangeable
+indexes; alpha-equivalent queries that would enumerate in a different
+order hash apart, which costs a rebuild but never serves answers in the
+wrong order.
+
+Doctest
+-------
+>>> cache = IndexCache(capacity=2)
+>>> cache.get_or_build("a", lambda: "index-a")
+'index-a'
+>>> cache.get_or_build("a", lambda: "never called")
+'index-a'
+>>> cache.get_or_build("b", lambda: "index-b")
+'index-b'
+>>> cache.get_or_build("c", lambda: "index-c")  # evicts "a" (LRU)
+'index-c'
+>>> sorted(cache.keys())
+['b', 'c']
+>>> (cache.hits, cache.misses, cache.evictions)
+(1, 3, 1)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterable, List, NamedTuple, Tuple
+
+from repro.query.atoms import Constant, Variable
+from repro.query.cq import ConjunctiveQuery
+from repro.query.ucq import UnionOfConjunctiveQueries
+
+
+class CacheInfo(NamedTuple):
+    """A snapshot of cache effectiveness counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    capacity: int
+
+
+def _cq_key(query: ConjunctiveQuery) -> tuple:
+    head = tuple(v.name for v in query.head)
+    body = tuple(
+        (
+            atom.relation,
+            tuple(
+                ("v", term.name) if isinstance(term, Variable) else ("c", term.value)
+                for term in atom.terms
+            ),
+        )
+        for atom in query.body
+    )
+    return ("cq", head, body)
+
+
+def canonical_query_key(query) -> tuple:
+    """A hashable structural key for a CQ or UCQ.
+
+    Ignores the query's display name and the object identity; preserves
+    everything that influences index construction (head order, body atom
+    order, variable names, constants). Re-parsing the same rule text
+    therefore yields an equal key:
+
+    >>> from repro import parse_cq
+    >>> canonical_query_key(parse_cq("Q(x) :- R(x, y)")) == \\
+    ...     canonical_query_key(parse_cq("Named(x)  :-  R(x, y)"))
+    True
+    >>> canonical_query_key(parse_cq("Q(x) :- R(x, y)")) == \\
+    ...     canonical_query_key(parse_cq("Q(y) :- R(y, x)"))
+    False
+    """
+    if isinstance(query, UnionOfConjunctiveQueries):
+        return ("ucq",) + tuple(_cq_key(q) for q in query.queries)
+    if isinstance(query, ConjunctiveQuery):
+        return _cq_key(query)
+    raise TypeError(f"cannot key a {type(query).__name__} for the index cache")
+
+
+class IndexCache:
+    """A capacity-bounded LRU mapping of keys to built indexes.
+
+    The cache is agnostic to what it stores — the
+    :class:`~repro.service.query_service.QueryService` keeps
+    :class:`~repro.core.cq_index.CQIndex` /
+    :class:`~repro.core.union_access.MCUCQIndex` instances in it, keyed as
+    described in the module docstring. ``get_or_build`` is the only read
+    path; :meth:`invalidate` drops entries eagerly (stale entries would
+    also simply never be hit again, but dropping them frees capacity and
+    memory immediately).
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[object, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def keys(self) -> List[object]:
+        """Current keys in LRU order (least recently used first)."""
+        return list(self._entries)
+
+    def get_or_build(self, key, builder: Callable[[], object]):
+        """The cached entry for ``key``, building (and caching) on miss.
+
+        A hit moves the entry to most-recently-used; a miss that
+        overflows :attr:`capacity` evicts the least recently used entry.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        self.misses += 1
+        entry = builder()
+        self._entries[key] = entry
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    def invalidate(self, predicate: Callable[[object], bool] = None) -> int:
+        """Drop entries whose key satisfies ``predicate`` (all, if omitted).
+
+        Returns how many entries were dropped. The service calls this with
+        a database-identity predicate after every mutation, so cache
+        capacity is never wasted on unreachable versions.
+        """
+        if predicate is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [key for key in self._entries if predicate(key)]
+            for key in stale:
+                del self._entries[key]
+            dropped = len(stale)
+        self.invalidations += dropped
+        return dropped
+
+    def info(self) -> CacheInfo:
+        """A snapshot of the effectiveness counters."""
+        return CacheInfo(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            invalidations=self.invalidations,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexCache(size={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,262 @@
+"""The query-serving façade: build indexes once, answer many requests.
+
+``QueryService`` binds one :class:`~repro.database.database.Database` and
+routes every request through the shared :class:`~repro.service.cache.IndexCache`:
+
+* ``count(q)`` — ``|Q(D)|`` in O(1) after the (cached) build;
+* ``get(q, i)`` — single random access;
+* ``batch(q, positions)`` — amortized batched access
+  (:meth:`~repro.core.cq_index.CQIndex.batch`);
+* ``sample(q, k)`` — ``k`` uniform draws without replacement, equal to the
+  first ``k`` elements of REnum's random permutation;
+* ``page(q, number)`` / ``paginator(q)`` — pagination served by batched
+  access;
+* ``random_order(q)`` — the full REnum stream;
+* ``insert`` / ``delete`` — database mutations that bump the database
+  version and invalidate the cached indexes (set semantics: re-inserting
+  an existing fact or deleting an absent one is a no-op that keeps the
+  cache warm).
+
+Queries may be rule strings (parsed once per call — cheap next to any
+index work), :class:`~repro.query.cq.ConjunctiveQuery` objects, or
+:class:`~repro.query.ucq.UnionOfConjunctiveQueries` (served through
+:class:`~repro.core.union_access.MCUCQIndex`, so members must be mutually
+compatible).
+
+Doctest
+-------
+>>> import random
+>>> from repro import Database, Relation
+>>> from repro.service.query_service import QueryService
+>>> db = Database([
+...     Relation("R", ("a", "b"), [(1, 10), (2, 20)]),
+...     Relation("S", ("b", "c"), [(10, "x"), (10, "y"), (20, "z")]),
+... ])
+>>> service = QueryService(db)
+>>> q = "Q(a, b, c) :- R(a, b), S(b, c)"
+>>> service.get(q, 0)
+(1, 10, 'x')
+>>> service.page(q, 0, page_size=2)
+[(1, 10, 'x'), (1, 10, 'y')]
+>>> service.sample(q, 2, random.Random(0))
+[(1, 10, 'y'), (2, 20, 'z')]
+>>> service.delete("S", (20, "z"))
+True
+>>> service.count(q)
+2
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.apps.pagination import Paginator
+from repro.core.cq_index import CQIndex
+from repro.core.union_access import MCUCQIndex
+from repro.database.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_cq, parse_ucq
+from repro.query.ucq import UnionOfConjunctiveQueries
+
+from repro.service.cache import CacheInfo, IndexCache, canonical_query_key
+
+Query = Union[str, ConjunctiveQuery, UnionOfConjunctiveQueries]
+
+
+class QueryService:
+    """Serve counting, access, batching, sampling, and paging for one DB.
+
+    Parameters
+    ----------
+    database:
+        The database to serve. The service is the mutation entry point:
+        writes must go through :meth:`insert` / :meth:`delete` (or bump
+        ``database.version`` by other means) for cached indexes to be
+        invalidated correctly.
+    cache:
+        An :class:`~repro.service.cache.IndexCache` to (possibly) share
+        with other services; a private one is created by default.
+    cache_capacity:
+        Capacity of the private cache when ``cache`` is not given.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        cache: Optional[IndexCache] = None,
+        cache_capacity: int = 32,
+    ):
+        self._database = database
+        self._cache = cache if cache is not None else IndexCache(cache_capacity)
+
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    # ------------------------------------------------------------------ #
+    # Index resolution                                                    #
+    # ------------------------------------------------------------------ #
+
+    def resolve(self, query: Query):
+        """The parsed query object for a rule string (pass-through else).
+
+        Strings containing ``;`` parse as UCQs (member rules separated by
+        semicolons, as in :func:`~repro.query.parser.parse_ucq`); anything
+        else parses as a single CQ rule.
+        """
+        if isinstance(query, str):
+            return parse_ucq(query) if ";" in query else parse_cq(query)
+        return query
+
+    def index(self, query: Query):
+        """The (cached) random-access index for ``query``.
+
+        The cache key includes ``database.version``, so a mutation between
+        two calls yields a fresh build; identical repeat calls are O(1)
+        lookups plus an LRU touch.
+        """
+        query = self.resolve(query)
+        # The key holds the Database object itself (identity hash): a live
+        # entry therefore pins its database, so — unlike an id() token —
+        # the key can never be recycled by a later allocation.
+        key = (self._database, self._database.version, canonical_query_key(query))
+        return self._cache.get_or_build(key, lambda: self._build(query))
+
+    def _build(self, query):
+        if isinstance(query, UnionOfConjunctiveQueries):
+            return MCUCQIndex(query, self._database)
+        return CQIndex(query, self._database)
+
+    # ------------------------------------------------------------------ #
+    # Read API                                                            #
+    # ------------------------------------------------------------------ #
+
+    def count(self, query: Query) -> int:
+        """``|Q(D)|`` — O(1) after the cached build."""
+        return self.index(query).count
+
+    def get(self, query: Query, position: int) -> tuple:
+        """The answer at ``position`` of the enumeration order."""
+        return self.index(query).access(position)
+
+    def batch(self, query: Query, positions: Sequence[int]) -> List[tuple]:
+        """The answers at ``positions`` (unsorted, duplicates allowed)."""
+        return self.index(query).batch(positions)
+
+    def sample(
+        self, query: Query, k: int, rng: Optional[random.Random] = None
+    ) -> List[tuple]:
+        """``min(k, count)`` uniform draws without replacement.
+
+        Equal to the first ``k`` answers of :meth:`random_order` under the
+        same seeded ``rng``, but served by one batched access.
+        """
+        return self.index(query).sample_many(k, rng)
+
+    def random_order(
+        self, query: Query, rng: Optional[random.Random] = None
+    ) -> Iterator[tuple]:
+        """REnum: stream every answer in uniformly random order."""
+        return self.index(query).random_order(rng)
+
+    def page(self, query: Query, number: int, page_size: int = 10) -> List[tuple]:
+        """Page ``number`` (0-based) of the enumeration order."""
+        return self.paginator(query, page_size=page_size).page(number)
+
+    def paginator(self, query: Query, page_size: int = 10):
+        """A live :class:`~repro.apps.pagination.Paginator` for ``query``.
+
+        *Live*: the paginator re-resolves its index through the service on
+        every use, so a long-held paginator keeps serving correct pages
+        (and a correct ``total_pages``) across :meth:`insert` /
+        :meth:`delete` mutations instead of pinning a pre-mutation
+        snapshot. Between mutations the resolution is a cache hit.
+        """
+        return _LivePaginator(self, self.resolve(query), page_size=page_size)
+
+    def online_mean(
+        self,
+        query: Query,
+        value_of,
+        sample_size: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+        report_every: int = 1,
+    ):
+        """Anytime estimates of a population mean over a uniform sample.
+
+        Draws ``sample_size`` answers (all of them by default) through the
+        cached index's batched sampler and folds them into
+        :func:`~repro.apps.online_aggregation.estimate_mean` — the paper's
+        online-aggregation application without a per-call index rebuild.
+        """
+        from repro.apps.online_aggregation import estimate_mean_via_index
+
+        return estimate_mean_via_index(
+            self.index(query),
+            value_of,
+            sample_size=sample_size,
+            rng=rng,
+            report_every=report_every,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Mutations                                                           #
+    # ------------------------------------------------------------------ #
+
+    def insert(self, relation: str, row: tuple) -> bool:
+        """Insert a fact; invalidates cached indexes on actual change."""
+        changed = self._database.insert(relation, row)
+        if changed:
+            self._invalidate()
+        return changed
+
+    def delete(self, relation: str, row: tuple) -> bool:
+        """Delete a fact; invalidates cached indexes on actual change."""
+        changed = self._database.delete(relation, row)
+        if changed:
+            self._invalidate()
+        return changed
+
+    def _invalidate(self) -> None:
+        # A shared cache may hold foreign-shaped keys (IndexCache is
+        # storage-agnostic); only this service's (database, version, query)
+        # tuples are ours to drop.
+        database = self._database
+        self._cache.invalidate(
+            lambda key: isinstance(key, tuple) and len(key) > 0 and key[0] is database
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/eviction/invalidation counters of the shared cache."""
+        return self._cache.info()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService({self._database!r}, cache={self._cache!r})"
+        )
+
+
+class _LivePaginator(Paginator):
+    """A paginator whose index re-resolves through the service per use."""
+
+    def __init__(self, service: QueryService, query, page_size: int = 10):
+        self._service = service
+        self._query = query
+        # Validates page_size and primes the cache; the index attribute set
+        # here is shadowed by the property below.
+        super().__init__(service.index(query), page_size=page_size)
+
+    @property
+    def index(self):
+        return self._service.index(self._query)
+
+    @index.setter
+    def index(self, value) -> None:
+        # Paginator.__init__ assigns self.index; the live view ignores the
+        # pinned snapshot and always resolves through the service.
+        pass

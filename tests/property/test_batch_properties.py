@@ -1,0 +1,154 @@
+"""Property tests for the batched access engine (PR: batch + cache).
+
+Invariants, over random free-connex queries and random databases:
+
+* ``index.batch(positions) == [index.access(i) for i in positions]`` for
+  arbitrary position lists — unsorted, duplicate-containing, empty;
+* ``sample_many(k, rng)`` equals ``k`` sequential draws from a
+  ``RandomPermutationEnumerator`` under the same seeded rng (same values,
+  same order, same randomness consumed);
+* the union variants (``MCUCQIndex.batch`` / ``sample_many`` and
+  ``UnionRandomEnumerator.take``) match their scalar counterparts.
+
+Two query sources: the fixed shape pool shared with
+``test_index_properties`` (covers projections, self-joins, cartesian
+forests, constants) and fully random join trees from
+``repro.workloads.generators.random_acyclic_query``.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CQIndex, Database, MCUCQIndex, Relation, parse_cq, parse_ucq
+from repro.core.errors import OutOfBoundError
+from repro.core.permutation import RandomPermutationEnumerator
+from repro.core.union_enum import UnionRandomEnumerator
+from repro.workloads.generators import random_acyclic_query, random_database
+
+
+def relation_strategy(name, columns, domain=4, max_rows=12):
+    row = st.tuples(*(st.integers(0, domain - 1) for __ in columns))
+    return st.lists(row, max_size=max_rows).map(
+        lambda rows: Relation(name, columns, rows)
+    )
+
+
+QUERY_SHAPES = [
+    ("Q(a, b, c) :- R(a, b), S(b, c)", {"R": ("x", "y"), "S": ("x", "y")}),
+    ("Q(a) :- R(a, b), S(b, c)", {"R": ("x", "y"), "S": ("x", "y")}),
+    ("Q(a, b) :- R(a, b), S(b, c), T(b, d)",
+     {"R": ("x", "y"), "S": ("x", "y"), "T": ("x", "y")}),
+    ("Q(a, b, c, d) :- R(a, b), S(c, d)", {"R": ("x", "y"), "S": ("x", "y")}),
+    ("Q(a, b, c) :- R(a, b), R(b, c)", {"R": ("x", "y")}),
+    ("Q(a) :- R(a, a)", {"R": ("x", "y")}),
+    ("Q(a, b) :- R(a, b), S(b, 1)", {"R": ("x", "y"), "S": ("x", "y")}),
+    ("Q(h, x, y, w) :- R(h, x), S(h, y), T(h, w)",
+     {"R": ("x", "y"), "S": ("x", "y"), "T": ("x", "y")}),
+]
+
+
+@st.composite
+def database_and_query(draw):
+    text, schemas = draw(st.sampled_from(QUERY_SHAPES))
+    relations = [draw(relation_strategy(name, cols)) for name, cols in schemas.items()]
+    return parse_cq(text), Database(relations)
+
+
+@st.composite
+def positions_for(draw, count, max_size=30):
+    if count == 0:
+        return []
+    return draw(st.lists(st.integers(0, count - 1), max_size=max_size))
+
+
+@given(database_and_query(), st.data())
+@settings(max_examples=120, deadline=None)
+def test_batch_equals_scalar_loop(case, data):
+    query, db = case
+    index = CQIndex(query, db)
+    positions = data.draw(positions_for(index.count))
+    assert index.batch(positions) == [index.access(i) for i in positions]
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(1, 4), st.booleans(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_batch_on_random_acyclic_queries(seed, atoms, full, data):
+    rng = random.Random(seed)
+    query = random_acyclic_query(atoms, rng, full=full)
+    db = random_database(query, rng, rows_per_relation=12, domain=4)
+    index = CQIndex(query, db)
+    positions = data.draw(positions_for(index.count, max_size=40))
+    assert index.batch(positions) == [index.access(i) for i in positions]
+
+
+@given(database_and_query())
+@settings(max_examples=40, deadline=None)
+def test_batch_covers_full_range_shuffled(case):
+    query, db = case
+    index = CQIndex(query, db)
+    positions = list(range(index.count)) * 2
+    random.Random(0).shuffle(positions)
+    assert index.batch(positions) == [index.access(i) for i in positions]
+
+
+@given(database_and_query(), st.integers(0, 2**32 - 1), st.integers(0, 40))
+@settings(max_examples=80, deadline=None)
+def test_sample_many_matches_sequential_renum_draws(case, seed, k):
+    query, db = case
+    index = CQIndex(query, db)
+    sequential = list(itertools.islice(
+        RandomPermutationEnumerator(index, rng=random.Random(seed)), k))
+    assert index.sample_many(k, random.Random(seed)) == sequential
+
+
+@given(database_and_query(), st.integers(-5, 5))
+@settings(max_examples=30, deadline=None)
+def test_batch_out_of_bounds_is_all_or_nothing(case, offset):
+    query, db = case
+    index = CQIndex(query, db)
+    bad = index.count + max(offset, 0) if offset >= 0 else offset
+    with pytest.raises(OutOfBoundError):
+        index.batch([0] * min(index.count, 1) + [bad])
+    assert index.batch([]) == []
+
+
+UNION_TEXT = "Q(x, y) :- R(x, y) ; Q(x, y) :- T(x, y)"
+
+
+@given(
+    relation_strategy("R", ("x", "y")),
+    relation_strategy("T", ("x", "y")),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_union_batch_and_sample_match_scalars(r, t, seed):
+    db = Database([r, t])
+    index = MCUCQIndex(parse_ucq(UNION_TEXT), db)
+    rng = random.Random(seed)
+    positions = [rng.randrange(index.count) for __ in range(10)] if index.count else []
+    assert index.batch(positions) == [index.access(i) for i in positions]
+    k = min(5, index.count)
+    want = list(itertools.islice(index.random_order(random.Random(seed)), k))
+    assert index.sample_many(k, random.Random(seed)) == want
+
+
+@given(
+    relation_strategy("R", ("x", "y")),
+    relation_strategy("T", ("x", "y")),
+    st.integers(0, 2**32 - 1),
+    st.integers(0, 30),
+)
+@settings(max_examples=60, deadline=None)
+def test_union_enumerator_take_matches_sequential_next(r, t, seed, k):
+    db = Database([r, t])
+    queries = [parse_cq("Q(x, y) :- R(x, y)"), parse_cq("Q(x, y) :- T(x, y)")]
+
+    def build(seeded):
+        indexes = [CQIndex(q, db) for q in queries]
+        return UnionRandomEnumerator.for_indexes(indexes, rng=random.Random(seeded))
+
+    sequential = list(itertools.islice(build(seed), k))
+    assert build(seed).take(k) == sequential

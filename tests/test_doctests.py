@@ -11,11 +11,21 @@ import pytest
 import repro
 import repro.core.shuffle
 import repro.query.parser
+import repro.service
+import repro.service.cache
+import repro.service.query_service
 
 
 @pytest.mark.parametrize(
     "module",
-    [repro, repro.core.shuffle, repro.query.parser],
+    [
+        repro,
+        repro.core.shuffle,
+        repro.query.parser,
+        repro.service,
+        repro.service.cache,
+        repro.service.query_service,
+    ],
     ids=lambda m: m.__name__,
 )
 def test_module_doctests(module):

@@ -1,0 +1,240 @@
+"""Tests for the serving layer: IndexCache and QueryService.
+
+Covers the PR's cache satellites: LRU eviction order under capacity
+pressure, invalidation after mutations (checked against a
+``DynamicCQIndex`` fed the same update stream), and a chi-square check
+that cached-index sampling stays uniform at the tolerance used by
+``repro.experiments.uniformity`` elsewhere in the suite.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    CQIndex,
+    Database,
+    DynamicCQIndex,
+    IndexCache,
+    QueryService,
+    Relation,
+    parse_cq,
+    parse_ucq,
+)
+from repro.database.relation import RelationError
+from repro.experiments.uniformity import chi_square_uniform
+from repro.service.cache import canonical_query_key
+
+
+def fresh_db() -> Database:
+    return Database([
+        Relation("R", ("a", "b"), [(1, 10), (2, 20), (3, 30)]),
+        Relation("S", ("b", "c"), [(10, 100), (10, 101), (20, 200), (30, 300)]),
+    ])
+
+
+CHAIN = "Q(a, b, c) :- R(a, b), S(b, c)"
+
+
+class TestCanonicalQueryKey:
+    def test_insensitive_to_name_and_whitespace(self):
+        key1 = canonical_query_key(parse_cq("Q(a, b) :- R(a, b)"))
+        key2 = canonical_query_key(parse_cq("Other(a,b)  :-  R(a , b)"))
+        assert key1 == key2
+
+    def test_sensitive_to_structure(self):
+        base = canonical_query_key(parse_cq("Q(a, b) :- R(a, b)"))
+        assert base != canonical_query_key(parse_cq("Q(b, a) :- R(a, b)"))
+        assert base != canonical_query_key(parse_cq("Q(a, b) :- R(b, a)"))
+        assert base != canonical_query_key(parse_cq("Q(a, b) :- R(a, b), R(b, a)"))
+
+    def test_variable_names_matter(self):
+        # Alpha-renaming can change bucket sort order (columns sort by
+        # name), so equivalent-but-renamed queries must hash apart.
+        key1 = canonical_query_key(parse_cq("Q(x, y) :- R(x, y)"))
+        key2 = canonical_query_key(parse_cq("Q(y, x) :- R(y, x)"))
+        assert key1 != key2
+
+    def test_constants_distinguish(self):
+        key1 = canonical_query_key(parse_cq("Q(a) :- R(a, 1)"))
+        key2 = canonical_query_key(parse_cq("Q(a) :- R(a, 2)"))
+        assert key1 != key2
+
+    def test_ucq_keys(self):
+        u = parse_ucq("Q(x, y) :- R(x, y) ; Q(x, y) :- S(x, y)")
+        assert canonical_query_key(u)[0] == "ucq"
+        with pytest.raises(TypeError):
+            canonical_query_key("not a query object")
+
+
+class TestIndexCacheLRU:
+    def test_eviction_order_under_capacity_pressure(self):
+        cache = IndexCache(capacity=2)
+        cache.get_or_build("a", lambda: "A")
+        cache.get_or_build("b", lambda: "B")
+        # Touch "a" so "b" becomes least recently used.
+        cache.get_or_build("a", lambda: "never")
+        cache.get_or_build("c", lambda: "C")
+        assert "b" not in cache
+        assert cache.keys() == ["a", "c"]
+        assert cache.evictions == 1
+
+    def test_hit_returns_cached_object(self):
+        cache = IndexCache(capacity=4)
+        built = []
+        entry = cache.get_or_build("k", lambda: built.append(1) or object())
+        again = cache.get_or_build("k", lambda: built.append(1) or object())
+        assert entry is again
+        assert built == [1]
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_invalidate_predicate_and_clear(self):
+        cache = IndexCache(capacity=8)
+        for key in ("x1", "x2", "y1"):
+            cache.get_or_build(key, lambda: key)
+        assert cache.invalidate(lambda k: k.startswith("x")) == 2
+        assert cache.keys() == ["y1"]
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+        assert cache.invalidations == 3
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            IndexCache(capacity=0)
+
+    @pytest.mark.slow
+    def test_stress_many_queries_cycling_under_pressure(self):
+        """Regression: a long mixed workload never serves stale answers and
+        never exceeds capacity."""
+        db = fresh_db()
+        cache = IndexCache(capacity=3)
+        service = QueryService(db, cache=cache)
+        queries = [
+            CHAIN,
+            "Q(a) :- R(a, b), S(b, c)",
+            "Q(a, b) :- R(a, b)",
+            "Q(b, c) :- S(b, c)",
+            "Q(a, b) :- R(a, b), S(b, c), S(b, d)",
+        ]
+        rng = random.Random(7)
+        for step in range(300):
+            q = rng.choice(queries)
+            if rng.random() < 0.1:
+                row = (rng.randrange(50) + 100, rng.randrange(5) * 10 + 10)
+                service.insert("R", (row[0], row[1]))
+            expected = CQIndex(parse_cq(q), db)
+            assert service.count(q) == expected.count
+            if expected.count:
+                position = rng.randrange(expected.count)
+                assert service.get(q, position) == expected.access(position)
+            assert len(cache) <= 3
+
+
+class TestQueryServiceCaching:
+    def test_repeat_calls_hit_the_cache(self):
+        service = QueryService(fresh_db())
+        first = service.index(CHAIN)
+        again = service.index(CHAIN)
+        assert first is again
+        info = service.cache_info()
+        assert info.hits == 1 and info.misses == 1
+
+    def test_batch_page_sample_agree_with_index(self):
+        service = QueryService(fresh_db())
+        index = service.index(CHAIN)
+        positions = [3, 0, 3, 1]
+        assert service.batch(CHAIN, positions) == [index.access(i) for i in positions]
+        assert service.page(CHAIN, 1, page_size=2) == index.batch([2, 3])
+        assert service.sample(CHAIN, 2, random.Random(5)) == index.sample_many(
+            2, random.Random(5)
+        )
+
+    def test_ucq_queries_are_served(self):
+        db = Database([
+            Relation("R", ("x", "y"), [(1, 2), (3, 4)]),
+            Relation("T", ("x", "y"), [(3, 4), (5, 6)]),
+        ])
+        service = QueryService(db)
+        u = parse_ucq("Q(x, y) :- R(x, y) ; Q(x, y) :- T(x, y)")
+        assert service.count(u) == 3
+        assert sorted(service.batch(u, range(3))) == [(1, 2), (3, 4), (5, 6)]
+
+    def test_online_mean_uses_cached_index(self):
+        service = QueryService(fresh_db())
+        estimates = list(
+            service.online_mean(CHAIN, lambda t: t[2], rng=random.Random(3))
+        )
+        assert estimates[-1].seen == service.count(CHAIN)
+        truth = sum(t[2] for t in service.batch(CHAIN, range(service.count(CHAIN))))
+        assert estimates[-1].mean == pytest.approx(truth / service.count(CHAIN))
+        assert service.cache_info().misses == 1
+
+
+class TestInvalidationOnMutation:
+    def test_insert_and_delete_refresh_results(self):
+        service = QueryService(fresh_db())
+        assert service.count(CHAIN) == 4
+        assert service.insert("S", (30, 301))
+        assert service.count(CHAIN) == 5
+        assert service.delete("R", (1, 10))
+        assert service.count(CHAIN) == 3
+
+    def test_noop_mutations_keep_the_cache_warm(self):
+        service = QueryService(fresh_db())
+        service.count(CHAIN)
+        version = service.database.version
+        assert not service.insert("R", (1, 10))       # already present
+        assert not service.delete("R", (99, 99))      # absent
+        assert service.database.version == version
+        service.count(CHAIN)
+        assert service.cache_info().hits == 1
+
+    def test_insert_arity_is_checked(self):
+        service = QueryService(fresh_db())
+        with pytest.raises(RelationError):
+            service.insert("R", (1, 2, 3))
+
+    def test_matches_dynamic_index_under_update_stream(self):
+        """The cache's rebuild-on-mutation must agree with the incremental
+        DynamicCQIndex fed the same inserts/deletes (full CQ, so both
+        apply)."""
+        full = "Q(a, b, c) :- R(a, b), S(b, c)"
+        db = fresh_db()
+        service = QueryService(db)
+        dynamic = DynamicCQIndex(parse_cq(full), fresh_db())
+        rng = random.Random(11)
+        for step in range(120):
+            relation = rng.choice(["R", "S"])
+            arity2 = (rng.randrange(4), rng.randrange(4) * 10 + 10) \
+                if relation == "R" else (rng.randrange(4) * 10 + 10, rng.randrange(400))
+            if rng.random() < 0.6:
+                changed = service.insert(relation, arity2)
+                if changed:
+                    dynamic.insert(relation, arity2)
+            else:
+                changed = service.delete(relation, arity2)
+                if changed:
+                    dynamic.delete(relation, arity2)
+            assert service.count(full) == dynamic.count
+        assert sorted(service.batch(full, range(service.count(full)))) == sorted(dynamic)
+
+
+class TestCachedSamplingUniformity:
+    @pytest.mark.slow
+    def test_first_draw_of_cached_sample_many_is_uniform(self):
+        """Chi-square audit at the tolerance the uniformity experiments
+        use (significance 0.001): the first element of ``sample_many``
+        from a *cached* index must be uniform over the answer set — the
+        cache must not freeze any sampling state, only the structure."""
+        service = QueryService(fresh_db())
+        n = service.count(CHAIN)
+        universe = service.batch(CHAIN, range(n))
+        counts = {answer: 0 for answer in universe}
+        trials = 4000
+        for seed in range(trials):
+            first = service.sample(CHAIN, 1, random.Random(seed))[0]
+            counts[first] += 1
+        result = chi_square_uniform([counts[u] for u in universe])
+        assert result.consistent_with_uniform(significance=0.001)
+        # Every draw came through the one cached build.
+        assert service.cache_info().misses == 1
