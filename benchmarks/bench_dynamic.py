@@ -1,69 +1,193 @@
-"""Dynamic-index extension: update cost vs. rebuilding the static index.
+"""Acceptance gate: the dynamic mutation path vs. invalidate-and-rebuild.
 
-Not a paper figure — the paper's index is static — but its Related Work
-([6], answering UCQs under updates) motivates the comparison: a single
-tuple update costs O(depth·log) in the dynamic index versus a full O(|D|)
-static rebuild, while access latency stays logarithmic.
+The serving question behind ``QueryService``'s update-in-place mode: a hot
+query is cached, the database takes single-tuple writes, and every write is
+followed by a re-query (count + first page — a live search page under
+churn). Two services process the identical update stream:
+
+* ``dynamic=True`` — the cached :class:`~repro.core.dynamic.DynamicCQIndex`
+  absorbs each write in O(depth · log) and is re-keyed to the new database
+  version;
+* ``dynamic=False`` — each write invalidates the cached
+  :class:`~repro.core.cq_index.CQIndex`, so the next re-query pays a full
+  O(|D|) rebuild.
+
+The gate asserts the dynamic path is ≥ 10× faster at ~10⁵ facts (the
+ISSUE 2 acceptance bar), verifies count agreement after every update and
+answer-set agreement at the end, and writes the measured numbers to
+``BENCH_dynamic.json`` so the perf trajectory records write-path numbers.
+
+Usage
+-----
+``PYTHONPATH=src python benchmarks/bench_dynamic.py``          (full, asserts 10×)
+``PYTHONPATH=src python benchmarks/bench_dynamic.py --smoke``  (small, CI-fast,
+asserts equivalence and a modest ≥ 2× bar)
+
+Not a pytest file on purpose: like ``bench_batch.py``, this is an
+acceptance gate that CI runs directly.
 """
 
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
 import random
+import sys
+import time
 
-import pytest
+from repro import Database, QueryService, Relation, parse_cq
 
-from repro import CQIndex, Database, DynamicCQIndex, Relation, parse_cq
-
-QUERY = parse_cq("Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d)")
+QUERY_TEXT = "Q(a, b, c) :- R(a, b), S(b, c)"
 
 
-def _database(n: int) -> Database:
+def build_database(left_rows: int, keys: int, partners: int) -> Database:
+    """A two-atom chain: |D| ≈ left_rows + keys·partners facts,
+    |answers| = left_rows × partners."""
     return Database([
-        Relation("R", ("a", "b"), [(i, i % (n // 8 or 1)) for i in range(n)]),
-        Relation("S", ("b", "c"), [(i % (n // 8 or 1), i % (n // 16 or 1)) for i in range(n // 2)]),
-        Relation("T", ("c", "d"), [(i % (n // 16 or 1), i) for i in range(n // 2)]),
+        Relation("R", ("a", "b"), [(i, i % keys) for i in range(left_rows)]),
+        Relation(
+            "S",
+            ("b", "c"),
+            [(j, k) for j in range(keys) for k in range(partners)],
+        ),
     ])
 
 
-@pytest.mark.parametrize("n", [2000, 8000])
-def test_dynamic_update_throughput(benchmark, n):
-    db = _database(n)
-    index = DynamicCQIndex(QUERY, db)
-    rng = random.Random(1)
-    keys = n // 8
-
-    def update_batch():
-        for i in range(200):
-            row = (n + i, rng.randrange(keys))
-            index.insert("R", row)
-            index.delete("R", row)
-
-    benchmark(update_batch)
-    assert index.count > 0
-    benchmark.extra_info["answers"] = index.count
-
-
-@pytest.mark.parametrize("n", [2000, 8000])
-def test_static_rebuild_cost(benchmark, n):
-    """The alternative the dynamic index avoids: rebuild per update."""
-    db = _database(n)
-
-    def rebuild():
-        return CQIndex(QUERY, db).count
-
-    count = benchmark(rebuild)
-    assert count > 0
+def update_stream(n_updates: int, left_rows: int, keys: int, seed: int):
+    """Alternating inserts and deletes of fresh R facts (every one a real
+    change, so both services do real work on every step)."""
+    rng = random.Random(seed)
+    stream = []
+    fresh = left_rows
+    for step in range(n_updates):
+        if step % 2 == 0:
+            row = (fresh, rng.randrange(keys))
+            stream.append(("insert", "R", row))
+            fresh += 1
+        else:
+            # Delete the row the previous step inserted: keeps |D| stable.
+            stream.append(("delete", "R", stream[-1][2]))
+    return stream
 
 
-@pytest.mark.parametrize("n", [2000, 8000])
-def test_dynamic_access_after_updates(benchmark, n):
-    db = _database(n)
-    index = DynamicCQIndex(QUERY, db)
-    rng = random.Random(2)
-    for i in range(100):
-        index.insert("R", (n + i, rng.randrange(n // 8)))
-    positions = [rng.randrange(index.count) for __ in range(256)]
+def timed(thunk):
+    """Time one call with the cyclic GC paused (see bench_batch.timed)."""
+    gc.collect()
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        result = thunk()
+        elapsed = time.perf_counter() - started
+    finally:
+        if enabled:
+            gc.enable()
+    return elapsed, result
 
-    def access_batch():
-        for position in positions:
-            index.access(position)
 
-    benchmark(access_batch)
+def mutate_and_requery(service: QueryService, query, updates, counts, page_size=10):
+    """Apply every update, re-serving count + first page after each."""
+    for operation, relation, row in updates:
+        if operation == "insert":
+            service.insert(relation, row)
+        else:
+            service.delete(relation, row)
+        count = service.count(query)
+        counts.append(count)
+        if count:
+            service.page(query, 0, page_size=page_size)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small instance, modest bar (CI sanity run)")
+    parser.add_argument("--updates", type=int, default=None,
+                        help="length of the update stream (default 40, smoke 12)")
+    parser.add_argument("--seed", type=int, default=20200614)
+    parser.add_argument("--json", default="BENCH_dynamic.json",
+                        help="where to write the measured numbers")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        left_rows, keys, partners = 2_000, 100, 2
+        required_speedup = 2.0
+    else:
+        left_rows, keys, partners = 100_000, 1_000, 2
+        required_speedup = 10.0
+    n_updates = args.updates if args.updates is not None else (12 if args.smoke else 40)
+
+    query = parse_cq(QUERY_TEXT)
+    db_dynamic = build_database(left_rows, keys, partners)
+    db_rebuild = build_database(left_rows, keys, partners)
+    updates = update_stream(n_updates, left_rows, keys, args.seed)
+
+    dynamic_service = QueryService(db_dynamic, dynamic=True)
+    rebuild_service = QueryService(db_rebuild, dynamic=False)
+    # Warm both caches: the gate measures the mutate-then-requery loop on a
+    # hot query, not the initial build.
+    warm_dynamic, __ = timed(lambda: dynamic_service.count(query))
+    warm_rebuild, __ = timed(lambda: rebuild_service.count(query))
+    n_facts = db_dynamic.size()
+    print(f"|D| = {n_facts} facts, |Q(D)| = {dynamic_service.count(query)}, "
+          f"{n_updates} updates")
+    print(f"warm build     : dynamic {warm_dynamic:.3f}s  "
+          f"static {warm_rebuild:.3f}s")
+
+    dynamic_counts, rebuild_counts = [], []
+    dynamic_seconds, __ = timed(
+        lambda: mutate_and_requery(dynamic_service, query, updates, dynamic_counts))
+    rebuild_seconds, __ = timed(
+        lambda: mutate_and_requery(rebuild_service, query, updates, rebuild_counts))
+
+    if dynamic_counts != rebuild_counts:
+        print("FAIL: dynamic and rebuild paths disagree on counts")
+        return 1
+    info = dynamic_service.cache_info()
+    if info.updates != n_updates:
+        print(f"FAIL: expected {n_updates} in-place updates, "
+              f"cache recorded {info.updates}")
+        return 1
+    n = dynamic_service.count(query)
+    final_dynamic = sorted(dynamic_service.batch(query, range(n)))
+    final_rebuild = sorted(rebuild_service.batch(query, range(n)))
+    if final_dynamic != final_rebuild:
+        print("FAIL: final answer sets differ between the two paths")
+        return 1
+    del final_dynamic, final_rebuild
+
+    speedup = rebuild_seconds / dynamic_seconds
+    print(f"mutate+requery : rebuild {rebuild_seconds:.3f}s  "
+          f"dynamic {dynamic_seconds:.3f}s  speedup {speedup:.1f}x")
+
+    payload = {
+        "benchmark": "bench_dynamic",
+        "query": QUERY_TEXT,
+        "facts": n_facts,
+        "answers": n,
+        "updates": n_updates,
+        "warm_build_dynamic_seconds": round(warm_dynamic, 6),
+        "warm_build_static_seconds": round(warm_rebuild, 6),
+        "dynamic_seconds": round(dynamic_seconds, 6),
+        "rebuild_seconds": round(rebuild_seconds, 6),
+        "speedup": round(speedup, 2),
+        "required_speedup": required_speedup,
+        "smoke": args.smoke,
+    }
+    path = pathlib.Path(args.json)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
+    if speedup < required_speedup:
+        print(f"FAIL: mutate+requery speedup {speedup:.1f}x "
+              f"below required {required_speedup:.1f}x")
+        return 1
+    print(f"OK: dynamic path is {speedup:.1f}x invalidate-and-rebuild "
+          f"(required {required_speedup:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,9 +10,11 @@ answer count.
 Serving note: a page is a contiguous index range, exactly the best case of
 the batched access engine, so :meth:`Paginator.page` issues one
 ``batch(range(start, stop))`` call when the index supports it. Call sites
-that serve many pages (or many queries) should obtain their paginator from
-:meth:`repro.service.QueryService.paginator`, which reuses one cached
-index instead of rebuilding per request.
+that serve many pages (or many queries) should obtain a
+:class:`LivePaginator` from :meth:`repro.service.QueryService.paginator`,
+which reuses one cached index instead of rebuilding per request *and*
+stays correct across database mutations — under the service's dynamic
+mutation path the same index object is patched in place between pages.
 """
 
 from __future__ import annotations
@@ -80,3 +82,36 @@ class Paginator:
         if position is None:
             return None
         return position // self.page_size
+
+
+class LivePaginator(Paginator):
+    """A paginator whose index re-resolves through a query service per use.
+
+    A plain :class:`Paginator` pins the index it was built over — correct
+    for a static snapshot, wrong for a long-held handle over a mutating
+    database. This variant holds a
+    :class:`~repro.service.query_service.QueryService` and a query instead:
+    every ``page`` / ``total_pages`` / ``page_of_answer`` resolves the
+    index through the service, so pages stay correct across
+    ``service.insert`` / ``service.delete``. Between mutations, resolution
+    is a cache hit; across a mutation it is either the same
+    :class:`~repro.core.dynamic.DynamicCQIndex` updated in place (the hot
+    path) or a fresh rebuild — the paginator cannot tell and does not care.
+    """
+
+    def __init__(self, service, query, page_size: int = 10):
+        self._service = service
+        self._query = service.resolve(query)
+        # Validates page_size and primes the cache; the index attribute set
+        # here is shadowed by the property below.
+        super().__init__(service.index(self._query), page_size=page_size)
+
+    @property
+    def index(self):
+        return self._service.index(self._query)
+
+    @index.setter
+    def index(self, value) -> None:
+        # Paginator.__init__ assigns self.index; the live view ignores the
+        # pinned snapshot and always resolves through the service.
+        pass

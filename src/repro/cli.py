@@ -9,7 +9,14 @@ Commands
     answers, fetch specific positions, or stream a random permutation.
 ``page`` / ``sample``
     Serve one page of the enumeration order, or ``k`` uniform draws
-    without replacement — both through a single batched access.
+    without replacement — both through a single batched access. Both
+    accept ``--insert``/``--delete`` mutations (``REL:v1,v2,…``) applied
+    through the service *after* the index is warm, and ``--dynamic`` to
+    serve via an update-in-place :class:`~repro.core.dynamic.DynamicCQIndex`
+    so the mutations patch the index instead of forcing a rebuild.
+``insert`` / ``delete``
+    Mutate the CSV database itself: apply one fact insert/delete through a
+    service and write the relation's ``.csv`` back.
 ``tpch``
     Generate the synthetic TPC-H instance and print table cardinalities.
 ``figures``
@@ -74,13 +81,55 @@ def _format_answer(answer: tuple) -> str:
     return ", ".join(str(v) for v in answer)
 
 
+def _parse_fact(spec: str):
+    """``"R:1,10"`` → ``("R", (1, 10))`` — the --insert/--delete format."""
+    relation, sep, values = spec.partition(":")
+    if not sep or not relation or not values:
+        raise SystemExit(f"bad fact {spec!r}: expected RELATION:v1,v2,...")
+    return relation, tuple(_parse_value(v) for v in values.split(","))
+
+
+def _write_relation_csv(directory: str, relation) -> pathlib.Path:
+    path = pathlib.Path(directory) / f"{relation.name}.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.columns)
+        writer.writerows(relation.rows)
+    return path
+
+
 def command_classify(args) -> int:
     print(describe_query(parse_cq(args.query)))
     return 0
 
 
 def _build_service(args) -> QueryService:
-    return QueryService(load_csv_database(args.database))
+    dynamic = True if getattr(args, "dynamic", False) else None
+    return QueryService(load_csv_database(args.database), dynamic=dynamic)
+
+
+def _apply_mutations(service: QueryService, args) -> None:
+    """Apply --insert/--delete facts with the query's index already warm.
+
+    Warming first is what exercises the update-in-place path: under
+    ``--dynamic`` the cached index absorbs each fact in O(depth · log)
+    instead of being invalidated, and the subsequent serving reads the
+    patched structure.
+    """
+    inserts = [_parse_fact(spec) for spec in (getattr(args, "insert", None) or ())]
+    deletes = [_parse_fact(spec) for spec in (getattr(args, "delete", None) or ())]
+    if not inserts and not deletes:
+        return
+    service.count(args.query)  # warm the index before the write burst
+    for relation, row in inserts:
+        service.insert(relation, row)
+    for relation, row in deletes:
+        service.delete(relation, row)
+    info = service.cache_info()
+    print(
+        f"applied {len(inserts)} insert(s), {len(deletes)} delete(s) "
+        f"({info.updates} absorbed in place, {info.invalidations} invalidations)"
+    )
 
 
 def command_count(args) -> int:
@@ -114,6 +163,7 @@ def command_shuffle(args) -> int:
 
 def command_page(args) -> int:
     service = _build_service(args)
+    _apply_mutations(service, args)
     paginator = service.paginator(args.query, page_size=args.page_size)
     try:
         answers = paginator.page(args.number)
@@ -132,9 +182,29 @@ def command_page(args) -> int:
 
 def command_sample(args) -> int:
     service = _build_service(args)
+    _apply_mutations(service, args)
     rng = random.Random(args.seed) if args.seed is not None else random.Random()
     for answer in service.sample(args.query, args.k, rng):
         print(_format_answer(answer))
+    return 0
+
+
+def command_mutate(args) -> int:
+    """Apply one insert/delete to the CSV database and persist it."""
+    database = load_csv_database(args.database)
+    service = QueryService(database)
+    row = tuple(_parse_value(v) for v in args.values)
+    if args.command == "insert":
+        changed = service.insert(args.relation, row)
+        outcome = "inserted" if changed else "already present (no-op)"
+    else:
+        changed = service.delete(args.relation, row)
+        outcome = "deleted" if changed else "absent (no-op)"
+    if changed:
+        path = _write_relation_csv(args.database, database.relation(args.relation))
+        print(f"{outcome}: {args.relation}({_format_answer(row)}) -> {path}")
+    else:
+        print(f"{outcome}: {args.relation}({_format_answer(row)})")
     return 0
 
 
@@ -204,7 +274,24 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "sample":
             sub.add_argument("k", type=int, help="number of draws")
             sub.add_argument("--seed", type=int, default=None)
+        if name in ("page", "sample"):
+            sub.add_argument("--insert", action="append", metavar="REL:v1,v2",
+                             help="insert a fact before serving (repeatable)")
+            sub.add_argument("--delete", action="append", metavar="REL:v1,v2",
+                             help="delete a fact before serving (repeatable)")
+            sub.add_argument("--dynamic", action="store_true",
+                             help="serve via an update-in-place dynamic index")
         sub.set_defaults(run=runner)
+
+    for name, help_text in (
+        ("insert", "insert one fact into a CSV relation and persist it"),
+        ("delete", "delete one fact from a CSV relation and persist it"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("database", help="directory of <relation>.csv files")
+        sub.add_argument("relation", help="relation (CSV file stem) to mutate")
+        sub.add_argument("values", nargs="+", help="the fact's values, in order")
+        sub.set_defaults(run=command_mutate)
 
     tpch = commands.add_parser("tpch", help="generate TPC-H and print sizes")
     tpch.add_argument("--scale-factor", type=float, default=0.01)

@@ -11,18 +11,32 @@ for **full acyclic joins** (the class all six benchmark queries belong to):
   per tree level instead of a bisect);
 * ``insert(relation, tuple)`` / ``delete(relation, tuple)`` cost
   O(depth · log) — the touched tuple's weight changes, and the bucket-total
-  change multiplies through the ancestor chain.
+  change multiplies through the ancestor chain;
+* ``batch`` / ``sample_many`` / ``random_order`` — the same amortized
+  serving surface as :class:`~repro.core.cq_index.CQIndex`, so the query
+  service can route requests to either index interchangeably.
 
 Design notes
 ------------
+* Construction goes through the reduction layer
+  (:func:`~repro.core.reduction.reduce_to_full_acyclic` with the Yannakakis
+  reducer *disabled*): atoms with constants or repeated variables are
+  normalized exactly as for the static index, and the initial load is one
+  Algorithm-2-style bottom-up pass (O(|D|) Fenwick appends) instead of
+  |D| propagating inserts. The reducer must stay off — a dangling tuple
+  carries weight zero today but may be revived by a later insert of its
+  join partner, so it has to remain in its bucket as a tombstone.
 * Rows carry a *multiplicity* (how many base facts normalize to them —
   relevant for atoms with repeated variables); a row participates while its
   multiplicity is positive. Deleting to multiplicity 0 keeps a zero-weight
   tombstone, so positions stay stable and re-insertion revives in place.
-* Buckets never re-sort: the enumeration order is insertion order. The
-  deterministic global-sort property that powers mc-UCQ compatibility is a
-  *static* luxury; a dynamic mc-UCQ index would need order-maintenance
-  structures, which the paper leaves open (see DESIGN.md).
+* Buckets never re-sort: the initial load is canonically sorted (so a
+  fresh dynamic index enumerates exactly like the static index), but rows
+  inserted later append at their bucket's tail — the enumeration order is
+  load-order. The deterministic global-sort property that powers mc-UCQ
+  compatibility is a *static* luxury; a dynamic mc-UCQ index would need
+  order-maintenance structures, which the paper leaves open (see
+  DESIGN.md).
 * Restriction to full queries is fundamental, not incidental: with
   existential variables, Proposition 4.2's projection step is only correct
   on globally consistent databases, and maintaining global consistency
@@ -32,15 +46,19 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import random
+from operator import itemgetter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.database.database import Database
-from repro.query.acyclicity import JoinTreeNode, join_tree
+from repro.database.relation import row_sort_key
 from repro.query.cq import ConjunctiveQuery
 from repro.query.free_connex import free_connex_report
 
 from repro.core.errors import NotFreeConnexError, OutOfBoundError
 from repro.core.fenwick import FenwickTree
+from repro.core.index import _digit_groups, _sorted_items
+from repro.core.reduction import ReducedNode, reduce_to_full_acyclic
 
 
 class _DynamicBucket:
@@ -75,6 +93,7 @@ class _DynamicNode:
         "columns",
         "children",
         "parent",
+        "position_in_parent",
         "parent_key_positions",
         "child_key_positions",
         "buckets",
@@ -85,6 +104,10 @@ class _DynamicNode:
     def __init__(self, columns: Tuple[str, ...], parent: Optional["_DynamicNode"]):
         self.columns = columns
         self.parent = parent
+        # Which child of the parent this node is; assigned by attach().
+        # Stored once so that update propagation never has to re-derive it
+        # with a linear children.index() scan.
+        self.position_in_parent: Optional[int] = None
         shared = (
             tuple(sorted(set(columns) & set(parent.columns)))
             if parent is not None
@@ -102,6 +125,7 @@ class _DynamicNode:
         self.dependents: List[Dict[tuple, List[Tuple[tuple, int]]]] = []
 
     def attach(self, child: "_DynamicNode") -> None:
+        child.position_in_parent = len(self.children)
         self.children.append(child)
         shared = tuple(sorted(set(child.columns) & set(self.columns)))
         self.child_key_positions.append(tuple(self.columns.index(c) for c in shared))
@@ -138,7 +162,9 @@ class DynamicCQIndex:
     Parameters
     ----------
     query:
-        A *full* free-connex (equivalently here: acyclic) CQ.
+        A *full* free-connex (equivalently here: acyclic) CQ. Atoms may
+        carry constants and repeated variables — normalization happens in
+        the reduction layer, the same code path the static index uses.
     database:
         The initial database (may be empty; relations must exist with the
         right arities).
@@ -158,10 +184,13 @@ class DynamicCQIndex:
         self.query = query
         self.head_variables = tuple(v.name for v in query.head)
 
-        tree = join_tree(query)
+        # Proposition 4.2's normalization, with the Yannakakis reducer off:
+        # dangling tuples must stay in their buckets (weight zero) so a
+        # later insert of a join partner can revive them in place.
+        reduced = reduce_to_full_acyclic(query, database, reduce=False)
         self._atom_nodes: Dict[int, _DynamicNode] = {}
         self.roots: List[_DynamicNode] = [
-            self._build(root, None) for root in tree.roots
+            self._build(root, None) for root in reduced.roots
         ]
         # Which atom occurrences does a base relation feed?
         self._routes: Dict[str, List[int]] = {}
@@ -169,22 +198,41 @@ class DynamicCQIndex:
             self._routes.setdefault(atom.relation, []).append(position)
         self._atoms = list(query.body)
 
-        # Load the initial data through the ordinary insert path so that
-        # multiplicities (repeated-variable atoms) come out exact.
-        for relation in {a.relation for a in query.body}:
-            for row in database.relation(relation).rows:
-                self.insert(relation, row)
-
     # ------------------------------------------------------------------ #
     # Construction                                                        #
     # ------------------------------------------------------------------ #
 
-    def _build(self, tree_node: JoinTreeNode, parent: Optional[_DynamicNode]) -> _DynamicNode:
-        columns = tuple(sorted(v.name for v in tree_node.variables))
-        node = _DynamicNode(columns, parent)
-        self._atom_nodes[tree_node.index] = node
-        for child in tree_node.children:
+    def _build(
+        self, reduced: ReducedNode, parent: Optional[_DynamicNode]
+    ) -> _DynamicNode:
+        """Build one node and bulk-load its (already normalized) rows.
+
+        Children build first, so this node's initial row weights are one
+        product of final child bucket totals each — Algorithm 2 with
+        Fenwick appends, no per-row propagation.
+        """
+        node = _DynamicNode(tuple(reduced.variables), parent)
+        self._atom_nodes[reduced.atom_index] = node
+        for child in reduced.children:
             node.attach(self._build(child, node))
+        groups: Dict[tuple, List[tuple]] = {}
+        for row in reduced.relation.rows:
+            groups.setdefault(node.bucket_key_of_row(row), []).append(row)
+        for key, rows in groups.items():
+            # Canonical initial order: a freshly built dynamic index
+            # enumerates exactly like the static (sorted-bucket) index, so
+            # promoting a hot query does not reshuffle already-served
+            # pages; only rows inserted after the build append at the tail.
+            rows.sort(key=row_sort_key)
+            bucket = node.buckets[key] = _DynamicBucket()
+            for row in rows:
+                # Normalization is injective per atom occurrence (constants
+                # and repeated-variable positions are determined by the
+                # normalized row), and base relations are sets — so every
+                # loaded row is one base fact.
+                node.multiplicity[(key, row)] = 1
+                position = bucket.add_row(row, node.own_weight(row))
+                node.register_row(key, row, position)
         return node
 
     # ------------------------------------------------------------------ #
@@ -231,12 +279,14 @@ class DynamicCQIndex:
 
     def _apply(self, node: _DynamicNode, row: tuple, delta: int) -> None:
         key = node.bucket_key_of_row(row)
+        multiplicity = node.multiplicity.get((key, row), 0) + delta
+        if multiplicity < 0:
+            # Deleting a non-member: a pure no-op. Checked before any bucket
+            # is allocated, so delete-misses cannot grow node.buckets.
+            return
         bucket = node.buckets.get(key)
         if bucket is None:
             bucket = node.buckets[key] = _DynamicBucket()
-        multiplicity = node.multiplicity.get((key, row), 0) + delta
-        if multiplicity < 0:
-            return  # deleting a non-member: no-op
         node.multiplicity[(key, row)] = multiplicity
 
         position = bucket.position_of(row)
@@ -263,8 +313,7 @@ class DynamicCQIndex:
         parent = node.parent
         if parent is None:
             return
-        child_position = parent.children.index(node)
-        affected = parent.dependents[child_position].get(key, ())
+        affected = parent.dependents[node.position_in_parent].get(key, ())
         changed_parent_keys = []
         for parent_key, position in affected:
             bucket = parent.buckets[parent_key]
@@ -327,6 +376,204 @@ class DynamicCQIndex:
             child_key = node.child_bucket_key(row, child_position)
             self._subtree_access(child, child_key, parts[child_position], assignment)
 
+    # ------------------------------------------------------------------ #
+    # Batched access (amortized, mirrors JoinForestIndex.batch_access)    #
+    # ------------------------------------------------------------------ #
+
+    def batch(self, indices: Sequence[int]) -> List[tuple]:
+        """The answers at ``indices`` — ``[self.access(i) for i in indices]``.
+
+        The request may be unsorted and contain duplicates; the result is
+        aligned with it. Amortized like
+        :meth:`~repro.core.index.JoinForestIndex.batch_access`: positions
+        are sorted once and served in one root-to-leaf walk, so each
+        Fenwick descent, row resolution, and column binding is shared by
+        every position inside the resolved tuple's index range. (Unlike the
+        static walk there is no weight-1 leaf shortcut — dynamic leaf
+        buckets hold zero-weight tombstones, so leaves locate through the
+        Fenwick tree too.) Raises
+        :class:`~repro.core.errors.OutOfBoundError` if any position is
+        outside ``[0, count)``, before resolving anything.
+        """
+        # Every slot is overwritten before returning (the bound check below
+        # is all-or-nothing), so placeholder empty tuples keep the element
+        # type honest.
+        out: List[tuple] = [()] * len(indices)
+        if not indices:
+            return out
+        count = self.count
+        if min(indices) < 0 or max(indices) >= count:
+            for index in indices:
+                if index < 0 or index >= count:
+                    raise OutOfBoundError(index, count)
+        acc: Dict[str, object] = {}
+        head = self.head_variables
+        if len(head) == 0:
+            def finish(slot: int) -> None:
+                out[slot] = ()
+        elif len(head) == 1:
+            name = head[0]
+
+            def finish(slot: int) -> None:
+                out[slot] = (acc[name],)
+        else:
+            getter = itemgetter(*head)
+
+            def finish(slot: int) -> None:
+                out[slot] = getter(acc)
+
+        if not self.roots:
+            for slot in range(len(indices)):
+                finish(slot)
+            return out
+        self._batch_roots(0, _sorted_items(indices), acc, finish)
+        return out
+
+    def _batch_roots(
+        self,
+        root_position: int,
+        items: List[Tuple[int, object]],
+        acc: Dict[str, object],
+        cont: Callable[[object], None],
+    ) -> None:
+        """Distribute sorted (index, payload) items across the root digits."""
+        roots = self.roots
+        root = roots[root_position]
+        if root_position == len(roots) - 1:
+            self._subtree_batch(root, (), items, 0, acc, cont)
+            return
+        suffix = 1
+        for later in roots[root_position + 1:]:
+            suffix *= later.buckets[()].total
+        self._subtree_batch(
+            root,
+            (),
+            _digit_groups(items, 0, suffix),
+            0,
+            acc,
+            lambda rest: self._batch_roots(root_position + 1, rest, acc, cont),
+        )
+
+    def _subtree_batch(
+        self,
+        node: _DynamicNode,
+        key: tuple,
+        items: List[Tuple[int, object]],
+        shift: int,
+        acc: Dict[str, object],
+        cont: Callable[[object], None],
+    ) -> None:
+        """Resolve sorted (index, payload) items within one bucket.
+
+        One Fenwick descent per *group* of positions sharing a resolved
+        row, not per position; the bucket-local position of an item is
+        ``item[0] - shift``.
+        """
+        bucket = node.buckets[key]
+        rows = bucket.rows
+        weights = bucket.weights
+        columns = node.columns
+        children = node.children
+        n = len(items)
+        i = 0
+        while i < n:
+            local = items[i][0] - shift
+            position = weights.locate(local)
+            base = weights.prefix(position)
+            end = shift + base + weights.value(position)
+            j = i + 1
+            while j < n and items[j][0] < end:
+                j += 1
+            row = rows[position]
+            for column, value in zip(columns, row):
+                acc[column] = value
+            if not children:
+                for __, payload in items[i:j]:
+                    cont(payload)
+            else:
+                self._batch_children(
+                    node, row, 0, items, i, j, shift + base, acc, cont
+                )
+            i = j
+
+    def _batch_children(
+        self,
+        node: _DynamicNode,
+        row: tuple,
+        child_position: int,
+        items: List[Tuple[int, object]],
+        lo: int,
+        hi: int,
+        shift: int,
+        acc: Dict[str, object],
+        cont: Callable[[object], None],
+    ) -> None:
+        """SplitIndex over a batch: peel off one child's digit at a time."""
+        children = node.children
+        child = children[child_position]
+        child_key = node.child_bucket_key(row, child_position)
+        if child_position == len(children) - 1:
+            if lo == 0 and hi == len(items):
+                group = items
+            else:
+                group = items[lo:hi]
+            self._subtree_batch(child, child_key, group, shift, acc, cont)
+            return
+        suffix = 1
+        for later in range(child_position + 1, len(children)):
+            suffix *= children[later].buckets[node.child_bucket_key(row, later)].total
+        self._subtree_batch(
+            child,
+            child_key,
+            _digit_groups(items[lo:hi], shift, suffix),
+            0,
+            acc,
+            lambda rest: self._batch_children(
+                node, row, child_position + 1, rest, 0, len(rest), 0, acc, cont
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sampling and random order                                           #
+    # ------------------------------------------------------------------ #
+
+    def sample_many(self, k: int, rng: Optional[random.Random] = None) -> List[tuple]:
+        """The first ``min(k, count)`` draws of :meth:`random_order`.
+
+        Element-for-element (and randomness-for-randomness) equal to ``k``
+        sequential draws from a seeded
+        :class:`~repro.core.permutation.RandomPermutationEnumerator`; the
+        positions come from one vectorized
+        :meth:`~repro.core.shuffle.LazyShuffle.take`, then a single batched
+        access serves them all. Draws are without replacement.
+        """
+        from repro.core.shuffle import LazyShuffle
+
+        positions = LazyShuffle(self.count, rng).take(k)
+        return self.batch(positions)
+
+    def random_order(self, rng: Optional[random.Random] = None):
+        """REnum over the *current* contents: answers in uniform random order.
+
+        The iterator snapshots nothing — mutating the index mid-iteration
+        has undefined results, like resizing any container under iteration.
+        """
+        from repro.core.permutation import RandomPermutationEnumerator
+
+        return iter(RandomPermutationEnumerator(self, rng=rng))
+
+    # ------------------------------------------------------------------ #
+    # Inverted access                                                     #
+    # ------------------------------------------------------------------ #
+
+    def ensure_inverted_support(self) -> None:
+        """No-op: dynamic buckets keep their rank tables up to date.
+
+        Present for interface parity with
+        :meth:`~repro.core.cq_index.CQIndex.ensure_inverted_support`, so
+        service-layer callers need not special-case the backing index.
+        """
+
     def inverted_access(self, answer: tuple) -> Optional[int]:
         if len(answer) != len(self.head_variables) or self.count == 0:
             return None
@@ -361,6 +608,10 @@ class DynamicCQIndex:
                 return None
             offset = offset * child_bucket.total + child_index
         return bucket.weights.prefix(position) + offset
+
+    def __contains__(self, answer: tuple) -> bool:
+        """Membership test via inverted access (the paper's ``Test``)."""
+        return self.inverted_access(tuple(answer)) is not None
 
     def __iter__(self):
         for index in range(self.count):

@@ -117,6 +117,10 @@ class ReducedNode:
     variables: Tuple[str, ...]  # column names (sorted), all free
     relation: Relation
     children: List["ReducedNode"] = field(default_factory=list)
+    #: Index of the body atom this node was projected from. Lets consumers
+    #: that route per-atom updates (the dynamic index) map reduced nodes
+    #: back to atom occurrences.
+    atom_index: Optional[int] = None
 
     def subtree(self) -> List["ReducedNode"]:
         out = [self]
@@ -211,7 +215,7 @@ def _project_subtree(
     relation = relations[node.index]
     own_free = tuple(sorted(c for c in relation.columns if c in free_names))
     projected = relation.project(own_free)
-    reduced = ReducedNode(variables=own_free, relation=projected)
+    reduced = ReducedNode(variables=own_free, relation=projected, atom_index=node.index)
 
     if own_free:
         # A child sharing no free variable with this node (pAtts = ∅, a

@@ -360,7 +360,10 @@ class MCUCQIndex:
         :class:`~repro.core.errors.OutOfBoundError` on any position outside
         ``[0, count)`` before resolving anything.
         """
-        out: List[Optional[tuple]] = [None] * len(indices)
+        # Every slot is overwritten before returning (the bound check below
+        # is all-or-nothing), so placeholder empty tuples keep the element
+        # type honest without a List[Optional[tuple]] false positive.
+        out: List[tuple] = [()] * len(indices)
         if not indices:
             return out
         count = self.count

@@ -8,11 +8,17 @@ serve many" shape:
 * :mod:`repro.service.cache` — :class:`IndexCache`, an LRU of built
   indexes keyed by the canonicalized query and the database's mutation
   version, so repeated queries skip preprocessing entirely and any
-  mutation invalidates exactly the stale entries;
+  mutation either carries an update-capable entry forward (``rekey``) or
+  invalidates exactly the stale ones;
 * :mod:`repro.service.query_service` — :class:`QueryService`, the façade
   the applications (pagination, online aggregation, the CLI) talk to:
   ``count`` / ``get`` / ``batch`` / ``sample`` / ``page`` plus
-  ``insert`` / ``delete`` mutations that keep the cache honest.
+  ``insert`` / ``delete`` mutations that keep the cache honest. Writes
+  are incremental where theory allows: cached
+  :class:`~repro.core.dynamic.DynamicCQIndex` entries absorb single-tuple
+  deltas in place (O(depth · log) instead of an O(|D|) rebuild), and hot
+  full acyclic queries are promoted to that mode adaptively after
+  repeated invalidations.
 
 Quickstart
 ----------

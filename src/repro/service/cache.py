@@ -43,7 +43,7 @@ Doctest
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Iterable, List, NamedTuple, Tuple
+from typing import Callable, Iterable, List, NamedTuple, Optional, Tuple
 
 from repro.query.atoms import Constant, Variable
 from repro.query.cq import ConjunctiveQuery
@@ -59,6 +59,10 @@ class CacheInfo(NamedTuple):
     invalidations: int
     size: int
     capacity: int
+    #: Entries carried across a mutation by re-keying instead of being
+    #: dropped: the dynamic update-in-place path, plus entries whose query
+    #: does not reference the mutated relation.
+    updates: int = 0
 
 
 def _cq_key(query: ConjunctiveQuery) -> tuple:
@@ -106,10 +110,14 @@ class IndexCache:
     :class:`~repro.service.query_service.QueryService` keeps
     :class:`~repro.core.cq_index.CQIndex` /
     :class:`~repro.core.union_access.MCUCQIndex` instances in it, keyed as
-    described in the module docstring. ``get_or_build`` is the only read
-    path; :meth:`invalidate` drops entries eagerly (stale entries would
-    also simply never be hit again, but dropping them frees capacity and
-    memory immediately).
+    described in the module docstring. ``get_or_build`` is the serving
+    read path; :meth:`invalidate` / :meth:`discard` drop stale entries
+    eagerly (they would also simply never be hit again, but dropping frees
+    capacity and memory immediately), and :meth:`peek` + :meth:`rekey`
+    support the service's update-in-place mode — a mutation applies its
+    delta to an update-capable entry (a
+    :class:`~repro.core.dynamic.DynamicCQIndex`) and re-keys it to the new
+    database version instead of dropping it.
     """
 
     def __init__(self, capacity: int = 32):
@@ -121,6 +129,7 @@ class IndexCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.updates = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -151,7 +160,46 @@ class IndexCache:
             self.evictions += 1
         return entry
 
-    def invalidate(self, predicate: Callable[[object], bool] = None) -> int:
+    def peek(self, key) -> Optional[object]:
+        """The entry for ``key``, or ``None`` — no LRU touch, no counters.
+
+        The maintenance path uses this to inspect entries (is this one
+        update-in-place capable?) without distorting the hit statistics or
+        the eviction order.
+        """
+        return self._entries.get(key)
+
+    def discard(self, key) -> bool:
+        """Drop one entry by key; ``True`` when it existed.
+
+        Counts as an invalidation — this is the per-entry form the service
+        uses when a mutation makes a (static) entry stale.
+        """
+        if key in self._entries:
+            del self._entries[key]
+            self.invalidations += 1
+            return True
+        return False
+
+    def rekey(self, old_key, new_key) -> bool:
+        """Move the entry at ``old_key`` to ``new_key``; ``True`` on success.
+
+        The update-in-place path: a mutation applies the delta to a
+        dynamic entry, then re-keys it to the new database version instead
+        of dropping it. The moved entry becomes most-recently-used (it was
+        literally just used), and the move counts as an :attr:`updates`
+        tick, not an invalidation. A pre-existing entry at ``new_key`` is
+        replaced. No-op returning ``False`` when ``old_key`` is absent.
+        """
+        entry = self._entries.pop(old_key, _ABSENT)
+        if entry is _ABSENT:
+            return False
+        self._entries[new_key] = entry
+        self._entries.move_to_end(new_key)
+        self.updates += 1
+        return True
+
+    def invalidate(self, predicate: Optional[Callable[[object], bool]] = None) -> int:
         """Drop entries whose key satisfies ``predicate`` (all, if omitted).
 
         Returns how many entries were dropped. The service calls this with
@@ -178,6 +226,7 @@ class IndexCache:
             invalidations=self.invalidations,
             size=len(self._entries),
             capacity=self.capacity,
+            updates=self.updates,
         )
 
     def __repr__(self) -> str:
@@ -185,3 +234,6 @@ class IndexCache:
             f"IndexCache(size={len(self._entries)}/{self.capacity}, "
             f"hits={self.hits}, misses={self.misses})"
         )
+
+
+_ABSENT = object()

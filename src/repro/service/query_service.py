@@ -12,10 +12,35 @@ routes every request through the shared :class:`~repro.service.cache.IndexCache`
 * ``page(q, number)`` / ``paginator(q)`` — pagination served by batched
   access;
 * ``random_order(q)`` — the full REnum stream;
-* ``insert`` / ``delete`` — database mutations that bump the database
-  version and invalidate the cached indexes (set semantics: re-inserting
+* ``insert`` / ``delete`` — database mutations (set semantics: re-inserting
   an existing fact or deleting an absent one is a no-op that keeps the
   cache warm).
+
+Mutation path
+-------------
+A mutation bumps ``database.version`` and then walks this database's cache
+entries:
+
+* an entry whose query does not reference the mutated relation is carried
+  to the new version untouched — the mutation cannot change its answers;
+* an entry backed by a :class:`~repro.core.dynamic.DynamicCQIndex` gets the
+  single-tuple delta applied **in place** (O(depth · log)) and is re-keyed
+  to the new version — the hot write path;
+* a static :class:`~repro.core.cq_index.CQIndex` /
+  :class:`~repro.core.union_access.MCUCQIndex` entry over the mutated
+  relation is dropped and will be rebuilt in O(|D|) on its next use — the
+  cold path.
+
+Which queries get a dynamic index is adaptive: after ``promote_after``
+mutations have each invalidated the same canonical query key, the next
+build of that query uses a ``DynamicCQIndex`` (possible exactly for *full*
+acyclic CQs — with existential variables, incremental maintenance is the
+open Dynamic Yannakakis problem, so those queries always rebuild). Pass
+``dynamic=True`` / ``dynamic=False`` to force either mode. Note the
+trade-off a promotion makes: a dynamic index enumerates in insertion
+order, not the static index's canonically sorted order, so the answer
+*set* served for a query is identical but positions may differ from a
+fresh static build.
 
 Queries may be rule strings (parsed once per call — cheap next to any
 index work), :class:`~repro.query.cq.ConjunctiveQuery` objects, or
@@ -44,24 +69,53 @@ Doctest
 True
 >>> service.count(q)
 2
+
+With ``dynamic=True`` the same query is served by an update-in-place
+index, and mutations keep the cached entry instead of dropping it:
+
+>>> hot = QueryService(db.copy(), dynamic=True)
+>>> hot.count(q)
+2
+>>> hot.insert("S", (20, "w"))
+True
+>>> hot.count(q)
+3
+>>> hot.cache_info().updates
+1
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
-from repro.apps.pagination import Paginator
+from repro.apps.pagination import LivePaginator
 from repro.core.cq_index import CQIndex
+from repro.core.dynamic import DynamicCQIndex
 from repro.core.union_access import MCUCQIndex
 from repro.database.database import Database
 from repro.query.cq import ConjunctiveQuery
+from repro.query.free_connex import free_connex_report
 from repro.query.parser import parse_cq, parse_ucq
 from repro.query.ucq import UnionOfConjunctiveQueries
 
 from repro.service.cache import CacheInfo, IndexCache, canonical_query_key
 
 Query = Union[str, ConjunctiveQuery, UnionOfConjunctiveQueries]
+
+
+def _relations_in_key(query_key: tuple) -> frozenset:
+    """The relation symbols a canonical query key references.
+
+    The key format (:func:`~repro.service.cache.canonical_query_key`)
+    carries each body atom as ``(relation, terms)`` — enough to decide
+    whether a mutation can affect the query without resolving the entry.
+    """
+    if query_key[0] == "ucq":
+        return frozenset(
+            atom[0] for member in query_key[1:] for atom in member[2]
+        )
+    return frozenset(atom[0] for atom in query_key[2])
 
 
 class QueryService:
@@ -73,12 +127,22 @@ class QueryService:
         The database to serve. The service is the mutation entry point:
         writes must go through :meth:`insert` / :meth:`delete` (or bump
         ``database.version`` by other means) for cached indexes to be
-        invalidated correctly.
+        maintained correctly.
     cache:
         An :class:`~repro.service.cache.IndexCache` to (possibly) share
         with other services; a private one is created by default.
     cache_capacity:
         Capacity of the private cache when ``cache`` is not given.
+    promote_after:
+        Promotion threshold K of the adaptive mutation path: once K
+        mutations have each invalidated the same canonical query key, the
+        next build of that (full acyclic) query is a
+        :class:`~repro.core.dynamic.DynamicCQIndex`, after which writes
+        update it in place instead of invalidating.
+    dynamic:
+        ``None`` (default) — adaptive promotion as above; ``True`` — serve
+        every eligible (full acyclic) CQ dynamically from the first build;
+        ``False`` — never promote, always invalidate-and-rebuild.
     """
 
     def __init__(
@@ -86,9 +150,16 @@ class QueryService:
         database: Database,
         cache: Optional[IndexCache] = None,
         cache_capacity: int = 32,
+        promote_after: int = 3,
+        dynamic: Optional[bool] = None,
     ):
         self._database = database
         self._cache = cache if cache is not None else IndexCache(cache_capacity)
+        self._promote_after = promote_after
+        self._dynamic = dynamic
+        # Canonical query key → how many times a mutation invalidated a
+        # cached entry for it (the promotion pressure signal).
+        self._churn: Dict[tuple, int] = {}
 
     @property
     def database(self) -> Database:
@@ -112,21 +183,38 @@ class QueryService:
     def index(self, query: Query):
         """The (cached) random-access index for ``query``.
 
-        The cache key includes ``database.version``, so a mutation between
-        two calls yields a fresh build; identical repeat calls are O(1)
-        lookups plus an LRU touch.
+        The cache key includes ``database.version``; a mutation between two
+        calls yields either the same dynamic index carried forward to the
+        new version (update-in-place entries) or a fresh build. Identical
+        repeat calls are O(1) lookups plus an LRU touch.
         """
         query = self.resolve(query)
+        query_key = canonical_query_key(query)
         # The key holds the Database object itself (identity hash): a live
         # entry therefore pins its database, so — unlike an id() token —
         # the key can never be recycled by a later allocation.
-        key = (self._database, self._database.version, canonical_query_key(query))
-        return self._cache.get_or_build(key, lambda: self._build(query))
+        key = (self._database, self._database.version, query_key)
+        return self._cache.get_or_build(key, lambda: self._build(query, query_key))
 
-    def _build(self, query):
+    def _build(self, query, query_key):
         if isinstance(query, UnionOfConjunctiveQueries):
             return MCUCQIndex(query, self._database)
+        if self._serve_dynamically(query, query_key):
+            return DynamicCQIndex(query, self._database)
         return CQIndex(query, self._database)
+
+    def _serve_dynamically(self, query: ConjunctiveQuery, query_key) -> bool:
+        """Should this CQ's next build be an update-in-place index?
+
+        Policy first (forced off / forced on / churn at or above the
+        promotion threshold), eligibility second (only full acyclic CQs
+        can be maintained incrementally).
+        """
+        if self._dynamic is False:
+            return False
+        if self._dynamic is None and self._churn.get(query_key, 0) < self._promote_after:
+            return False
+        return query.is_full() and free_connex_report(query).tractable
 
     # ------------------------------------------------------------------ #
     # Read API                                                            #
@@ -165,15 +253,16 @@ class QueryService:
         return self.paginator(query, page_size=page_size).page(number)
 
     def paginator(self, query: Query, page_size: int = 10):
-        """A live :class:`~repro.apps.pagination.Paginator` for ``query``.
+        """A :class:`~repro.apps.pagination.LivePaginator` for ``query``.
 
         *Live*: the paginator re-resolves its index through the service on
         every use, so a long-held paginator keeps serving correct pages
         (and a correct ``total_pages``) across :meth:`insert` /
         :meth:`delete` mutations instead of pinning a pre-mutation
-        snapshot. Between mutations the resolution is a cache hit.
+        snapshot. Between mutations the resolution is a cache hit; across
+        a mutation it is the updated-in-place dynamic index or a rebuild.
         """
-        return _LivePaginator(self, self.resolve(query), page_size=page_size)
+        return LivePaginator(self, query, page_size=page_size)
 
     def online_mean(
         self,
@@ -205,58 +294,85 @@ class QueryService:
     # ------------------------------------------------------------------ #
 
     def insert(self, relation: str, row: tuple) -> bool:
-        """Insert a fact; invalidates cached indexes on actual change."""
+        """Insert a fact; cached indexes update in place or invalidate.
+
+        Returns ``True`` when the database changed. Dynamic entries absorb
+        the insert in O(depth · log); static entries are dropped and
+        rebuilt lazily.
+        """
+        row = tuple(row)
         changed = self._database.insert(relation, row)
         if changed:
-            self._invalidate()
+            self._absorb_mutation("insert", relation, row)
         return changed
 
     def delete(self, relation: str, row: tuple) -> bool:
-        """Delete a fact; invalidates cached indexes on actual change."""
+        """Delete a fact; cached indexes update in place or invalidate.
+
+        Returns ``True`` when the database changed (deleting an absent
+        fact is a no-op that keeps the cache warm).
+        """
+        row = tuple(row)
         changed = self._database.delete(relation, row)
         if changed:
-            self._invalidate()
+            self._absorb_mutation("delete", relation, row)
         return changed
 
-    def _invalidate(self) -> None:
-        # A shared cache may hold foreign-shaped keys (IndexCache is
-        # storage-agnostic); only this service's (database, version, query)
-        # tuples are ours to drop.
+    def _absorb_mutation(self, operation: str, relation: str, row: tuple) -> None:
+        """Carry this database's cache entries across one applied mutation.
+
+        A shared cache may hold foreign-shaped keys (IndexCache is
+        storage-agnostic); only this service's (database, version, query)
+        tuples are touched. For entries at the pre-mutation version:
+
+        * a query that does not reference the mutated relation cannot have
+          changed answers — the entry (static or dynamic) is re-keyed to
+          the new version untouched;
+        * a dynamic index gets the delta applied and is re-keyed;
+        * a static index over the mutated relation is dropped, and its
+          query key's churn counter bumped — the promotion pressure that
+          eventually flips a hot query to the dynamic path.
+
+        Entries at older versions went stale through an out-of-band
+        mutation the service never saw; they cannot be patched and are
+        dropped (without churn credit — that was not write pressure on
+        the query).
+        """
         database = self._database
-        self._cache.invalidate(
-            lambda key: isinstance(key, tuple) and len(key) > 0 and key[0] is database
-        )
+        new_version = database.version
+        ours = [
+            key
+            for key in self._cache.keys()
+            if isinstance(key, tuple) and len(key) == 3 and key[0] is database
+        ]
+        for key in ours:
+            query_key = key[2]
+            # Database.insert/delete bump the version by exactly one, so a
+            # current entry sits at new_version - 1.
+            current = key[1] == new_version - 1
+            if not current:
+                self._cache.discard(key)
+                continue
+            if relation not in _relations_in_key(query_key):
+                self._cache.rekey(key, (database, new_version, query_key))
+                continue
+            entry = self._cache.peek(key)
+            if isinstance(entry, DynamicCQIndex):
+                getattr(entry, operation)(relation, row)
+                self._cache.rekey(key, (database, new_version, query_key))
+            else:
+                self._cache.discard(key)
+                self._churn[query_key] = self._churn.get(query_key, 0) + 1
 
     # ------------------------------------------------------------------ #
     # Introspection                                                       #
     # ------------------------------------------------------------------ #
 
     def cache_info(self) -> CacheInfo:
-        """Hit/miss/eviction/invalidation counters of the shared cache."""
+        """Hit/miss/eviction/invalidation/update counters of the cache."""
         return self._cache.info()
 
     def __repr__(self) -> str:
         return (
             f"QueryService({self._database!r}, cache={self._cache!r})"
         )
-
-
-class _LivePaginator(Paginator):
-    """A paginator whose index re-resolves through the service per use."""
-
-    def __init__(self, service: QueryService, query, page_size: int = 10):
-        self._service = service
-        self._query = query
-        # Validates page_size and primes the cache; the index attribute set
-        # here is shadowed by the property below.
-        super().__init__(service.index(query), page_size=page_size)
-
-    @property
-    def index(self):
-        return self._service.index(self._query)
-
-    @index.setter
-    def index(self, value) -> None:
-        # Paginator.__init__ assigns self.index; the live view ignores the
-        # pinned snapshot and always resolves through the service.
-        pass

@@ -81,6 +81,53 @@ class TestCommands:
         assert "lineitem" in out and "region\t5" in out
 
 
+class TestMutationCommands:
+    QUERY = "Q(a, b, c) :- R(a, b), S(b, c)"
+
+    def test_insert_persists_to_csv(self, csv_db, capsys):
+        assert main(["insert", str(csv_db), "R", "3", "10"]) == 0
+        assert "inserted" in capsys.readouterr().out
+        assert (csv_db / "R.csv").read_text().splitlines()[-1] == "3,10"
+        main(["count", self.QUERY, str(csv_db)])
+        assert capsys.readouterr().out.strip() == "5"
+
+    def test_insert_duplicate_is_noop(self, csv_db, capsys):
+        before = (csv_db / "R.csv").read_text()
+        assert main(["insert", str(csv_db), "R", "1", "10"]) == 0
+        assert "no-op" in capsys.readouterr().out
+        assert (csv_db / "R.csv").read_text() == before
+
+    def test_delete_persists_to_csv(self, csv_db, capsys):
+        assert main(["delete", str(csv_db), "S", "10", "y"]) == 0
+        assert "deleted" in capsys.readouterr().out
+        assert "10,y" not in (csv_db / "S.csv").read_text()
+        main(["count", self.QUERY, str(csv_db)])
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_page_with_dynamic_mutations(self, csv_db, capsys):
+        code = main(["page", self.QUERY, str(csv_db), "0", "--page-size", "10",
+                     "--dynamic", "--insert", "S:20,w", "--delete", "R:1,10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 absorbed in place, 0 invalidations" in out
+        assert "2, 20, z" in out and "2, 20, w" in out
+        assert "1, 10, x" not in out
+        # The CSV files were not touched: serving mutations are ephemeral.
+        assert "20,w" not in (csv_db / "S.csv").read_text()
+
+    def test_sample_with_static_mutations_invalidates(self, csv_db, capsys):
+        code = main(["sample", self.QUERY, str(csv_db), "4", "--seed", "1",
+                     "--insert", "S:20,w"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 insert(s), 0 delete(s) (0 absorbed in place" in out
+        assert len(out.strip().splitlines()) == 1 + 4  # summary + 4 draws
+
+    def test_bad_fact_spec_exits(self, csv_db):
+        with pytest.raises(SystemExit):
+            main(["page", self.QUERY, str(csv_db), "0", "--insert", "garbage"])
+
+
 class TestRenderer:
     def test_join_tree_drawing(self):
         q = parse_cq("Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d)")

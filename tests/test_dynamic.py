@@ -164,6 +164,102 @@ class TestUpdates:
         assert dynamic.access(0) == (1, 10, 100, "z")
 
 
+def _all_nodes(dynamic: DynamicCQIndex):
+    stack = list(dynamic.roots)
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children)
+
+
+def _bucket_footprint(dynamic: DynamicCQIndex):
+    """(total buckets, total multiplicity entries) across every node."""
+    buckets = rows = 0
+    for node in _all_nodes(dynamic):
+        buckets += len(node.buckets)
+        rows += len(node.multiplicity)
+    return buckets, rows
+
+
+class TestNoOpDeleteRegression:
+    def test_delete_miss_allocates_no_bucket(self):
+        """Regression: deleting a never-inserted fact whose bucket key is
+        also new must not allocate an empty bucket (the leak grew
+        node.buckets unboundedly under delete-heavy no-op traffic)."""
+        dynamic = DynamicCQIndex(QUERY, _db([(1, 10)], [(10, "x")]))
+        before = _bucket_footprint(dynamic)
+        for miss in range(50):
+            dynamic.delete("S", (1000 + miss, "nope"))  # unseen bucket keys
+            dynamic.delete("R", (1000 + miss, 2000 + miss))
+        assert _bucket_footprint(dynamic) == before
+        assert dynamic.count == 1
+
+    def test_delete_miss_in_existing_bucket_stays_clean(self):
+        dynamic = DynamicCQIndex(QUERY, _db([(1, 10)], [(10, "x")]))
+        before = _bucket_footprint(dynamic)
+        dynamic.delete("S", (10, "never-inserted"))  # existing bucket key
+        assert _bucket_footprint(dynamic) == before
+        assert dynamic.count == 1
+
+
+class TestServingSurface:
+    def _mutated_index(self):
+        rng = random.Random(4)
+        db = _db(
+            [(i, i % 5) for i in range(40)],
+            [(i % 5, i % 7) for i in range(30)],
+        )
+        dynamic = DynamicCQIndex(QUERY, db)
+        for i in range(25):
+            dynamic.insert("R", (100 + i, rng.randrange(5)))
+            dynamic.delete("S", (rng.randrange(5), rng.randrange(7)))
+        return dynamic
+
+    def test_batch_equals_scalar_loop(self):
+        dynamic = self._mutated_index()
+        rng = random.Random(9)
+        positions = [rng.randrange(dynamic.count) for __ in range(200)]
+        positions += positions[:10]  # duplicates, unsorted
+        assert dynamic.batch(positions) == [dynamic.access(i) for i in positions]
+        assert dynamic.batch([]) == []
+
+    def test_batch_out_of_bound_is_all_or_nothing(self):
+        dynamic = self._mutated_index()
+        with pytest.raises(OutOfBoundError):
+            dynamic.batch([0, dynamic.count])
+        with pytest.raises(OutOfBoundError):
+            dynamic.batch([-1])
+
+    def test_sample_many_equals_sequential_renum(self):
+        from repro.core.permutation import RandomPermutationEnumerator
+
+        dynamic = self._mutated_index()
+        sampled = dynamic.sample_many(50, random.Random(3))
+        enumerator = RandomPermutationEnumerator(dynamic, rng=random.Random(3))
+        assert sampled == [next(enumerator) for __ in range(50)]
+
+    def test_random_order_is_a_permutation(self):
+        dynamic = self._mutated_index()
+        answers = list(dynamic.random_order(random.Random(8)))
+        assert sorted(answers) == sorted(dynamic)
+
+    def test_fresh_build_matches_static_enumeration_order(self):
+        """The canonical initial load: before any post-build mutation, the
+        dynamic index enumerates exactly like the static index, so
+        promoting a hot query does not reshuffle already-served pages."""
+        db = _db(
+            [(3, 10), (1, 10), (2, 20), (5, 20)],
+            [(20, "z"), (10, "y"), (10, "x")],
+        )
+        assert list(DynamicCQIndex(QUERY, db)) == list(CQIndex(QUERY, db))
+
+    def test_membership_and_parity_helpers(self):
+        dynamic = DynamicCQIndex(QUERY, _db([(1, 10)], [(10, "x")]))
+        assert (1, 10, "x") in dynamic
+        assert (1, 10, "nope") not in dynamic
+        dynamic.ensure_inverted_support()  # interface parity no-op
+
+
 class TestRandomizedAgainstGroundTruth:
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_update_storm(self, seed):
