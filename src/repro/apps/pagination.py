@@ -49,7 +49,7 @@ class Paginator:
 
     @property
     def total_pages(self) -> int:
-        return math.ceil(self.index.count / self.page_size)
+        return math.ceil(self.total_answers / self.page_size)
 
     def page(self, number: int) -> List[tuple]:
         """Page ``number`` (0-based) of the enumeration order.
@@ -57,14 +57,19 @@ class Paginator:
         Raises ``IndexError`` for pages outside ``[0, total_pages)``
         (except that page 0 of an empty result is the empty page).
         """
-        if number == 0 and self.index.count == 0:
+        count = self.total_answers
+        if number == 0 and count == 0:
             return []
         if not 0 <= number < self.total_pages:
             raise IndexError(
                 f"page {number} out of range (result has {self.total_pages} pages)"
             )
         start = number * self.page_size
-        stop = min(start + self.page_size, self.index.count)
+        stop = min(start + self.page_size, count)
+        return self._batch(start, stop)
+
+    def _batch(self, start: int, stop: int) -> List[tuple]:
+        """Serve one contiguous position range (overridable transport)."""
         batch = getattr(self.index, "batch", None)
         if batch is not None:
             return batch(range(start, stop))
@@ -115,3 +120,15 @@ class LivePaginator(Paginator):
         # Paginator.__init__ assigns self.index; the live view ignores the
         # pinned snapshot and always resolves through the service.
         pass
+
+    @property
+    def total_answers(self) -> int:
+        return self._service.count(self._query)
+
+    def _batch(self, start: int, stop: int) -> List[tuple]:
+        # Through the service, so the read holds the entry's write lock
+        # and cannot interleave with a concurrent in-place mutation; the
+        # range variant re-clamps to the count *inside* the lock, so a
+        # mutation landing between this paginator's count read and the
+        # batch shortens the page instead of raising out-of-bound.
+        return self._service.batch_range(self._query, start, stop)

@@ -12,8 +12,14 @@ Commands
     without replacement — both through a single batched access. Both
     accept ``--insert``/``--delete`` mutations (``REL:v1,v2,…``) applied
     through the service *after* the index is warm, and ``--dynamic`` to
-    serve via an update-in-place :class:`~repro.core.dynamic.DynamicCQIndex`
-    so the mutations patch the index instead of forcing a rebuild.
+    serve via an update-in-place index (a
+    :class:`~repro.core.dynamic.DynamicCQIndex`, or a dynamic
+    :class:`~repro.core.union_access.MCUCQIndex` for UCQ rules) so the
+    mutations patch the index instead of forcing a rebuild.
+``stats``
+    Serve a query once (with optional warm-index mutations, like ``page``)
+    and print the service's effectiveness counters: cache hits/misses,
+    promotions, in-place updates vs. rebuild invalidations, compactions.
 ``insert`` / ``delete``
     Mutate the CSV database itself: apply one fact insert/delete through a
     service and write the relation's ``.csv`` back.
@@ -189,6 +195,17 @@ def command_sample(args) -> int:
     return 0
 
 
+def command_stats(args) -> int:
+    """Serve a query, optionally mutate, and print the serving counters."""
+    service = _build_service(args)
+    service.count(args.query)  # warm build
+    _apply_mutations(service, args)
+    print(f"answers: {service.count(args.query)}")
+    for name, value in service.stats()._asdict().items():
+        print(f"{name}: {value}")
+    return 0
+
+
 def command_mutate(args) -> int:
     """Apply one insert/delete to the CSV database and persist it."""
     database = load_csv_database(args.database)
@@ -257,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("shuffle", "stream answers in uniformly random order", command_shuffle),
         ("page", "serve one page of the enumeration order", command_page),
         ("sample", "draw k uniform answers without replacement", command_sample),
+        ("stats", "serve a query and print the serving counters", command_stats),
     ):
         sub = commands.add_parser(name, help=help_text)
         sub.add_argument("query", help="datalog rule over the CSV relations")
@@ -274,7 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "sample":
             sub.add_argument("k", type=int, help="number of draws")
             sub.add_argument("--seed", type=int, default=None)
-        if name in ("page", "sample"):
+        if name in ("page", "sample", "stats"):
             sub.add_argument("--insert", action="append", metavar="REL:v1,v2",
                              help="insert a fact before serving (repeatable)")
             sub.add_argument("--delete", action="append", metavar="REL:v1,v2",

@@ -6,9 +6,12 @@ Module map (paper artifact → module):
 * Algorithm 1 (lazy Fisher–Yates shuffle)          → :mod:`repro.core.shuffle`
 * Proposition 4.2 (free-connex → full acyclic)     → :mod:`repro.core.reduction`
 * Algorithm 2 (preprocessing: buckets & weights)   → :mod:`repro.core.index`
+* Algorithms 3–4 walks (shared, both bucket stores) → :mod:`repro.core.access_engine`
 * Algorithm 3 (random access)                      → :mod:`repro.core.index`
 * Algorithm 4 (inverted access)                    → :mod:`repro.core.index`
 * Theorem 4.3 public entry point                   → :mod:`repro.core.cq_index`
+* Theorem 4.3 under updates (dynamic index)        → :mod:`repro.core.dynamic`
+* Order maintenance for dynamic buckets            → :mod:`repro.core.order_tree`
 * Theorem 3.7 (REnum(CQ))                          → :mod:`repro.core.permutation`
 * Lemma 5.3 (deletable answer sets)                → :mod:`repro.core.deletable`
 * Algorithm 5 (REnum(UCQ))                         → :mod:`repro.core.union_enum`
@@ -23,7 +26,8 @@ from repro.core.errors import (
 )
 from repro.core.shuffle import LazyShuffle, random_permutation_indices
 from repro.core.fenwick import FenwickTree
-from repro.core.dynamic import DynamicCQIndex
+from repro.core.order_tree import OrderedWeightTree
+from repro.core.dynamic import DynamicCQIndex, DynamicJoinForest
 from repro.core.reduction import PreparedQuery, ReducedJoin, prepare_query, reduce_to_full_acyclic
 from repro.core.index import JoinForestIndex
 from repro.core.cq_index import CQIndex
@@ -40,7 +44,9 @@ __all__ = [
     "LazyShuffle",
     "random_permutation_indices",
     "FenwickTree",
+    "OrderedWeightTree",
     "DynamicCQIndex",
+    "DynamicJoinForest",
     "PreparedQuery",
     "ReducedJoin",
     "prepare_query",

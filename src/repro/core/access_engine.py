@@ -1,0 +1,506 @@
+"""The shared access engine: one mixed-radix SplitIndex walk, two bucket
+stores.
+
+Algorithms 3 and 4 (and their amortized batched variant) are walks over a
+join forest whose *shape* logic — splitting an index across roots and
+children like a multidimensional array subscript, recombining child
+offsets on the way back up — is identical for every index in this library.
+What differs is only the **bucket primitive**: the static index resolves
+offsets with a binary search over prefix-sum arrays
+(:class:`repro.core.index._Bucket`), the dynamic index with an
+order-maintained weighted tree
+(:class:`repro.core.dynamic._DynamicBucket`). Before this module existed,
+the ~150-line batched walk was duplicated between
+``JoinForestIndex.batch_access`` and ``DynamicCQIndex.batch``; now both —
+plus scalar access, inverted access, and in-order enumeration — drive the
+walks below through the :class:`BucketStore` protocol.
+
+Node protocol
+-------------
+A forest node must provide ``columns`` (the variable names its rows bind),
+``children`` (ordered child nodes), ``buckets`` (a dict from bucket key to
+a :class:`BucketStore`), and ``child_bucket_key(row, child_position)``
+(project one of its rows to the child's bucket key).
+
+The engine never materializes per-item state: batched items travel as
+sorted ``(index, payload)`` pairs, offsets are carried as shifts, and one
+shared ``acc`` dict holds the column bindings of the current root-to-leaf
+path (see ``batch_walk``).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+try:  # numpy ships with this environment (scipy depends on it); the sort
+    import numpy as _np  # of a large batch is ~10× faster through argsort.
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+
+@runtime_checkable
+class BucketStore(Protocol):
+    """The bucket primitive the walks are parameterized over.
+
+    Implementations: the static prefix-array/bisect bucket
+    (:class:`repro.core.index._Bucket`) and the order-maintained dynamic
+    bucket (:class:`repro.core.dynamic._DynamicBucket`).
+    """
+
+    #: Class-level flag: ``True`` when every row of a *childless* node's
+    #: bucket is guaranteed weight 1 (the static index — Algorithm 2 with
+    #: no children), so a bucket-local offset *is* a row position and the
+    #: walk may index the store's ``rows`` sequence directly instead of
+    #: calling :meth:`locate_run`. A ``unit_leaf`` store must therefore
+    #: also expose positional ``rows``. Dynamic buckets hold zero-weight
+    #: tombstones (and no positional row list) and set this ``False``.
+    unit_leaf: bool
+
+    @property
+    def total(self) -> int:
+        """The bucket weight ``w(B)`` — sum of its row weights."""
+
+    def locate_run(self, offset: int) -> Tuple[tuple, int, int]:
+        """The row whose index range contains ``offset``.
+
+        Returns ``(row, start, weight)`` with ``start ≤ offset <
+        start + weight`` — one call resolves everything a walk needs for a
+        whole run of offsets inside the row's range. Zero-weight rows
+        occupy empty ranges and are never located. Requires
+        ``0 ≤ offset < total``.
+        """
+
+    def rank_start(self, row: tuple) -> Optional[int]:
+        """``startIndex(row)``, or ``None`` when the row does not
+        participate (absent from the bucket, or present with weight 0 —
+        the paper's dangling case)."""
+
+    def iter_rows(self) -> Iterator[Tuple[tuple, int]]:
+        """``(row, weight)`` pairs in enumeration order, zero-weight rows
+        included (callers skip them)."""
+
+
+# ---------------------------------------------------------------------- #
+# Counting                                                                #
+# ---------------------------------------------------------------------- #
+
+
+def forest_count(roots: Sequence) -> int:
+    """``|Q(D)|``: the product of the roots' ``()``-bucket weights."""
+    count = 1
+    for root in roots:
+        bucket = root.buckets.get(())
+        count *= bucket.total if bucket is not None else 0
+    return count
+
+
+# ---------------------------------------------------------------------- #
+# Algorithm 3 — scalar random access                                      #
+# ---------------------------------------------------------------------- #
+
+
+def scalar_walk(roots: Sequence, index: int, assignment: Dict[str, object]) -> None:
+    """Bind the answer at ``index`` into ``assignment`` (caller checks
+    bounds against :func:`forest_count` first)."""
+    remaining = index
+    # Split the global index across roots; the last root is the least
+    # significant digit, mirroring SplitIndex over children.
+    parts: List[int] = []
+    for root in reversed(roots):
+        total = root.buckets[()].total
+        parts.append(remaining % total)
+        remaining //= total
+    for root, part in zip(roots, reversed(parts)):
+        _subtree_scalar(root, (), part, assignment)
+
+
+def _subtree_scalar(node, key: tuple, index: int, assignment: Dict[str, object]) -> None:
+    bucket = node.buckets[key]
+    row, start, __ = bucket.locate_run(index)
+    for column, value in zip(node.columns, row):
+        assignment[column] = value
+    remaining = index - start
+    # SplitIndex: the last child takes the modulus.
+    parts: List[int] = []
+    for child_position in range(len(node.children) - 1, -1, -1):
+        child = node.children[child_position]
+        child_key = node.child_bucket_key(row, child_position)
+        total = child.buckets[child_key].total
+        parts.append(remaining % total)
+        remaining //= total
+    parts.reverse()
+    for child_position, child in enumerate(node.children):
+        child_key = node.child_bucket_key(row, child_position)
+        _subtree_scalar(child, child_key, parts[child_position], assignment)
+
+
+# ---------------------------------------------------------------------- #
+# Batched random access (amortized Algorithm 3)                           #
+# ---------------------------------------------------------------------- #
+
+
+def sorted_items(indices: Sequence[int]) -> List[Tuple[int, int]]:
+    """``(position, slot)`` pairs sorted by position (ties by slot).
+
+    Duplicate positions stay adjacent and simply resolve twice. Uses a
+    numpy argsort when available — for batches of 10⁵ positions the sort
+    is otherwise a third of the total batch cost.
+    """
+    if _np is not None and len(indices) >= 2048:
+        try:
+            array = _np.fromiter(indices, dtype=_np.int64, count=len(indices))
+        except OverflowError:
+            # Answer counts are polynomial in |D| and can exceed 2^63
+            # (e.g. wide cartesian products); such positions sort fine as
+            # Python ints.
+            return sorted(zip(indices, range(len(indices))))
+        order = _np.argsort(array, kind="stable")
+        return list(zip(array[order].tolist(), order.tolist()))
+    return sorted(zip(indices, range(len(indices))))
+
+
+def digit_groups(
+    items: List[Tuple[int, object]], shift: int, suffix: int
+) -> List[Tuple[int, List[Tuple[int, object]]]]:
+    """Group sorted (index, payload) items by ``(index - shift) // suffix``.
+
+    The quotient is the digit consumed at the current level of the
+    mixed-radix SplitIndex decomposition; the remainders (still sorted)
+    travel as each group's payload to the next level. Sorted input makes
+    equal digits contiguous, so grouping is a single linear scan.
+    """
+    groups: List[Tuple[int, List[Tuple[int, object]]]] = []
+    i = 0
+    n = len(items)
+    while i < n:
+        quotient, remainder = divmod(items[i][0] - shift, suffix)
+        rest: List[Tuple[int, object]] = [(remainder, items[i][1])]
+        i += 1
+        while i < n:
+            q, r = divmod(items[i][0] - shift, suffix)
+            if q != quotient:
+                break
+            rest.append((r, items[i][1]))
+            i += 1
+        groups.append((quotient, rest))
+    return groups
+
+
+def make_batch_finish(
+    out: List[object], acc: Dict[str, object], project: Optional[Sequence[str]]
+):
+    """The per-item completion callback for :func:`batch_walk`.
+
+    Materializes ``out[slot]`` from the fully bound ``acc`` — as a dict
+    copy when ``project`` is ``None``, else as the tuple of the projected
+    variables' values. The returned callable carries a ``leaf_group``
+    attribute, the fused terminal fast path :func:`batch_walk` fires when
+    a ``unit_leaf`` bucket ends the walk: it writes a whole group of
+    answers in one loop, and (under ``project``) skips the dict writes for
+    the leaf's own columns via a per-group plan that splits each output
+    position into "from this row" vs "already bound upstream".
+    """
+    if project is None:
+        def finish(slot: int) -> None:
+            out[slot] = dict(acc)
+    elif len(project) == 0:
+        def finish(slot: int) -> None:
+            out[slot] = ()
+    elif len(project) == 1:
+        name = project[0]
+
+        def finish(slot: int) -> None:
+            out[slot] = (acc[name],)
+    else:
+        from operator import itemgetter
+
+        getter = itemgetter(*project)
+
+        def finish(slot: int) -> None:
+            out[slot] = getter(acc)
+
+    def finish_leaf_group(
+        items: List[Tuple[int, int]],
+        rows: Sequence[tuple],
+        columns: Tuple[str, ...],
+        shift: int,
+    ) -> None:
+        if project is None:
+            update = acc.update
+            for position, slot in items:
+                update(zip(columns, rows[position - shift]))
+                out[slot] = dict(acc)
+            return
+        col_position = {c: i for i, c in enumerate(columns)}
+        plan = [
+            (col_position[name], None) if name in col_position else (None, acc[name])
+            for name in project
+        ]
+        for position, slot in items:
+            row = rows[position - shift]
+            out[slot] = tuple(
+                [row[p] if p is not None else v for p, v in plan]
+            )
+
+    finish.leaf_group = finish_leaf_group
+    return finish
+
+
+def batch_walk(
+    roots: Sequence,
+    items: List[Tuple[int, int]],
+    acc: Dict[str, object],
+    finish: Callable[[int], None],
+) -> None:
+    """Resolve sorted ``(index, slot)`` items over a join forest.
+
+    ``acc`` is one shared working assignment: every node along the current
+    path writes its columns into it before descending, and ``finish(slot)``
+    fires exactly when a slot's path is fully bound. Each bucket's locate
+    tier is entered once per contiguous run of positions instead of once
+    per position, and a parent row's column bindings and child-bucket
+    resolution are computed once for all positions under its index range.
+    Bounds are the caller's responsibility (all-or-nothing, before any
+    position is resolved).
+    """
+    if not roots:
+        for __, payload in items:
+            finish(payload)
+        return
+    _batch_roots(roots, 0, items, acc, finish)
+
+
+def _batch_roots(
+    roots: Sequence,
+    root_position: int,
+    items: List[Tuple[int, object]],
+    acc: Dict[str, object],
+    cont: Callable[[object], None],
+) -> None:
+    """Distribute sorted (index, payload) items across the root digits.
+
+    The last root consumes the whole remaining index, so it gets the items
+    verbatim — no re-grouping pass.
+    """
+    root = roots[root_position]
+    if root_position == len(roots) - 1:
+        _subtree_batch(root, (), items, 0, acc, cont)
+        return
+    suffix = 1
+    for later in roots[root_position + 1:]:
+        suffix *= later.buckets[()].total
+    _subtree_batch(
+        root,
+        (),
+        digit_groups(items, 0, suffix),
+        0,
+        acc,
+        lambda rest: _batch_roots(roots, root_position + 1, rest, acc, cont),
+    )
+
+
+def _subtree_batch(
+    node,
+    key: tuple,
+    items: List[Tuple[int, object]],
+    shift: int,
+    acc: Dict[str, object],
+    cont: Callable[[object], None],
+) -> None:
+    """Resolve sorted (index, payload) items within one bucket.
+
+    The bucket-local position of an item is ``item[0] - shift``; carrying
+    the shift instead of rebuilding shifted item lists is what keeps
+    per-item allocation out of the hot path. Items are grouped by the row
+    whose index range contains them — one ``locate_run`` per group, not
+    per item — the row's columns are bound into the shared ``acc``, and
+    the in-range offsets recurse into the children. ``cont(payload)``
+    fires once per item when its path is fully bound.
+    """
+    bucket = node.buckets[key]
+    columns = node.columns
+    children = node.children
+    if not children and bucket.unit_leaf:
+        # Static leaf buckets assign weight 1 to every row (Algorithm 2
+        # with no children), so the bucket-local offset *is* the row
+        # position — no locate needed. When this leaf terminates the walk
+        # (cont is the batch's finish), write the whole group in one fused
+        # loop; otherwise bind + continue per item.
+        rows = bucket.rows
+        leaf_group = getattr(cont, "leaf_group", None)
+        if leaf_group is not None:
+            leaf_group(items, rows, columns, shift)
+            return
+        update = acc.update
+        for value, payload in items:
+            update(zip(columns, rows[value - shift]))
+            cont(payload)
+        return
+    locate_run = bucket.locate_run
+    n = len(items)
+    i = 0
+    while i < n:
+        row, start, weight = locate_run(items[i][0] - shift)
+        end = shift + start + weight
+        j = i + 1
+        while j < n and items[j][0] < end:
+            j += 1
+        for column, value in zip(columns, row):
+            acc[column] = value
+        if not children:
+            for __, payload in items[i:j]:
+                cont(payload)
+        else:
+            _batch_children(node, row, 0, items, i, j, shift + start, acc, cont)
+        i = j
+
+
+def _batch_children(
+    node,
+    row: tuple,
+    child_position: int,
+    items: List[Tuple[int, object]],
+    lo: int,
+    hi: int,
+    shift: int,
+    acc: Dict[str, object],
+    cont: Callable[[object], None],
+) -> None:
+    """SplitIndex over a batch: peel off one child's digit at a time.
+
+    Handles ``items[lo:hi]``, whose in-row offsets are
+    ``item[0] - shift``. The last child takes the offset modulus (as in
+    scalar SplitIndex); because it consumes everything that remains, it
+    receives the item range verbatim with an adjusted shift — only
+    *interior* children (nodes with ≥ 2 children) pay a re-grouping pass
+    that materializes quotient/remainder pairs.
+    """
+    children = node.children
+    child = children[child_position]
+    child_key = node.child_bucket_key(row, child_position)
+    if child_position == len(children) - 1:
+        if lo == 0 and hi == len(items):
+            group = items
+        else:
+            group = items[lo:hi]
+        _subtree_batch(child, child_key, group, shift, acc, cont)
+        return
+    suffix = 1
+    for later in range(child_position + 1, len(children)):
+        suffix *= children[later].buckets[node.child_bucket_key(row, later)].total
+    _subtree_batch(
+        child,
+        child_key,
+        digit_groups(items[lo:hi], shift, suffix),
+        0,
+        acc,
+        lambda rest: _batch_children(
+            node, row, child_position + 1, rest, 0, len(rest), 0, acc, cont
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Algorithm 4 — inverted access                                           #
+# ---------------------------------------------------------------------- #
+
+
+def inverted_walk(roots: Sequence, assignment: Dict[str, object]) -> Optional[int]:
+    """The index of ``assignment`` in the enumeration order, or ``None``.
+
+    ``None`` is the paper's "not-a-member" outcome. Callers handle the
+    ``count == 0`` short-circuit (and, for the static index, building the
+    rank tables) before walking.
+    """
+    index = 0
+    for root in roots:
+        bucket = root.buckets.get(())
+        if bucket is None:
+            return None
+        part = _subtree_inverted(root, (), assignment)
+        if part is None:
+            return None
+        index = index * bucket.total + part
+    return index
+
+
+def _subtree_inverted(node, key: tuple, assignment: Dict[str, object]) -> Optional[int]:
+    bucket = node.buckets.get(key)
+    if bucket is None:
+        return None
+    try:
+        row = tuple(assignment[c] for c in node.columns)
+    except KeyError:
+        return None
+    start = bucket.rank_start(row)
+    if start is None:
+        return None
+    offset = 0
+    for child_position, child in enumerate(node.children):
+        child_key = node.child_bucket_key(row, child_position)
+        child_bucket = child.buckets.get(child_key)
+        if child_bucket is None:
+            return None
+        child_index = _subtree_inverted(child, child_key, assignment)
+        if child_index is None:
+            return None
+        # CombineIndex: fold left, each child contributing one "digit"
+        # in base = its bucket weight.
+        offset = offset * child_bucket.total + child_index
+    return start + offset
+
+
+# ---------------------------------------------------------------------- #
+# Ordered enumeration (Fact 3.5: access gives Enum⟨lin, log⟩; this direct #
+# generator avoids the per-answer locate calls)                           #
+# ---------------------------------------------------------------------- #
+
+
+def enumerate_walk(roots: Sequence) -> Iterator[Dict[str, object]]:
+    """Yield all assignments in enumeration (index) order.
+
+    Callers short-circuit ``count == 0`` themselves; an empty forest
+    yields the single empty assignment (count 1, the empty product).
+    """
+    yield from _forest_assignments(roots, 0, {})
+
+
+def _forest_assignments(roots: Sequence, position: int, acc: Dict[str, object]):
+    if position == len(roots):
+        yield dict(acc)
+        return
+    for assignment in _node_assignments(roots[position], (), acc):
+        yield from _forest_assignments(roots, position + 1, assignment)
+
+
+def _node_assignments(node, key: tuple, acc: Dict[str, object]):
+    bucket = node.buckets.get(key)
+    if bucket is None:
+        return
+    for row, weight in bucket.iter_rows():
+        if weight == 0:
+            continue
+        extended = dict(acc)
+        for column, value in zip(node.columns, row):
+            extended[column] = value
+        yield from _children_assignments(node, row, 0, extended)
+
+
+def _children_assignments(node, row: tuple, child_position: int, acc):
+    if child_position == len(node.children):
+        yield acc
+        return
+    child = node.children[child_position]
+    child_key = node.child_bucket_key(row, child_position)
+    for assignment in _node_assignments(child, child_key, acc):
+        yield from _children_assignments(node, row, child_position + 1, assignment)

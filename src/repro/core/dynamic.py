@@ -7,14 +7,15 @@ when tuples are inserted and deleted. This module provides that extension
 for **full acyclic joins** (the class all six benchmark queries belong to):
 
 * counting stays O(1);
-* ``access`` / ``inverted_access`` cost O(log²) per call (a Fenwick descent
-  per tree level instead of a bisect);
+* ``access`` / ``inverted_access`` cost O(log²) per call (an
+  order-statistic descent per tree level instead of a bisect);
 * ``insert(relation, tuple)`` / ``delete(relation, tuple)`` cost
   O(depth · log) — the touched tuple's weight changes, and the bucket-total
   change multiplies through the ancestor chain;
 * ``batch`` / ``sample_many`` / ``random_order`` — the same amortized
-  serving surface as :class:`~repro.core.cq_index.CQIndex`, so the query
-  service can route requests to either index interchangeably.
+  serving surface as :class:`~repro.core.cq_index.CQIndex`, driven through
+  the shared :mod:`~repro.core.access_engine` walks, so the query service
+  can route requests to either index interchangeably.
 
 Design notes
 ------------
@@ -22,68 +23,130 @@ Design notes
   (:func:`~repro.core.reduction.reduce_to_full_acyclic` with the Yannakakis
   reducer *disabled*): atoms with constants or repeated variables are
   normalized exactly as for the static index, and the initial load is one
-  Algorithm-2-style bottom-up pass (O(|D|) Fenwick appends) instead of
+  Algorithm-2-style bottom-up pass (O(|D|) balanced bulk builds) instead of
   |D| propagating inserts. The reducer must stay off — a dangling tuple
   carries weight zero today but may be revived by a later insert of its
   join partner, so it has to remain in its bucket as a tombstone.
 * Rows carry a *multiplicity* (how many base facts normalize to them —
   relevant for atoms with repeated variables); a row participates while its
   multiplicity is positive. Deleting to multiplicity 0 keeps a zero-weight
-  tombstone, so positions stay stable and re-insertion revives in place.
-* Buckets never re-sort: the initial load is canonically sorted (so a
-  fresh dynamic index enumerates exactly like the static index), but rows
-  inserted later append at their bucket's tail — the enumeration order is
-  load-order. The deterministic global-sort property that powers mc-UCQ
-  compatibility is a *static* luxury; a dynamic mc-UCQ index would need
-  order-maintenance structures, which the paper leaves open (see
-  DESIGN.md).
+  tombstone, so surviving positions are unaffected and re-insertion
+  revives in place. Once tombstones exceed a configurable fraction of a
+  bucket (:data:`DEFAULT_COMPACT_FRACTION`), the bucket compacts — a local
+  rebuild that drops them without changing any weight range.
+* **Order maintenance.** Buckets are
+  :class:`~repro.core.order_tree.OrderedWeightTree` instances: the initial
+  load is canonically sorted *and every later insert lands at its
+  canonical sort position* (expected O(log) treap insert), so a dynamic
+  index enumerates exactly like the static (sorted-bucket) index at all
+  times — not just at build. This preserves the deterministic global sort
+  that the mc-UCQ compatibility machinery of Section 5.2 relies on, which
+  is what lets :class:`~repro.core.union_access.MCUCQIndex` members update
+  in place under churn.
 * Restriction to full queries is fundamental, not incidental: with
   existential variables, Proposition 4.2's projection step is only correct
   on globally consistent databases, and maintaining global consistency
   under updates is precisely the Dynamic Yannakakis problem — out of this
   paper's scope.
+
+Layering: :class:`DynamicJoinForest` is the maintained structure over an
+already-reduced join forest (the mc-UCQ intersection indexes are plain
+forests — their rows arrive as node-level presence changes, not base
+facts); :class:`DynamicCQIndex` wraps it with the query-level surface —
+atom normalization and base-fact routing.
 """
 
 from __future__ import annotations
 
 import random
-from operator import itemgetter
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.database.database import Database
 from repro.database.relation import row_sort_key
 from repro.query.cq import ConjunctiveQuery
 from repro.query.free_connex import free_connex_report
 
+from repro.core import access_engine
 from repro.core.errors import NotFreeConnexError, OutOfBoundError
-from repro.core.fenwick import FenwickTree
-from repro.core.index import _digit_groups, _sorted_items
-from repro.core.reduction import ReducedNode, reduce_to_full_acyclic
+from repro.core.order_tree import OrderedWeightTree, TreeRow
+from repro.core.reduction import ReducedJoin, ReducedNode, reduce_to_full_acyclic
+
+#: Compact a bucket once zero-multiplicity rows exceed this fraction of it.
+DEFAULT_COMPACT_FRACTION = 0.5
+
+#: Never bother compacting buckets smaller than this.
+COMPACT_MIN_ROWS = 8
+
+#: Presence-change observer: ``(shape_position, row, present)`` — fired by
+#: :meth:`DynamicJoinForest._apply` whenever a node row's multiplicity
+#: transitions between zero and positive (never during the initial load).
+PresenceHook = Callable[[int, tuple, bool], None]
 
 
 class _DynamicBucket:
-    """A bucket whose per-row weights live in a Fenwick tree."""
+    """A bucket whose rows live in an order-maintained weighted tree.
 
-    __slots__ = ("rows", "weights", "rank")
+    The dynamic :class:`~repro.core.access_engine.BucketStore`: rows stay
+    in canonical sort order under arbitrary insert/delete traffic, weights
+    support O(log) point updates, and offsets resolve by order-statistic
+    descent. ``rank`` maps each row to its tree node (the handle carrying
+    weight and multiplicity); ``tombstones`` counts multiplicity-0 rows.
+    """
+
+    __slots__ = ("tree", "rank", "tombstones")
+
+    #: Dynamic leaf buckets hold zero-weight tombstones, so bucket-local
+    #: offsets are *not* row positions — the engine must locate.
+    unit_leaf = False
 
     def __init__(self):
-        self.rows: List[tuple] = []
-        self.weights = FenwickTree()
-        self.rank: Dict[tuple, int] = {}
+        self.tree = OrderedWeightTree()
+        self.rank: Dict[tuple, TreeRow] = {}
+        self.tombstones = 0
+
+    @classmethod
+    def from_sorted_rows(
+        cls, entries: Sequence[Tuple[tuple, int, int]]
+    ) -> "_DynamicBucket":
+        """Bulk-build from canonically sorted (row, weight, multiplicity)."""
+        bucket = cls()
+        bucket.tree, nodes = OrderedWeightTree.from_sorted(entries)
+        bucket.rank = {node.row: node for node in nodes}
+        return bucket
 
     @property
     def total(self) -> int:
-        return self.weights.total
+        return self.tree.total
 
-    def position_of(self, row: tuple) -> Optional[int]:
-        return self.rank.get(row)
+    def __len__(self) -> int:
+        return len(self.tree)
 
-    def add_row(self, row: tuple, weight: int) -> int:
-        position = len(self.rows)
-        self.rows.append(row)
-        self.weights.append(weight)
-        self.rank[row] = position
-        return position
+    def locate_run(self, offset: int) -> Tuple[tuple, int, int]:
+        node, start = self.tree.locate(offset)
+        return node.row, start, node.weight
+
+    def rank_start(self, row: tuple) -> Optional[int]:
+        node = self.rank.get(row)
+        if node is None or node.weight == 0:
+            return None
+        return self.tree.prefix_of(node)
+
+    def iter_rows(self) -> Iterator[Tuple[tuple, int]]:
+        return ((node.row, node.weight) for node in self.tree)
+
+    def add_row(self, row: tuple, weight: int, multiplicity: int) -> TreeRow:
+        node = self.tree.insert_row(row, weight, multiplicity)
+        self.rank[row] = node
+        if multiplicity == 0:
+            self.tombstones += 1
+        return node
+
+    def compact(self) -> None:
+        """Rebuild without multiplicity-0 rows (weight ranges unchanged —
+        tombstones occupy empty ranges, so no reader can tell)."""
+        self.tree, nodes = self.tree.compacted()
+        self.rank = {node.row: node for node in nodes}
+        self.tombstones = 0
 
 
 class _DynamicNode:
@@ -94,10 +157,10 @@ class _DynamicNode:
         "children",
         "parent",
         "position_in_parent",
+        "shape_position",
         "parent_key_positions",
         "child_key_positions",
         "buckets",
-        "multiplicity",
         "dependents",
     )
 
@@ -108,6 +171,11 @@ class _DynamicNode:
         # Stored once so that update propagation never has to re-derive it
         # with a linear children.index() scan.
         self.position_in_parent: Optional[int] = None
+        #: Preorder position within the forest — the *shape* coordinate
+        #: shared by every structurally aligned forest, which is how the
+        #: mc-UCQ machinery addresses "the same node" across members and
+        #: intersections.
+        self.shape_position: int = -1
         shared = (
             tuple(sorted(set(columns) & set(parent.columns)))
             if parent is not None
@@ -117,12 +185,12 @@ class _DynamicNode:
         self.children: List["_DynamicNode"] = []
         self.child_key_positions: List[Tuple[int, ...]] = []
         self.buckets: Dict[tuple, _DynamicBucket] = {}
-        # (bucket key, row) → number of base facts normalizing to the row.
-        self.multiplicity: Dict[Tuple[tuple, tuple], int] = {}
-        # Per child position: child bucket key → rows of *this* node whose
-        # weight depends on that bucket — the reverse index that makes
-        # update propagation touch only affected rows.
-        self.dependents: List[Dict[tuple, List[Tuple[tuple, int]]]] = []
+        # Per child position: child bucket key → set of (bucket key, row)
+        # pairs of *this* node whose weight depends on that bucket — the
+        # reverse index that makes update propagation touch only affected
+        # rows. Entries for compacted-away rows are dropped lazily during
+        # propagation.
+        self.dependents: List[Dict[tuple, set]] = []
 
     def attach(self, child: "_DynamicNode") -> None:
         child.position_in_parent = len(self.children)
@@ -131,12 +199,12 @@ class _DynamicNode:
         self.child_key_positions.append(tuple(self.columns.index(c) for c in shared))
         self.dependents.append({})
 
-    def register_row(self, bucket_key: tuple, row: tuple, position: int) -> None:
+    def register_row(self, bucket_key: tuple, row: tuple) -> None:
         """Record the new row in every child's reverse index."""
         for child_position in range(len(self.children)):
             child_key = self.child_bucket_key(row, child_position)
-            self.dependents[child_position].setdefault(child_key, []).append(
-                (bucket_key, position)
+            self.dependents[child_position].setdefault(child_key, set()).add(
+                (bucket_key, row)
             )
 
     def bucket_key_of_row(self, row: tuple) -> tuple:
@@ -156,47 +224,48 @@ class _DynamicNode:
         return weight
 
 
-class DynamicCQIndex:
-    """A random-access index over a full acyclic CQ, under updates.
+class DynamicJoinForest:
+    """A maintained Theorem 4.3 structure over a reduced full acyclic join.
+
+    The core the query-level :class:`DynamicCQIndex` and the mc-UCQ
+    intersection indexes share: buckets, weights, propagation, and the
+    engine-driven serving surface (count / access / batch / inverted
+    access / ordered and random-order enumeration), with updates arriving
+    as node-level row presence changes. Enumeration order is canonical at
+    all times (see the module notes on order maintenance).
 
     Parameters
     ----------
-    query:
-        A *full* free-connex (equivalently here: acyclic) CQ. Atoms may
-        carry constants and repeated variables — normalization happens in
-        the reduction layer, the same code path the static index uses.
-    database:
-        The initial database (may be empty; relations must exist with the
-        right arities).
+    reduced:
+        The (already normalized) full acyclic join forest. For incremental
+        maintenance the reducer must have been disabled — dangling rows
+        stay as weight-0 tombstones.
+    on_presence_change:
+        Optional :data:`PresenceHook` observing multiplicity 0↔positive
+        transitions; the mc-UCQ index uses it to keep intersection forests
+        consistent with their members.
+    compact_fraction:
+        Tombstone fraction above which a bucket compacts
+        (:data:`DEFAULT_COMPACT_FRACTION` by default).
     """
 
-    def __init__(self, query: ConjunctiveQuery, database: Database):
-        report = free_connex_report(query)
-        if not report.tractable:
-            raise NotFreeConnexError(query, report.classification())
-        if not query.is_full():
-            raise NotFreeConnexError(
-                query,
-                "free-connex but not full; the dynamic index supports full "
-                "acyclic joins (maintaining Proposition 4.2's projection "
-                "under updates is the Dynamic Yannakakis problem)",
-            )
-        self.query = query
-        self.head_variables = tuple(v.name for v in query.head)
-
-        # Proposition 4.2's normalization, with the Yannakakis reducer off:
-        # dangling tuples must stay in their buckets (weight zero) so a
-        # later insert of a join partner can revive them in place.
-        reduced = reduce_to_full_acyclic(query, database, reduce=False)
-        self._atom_nodes: Dict[int, _DynamicNode] = {}
+    def __init__(
+        self,
+        reduced: ReducedJoin,
+        on_presence_change: Optional[PresenceHook] = None,
+        compact_fraction: float = DEFAULT_COMPACT_FRACTION,
+    ):
+        self.reduced = reduced
+        self.head_variables: Tuple[str, ...] = tuple(reduced.head_variables)
+        self.on_presence_change = on_presence_change
+        self.compact_fraction = compact_fraction
+        self.compactions = 0
+        #: Nodes in preorder; a node's index here is its shape position.
+        self.nodes: List[_DynamicNode] = []
+        self._by_atom: Dict[int, _DynamicNode] = {}
         self.roots: List[_DynamicNode] = [
             self._build(root, None) for root in reduced.roots
         ]
-        # Which atom occurrences does a base relation feed?
-        self._routes: Dict[str, List[int]] = {}
-        for position, atom in enumerate(query.body):
-            self._routes.setdefault(atom.relation, []).append(position)
-        self._atoms = list(query.body)
 
     # ------------------------------------------------------------------ #
     # Construction                                                        #
@@ -208,137 +277,158 @@ class DynamicCQIndex:
         """Build one node and bulk-load its (already normalized) rows.
 
         Children build first, so this node's initial row weights are one
-        product of final child bucket totals each — Algorithm 2 with
-        Fenwick appends, no per-row propagation.
+        product of final child bucket totals each — Algorithm 2 with one
+        balanced bulk build per bucket, no per-row propagation.
         """
         node = _DynamicNode(tuple(reduced.variables), parent)
-        self._atom_nodes[reduced.atom_index] = node
+        node.shape_position = len(self.nodes)
+        self.nodes.append(node)
+        if reduced.atom_index is not None:
+            self._by_atom[reduced.atom_index] = node
         for child in reduced.children:
             node.attach(self._build(child, node))
         groups: Dict[tuple, List[tuple]] = {}
         for row in reduced.relation.rows:
             groups.setdefault(node.bucket_key_of_row(row), []).append(row)
         for key, rows in groups.items():
-            # Canonical initial order: a freshly built dynamic index
-            # enumerates exactly like the static (sorted-bucket) index, so
-            # promoting a hot query does not reshuffle already-served
-            # pages; only rows inserted after the build append at the tail.
+            # Canonical order from the start; later inserts keep it (treap
+            # insertion at the sort position), so the dynamic index
+            # enumerates exactly like the static index at all times.
             rows.sort(key=row_sort_key)
-            bucket = node.buckets[key] = _DynamicBucket()
+            # Normalization is injective per atom occurrence (constants
+            # and repeated-variable positions are determined by the
+            # normalized row), and base relations are sets — so every
+            # loaded row is one base fact: multiplicity 1.
+            node.buckets[key] = _DynamicBucket.from_sorted_rows(
+                [(row, node.own_weight(row), 1) for row in rows]
+            )
             for row in rows:
-                # Normalization is injective per atom occurrence (constants
-                # and repeated-variable positions are determined by the
-                # normalized row), and base relations are sets — so every
-                # loaded row is one base fact.
-                node.multiplicity[(key, row)] = 1
-                position = bucket.add_row(row, node.own_weight(row))
-                node.register_row(key, row, position)
+                node.register_row(key, row)
         return node
 
     # ------------------------------------------------------------------ #
-    # Updates                                                             #
+    # Updates (node-level)                                                #
     # ------------------------------------------------------------------ #
 
-    def insert(self, relation: str, row: tuple) -> None:
-        """Insert a base fact; all atom occurrences of the relation update."""
-        for atom_index in self._routes.get(relation, ()):
-            normalized = self._normalize(atom_index, row)
-            if normalized is not None:
-                self._apply(self._atom_nodes[atom_index], normalized, +1)
+    def presence(self, shape_position: int, row: tuple) -> bool:
+        """Is ``row`` present (multiplicity > 0) at the given node?"""
+        node = self.nodes[shape_position]
+        bucket = node.buckets.get(node.bucket_key_of_row(row))
+        if bucket is None:
+            return False
+        handle = bucket.rank.get(row)
+        return handle is not None and handle.multiplicity > 0
 
-    def delete(self, relation: str, row: tuple) -> None:
-        """Delete a base fact (no-op for facts that were never inserted)."""
-        for atom_index in self._routes.get(relation, ()):
-            normalized = self._normalize(atom_index, row)
-            if normalized is not None:
-                self._apply(self._atom_nodes[atom_index], normalized, -1)
+    def set_row_presence(self, shape_position: int, row: tuple, present: bool) -> None:
+        """Set-semantics presence update for one node row (idempotent).
 
-    def _normalize(self, atom_index: int, row: tuple) -> Optional[tuple]:
-        """Apply the atom's constants/repeated-variable filters to a fact,
-        returning the node row (sorted-variable order) or ``None``."""
-        atom = self._atoms[atom_index]
-        if len(row) != atom.arity:
-            raise ValueError(
-                f"fact arity {len(row)} does not match atom {atom} arity {atom.arity}"
-            )
-        from repro.query.atoms import Constant, Variable
-
-        assignment: Dict[str, object] = {}
-        for term, value in zip(atom.terms, row):
-            if isinstance(term, Constant):
-                if term.value != value:
-                    return None
-            else:
-                seen = assignment.get(term.name, _UNSET)
-                if seen is _UNSET:
-                    assignment[term.name] = value
-                elif seen != value:
-                    return None
-        node = self._atom_nodes[atom_index]
-        return tuple(assignment[c] for c in node.columns)
+        The mc-UCQ maintenance entry point: intersection forests receive
+        membership changes, not base facts, so their multiplicities are
+        always 0 or 1.
+        """
+        if self.presence(shape_position, row) != present:
+            self._apply(self.nodes[shape_position], row, +1 if present else -1)
 
     def _apply(self, node: _DynamicNode, row: tuple, delta: int) -> None:
         key = node.bucket_key_of_row(row)
-        multiplicity = node.multiplicity.get((key, row), 0) + delta
-        if multiplicity < 0:
-            # Deleting a non-member: a pure no-op. Checked before any bucket
-            # is allocated, so delete-misses cannot grow node.buckets.
-            return
         bucket = node.buckets.get(key)
-        if bucket is None:
-            bucket = node.buckets[key] = _DynamicBucket()
-        node.multiplicity[(key, row)] = multiplicity
+        handle = bucket.rank.get(row) if bucket is not None else None
 
-        position = bucket.position_of(row)
-        now_present = multiplicity > 0
-        if position is None:
-            if not now_present:
+        if handle is None:
+            if delta <= 0:
+                # Deleting a non-member: a pure no-op. Checked before any
+                # bucket is allocated, so delete-misses cannot grow
+                # node.buckets.
                 return
-            position = bucket.add_row(row, 0)
-            node.register_row(key, row, position)
+            if bucket is None:
+                bucket = node.buckets[key] = _DynamicBucket()
+            old_total = bucket.total
+            bucket.add_row(row, node.own_weight(row), delta)
+            node.register_row(key, row)
+            self._notify(node, row, True)
+            if bucket.total != old_total:
+                self._propagate(node, key)
+            return
+
+        multiplicity = handle.multiplicity + delta
+        if multiplicity < 0:
+            return  # deleting a fact that was never inserted
+        was_present = handle.multiplicity > 0
+        now_present = multiplicity > 0
+        handle.multiplicity = multiplicity
+        if was_present and not now_present:
+            bucket.tombstones += 1
+        elif now_present and not was_present:
+            bucket.tombstones -= 1
 
         old_total = bucket.total
-        new_weight = node.own_weight(row) if now_present else 0
-        bucket.weights.update(position, new_weight)
-        if bucket.total != old_total:
+        bucket.tree.set_weight(handle, node.own_weight(row) if now_present else 0)
+        changed = bucket.total != old_total
+        if was_present != now_present:
+            self._notify(node, row, now_present)
+        if not now_present:
+            self._maybe_compact(bucket)
+        if changed:
             self._propagate(node, key)
+
+    def _notify(self, node: _DynamicNode, row: tuple, present: bool) -> None:
+        if self.on_presence_change is not None:
+            self.on_presence_change(node.shape_position, row, present)
+
+    def _maybe_compact(self, bucket: _DynamicBucket) -> None:
+        """Compact once tombstones dominate (bounded tombstone growth).
+
+        Only multiplicity-0 rows are dropped: a *present* row with weight
+        0 is merely dangling — its base fact exists, and a later insert of
+        a join partner must be able to revive it in place. Compaction
+        never changes the bucket total (tombstones occupy empty weight
+        ranges), so no propagation is needed; stale reverse-index entries
+        are cleaned lazily by :meth:`_propagate`.
+        """
+        size = len(bucket)
+        if size >= COMPACT_MIN_ROWS and bucket.tombstones > self.compact_fraction * size:
+            bucket.compact()
+            self.compactions += 1
 
     def _propagate(self, node: _DynamicNode, key: tuple) -> None:
         """Recompute ancestor weights after ``node``'s bucket total changed.
 
         The reverse index lists exactly the parent rows keyed into the
         changed bucket, so the work per level is proportional to the number
-        of genuinely affected rows (× O(log) per Fenwick update).
+        of genuinely affected rows (× O(log) per weight update).
         """
         parent = node.parent
         if parent is None:
             return
-        affected = parent.dependents[node.position_in_parent].get(key, ())
-        changed_parent_keys = []
-        for parent_key, position in affected:
+        affected = parent.dependents[node.position_in_parent].get(key)
+        if not affected:
+            return
+        changed_parent_keys = set()
+        dead = []
+        for parent_key, row in affected:
             bucket = parent.buckets[parent_key]
-            row = bucket.rows[position]
-            present = parent.multiplicity.get((parent_key, row), 0) > 0
-            new_weight = parent.own_weight(row) if present else 0
-            if new_weight != bucket.weights.value(position):
+            handle = bucket.rank.get(row)
+            if handle is None:
+                dead.append((parent_key, row))  # compacted away
+                continue
+            new_weight = parent.own_weight(row) if handle.multiplicity > 0 else 0
+            if new_weight != handle.weight:
                 before = bucket.total
-                bucket.weights.update(position, new_weight)
+                bucket.tree.set_weight(handle, new_weight)
                 if bucket.total != before:
-                    changed_parent_keys.append(parent_key)
-        for parent_key in set(changed_parent_keys):
+                    changed_parent_keys.add(parent_key)
+        if dead:
+            affected.difference_update(dead)
+        for parent_key in changed_parent_keys:
             self._propagate(parent, parent_key)
 
     # ------------------------------------------------------------------ #
-    # Queries                                                             #
+    # Queries (engine-driven serving surface)                             #
     # ------------------------------------------------------------------ #
 
     @property
     def count(self) -> int:
-        total = 1
-        for root in self.roots:
-            bucket = root.buckets.get(())
-            total *= bucket.total if bucket is not None else 0
-        return total
+        return access_engine.forest_count(self.roots)
 
     def __len__(self) -> int:
         return self.count
@@ -347,51 +437,19 @@ class DynamicCQIndex:
         if index < 0 or index >= self.count:
             raise OutOfBoundError(index, self.count)
         assignment: Dict[str, object] = {}
-        remaining = index
-        parts: List[int] = []
-        for root in reversed(self.roots):
-            total = root.buckets[()].total
-            parts.append(remaining % total)
-            remaining //= total
-        for root, part in zip(self.roots, reversed(parts)):
-            self._subtree_access(root, (), part, assignment)
+        access_engine.scalar_walk(self.roots, index, assignment)
         return tuple(assignment[name] for name in self.head_variables)
-
-    def _subtree_access(self, node, key, index, assignment) -> None:
-        bucket = node.buckets[key]
-        position = bucket.weights.locate(index)
-        row = bucket.rows[position]
-        for column, value in zip(node.columns, row):
-            assignment[column] = value
-        remaining = index - bucket.weights.prefix(position)
-        parts: List[int] = []
-        for child_position in range(len(node.children) - 1, -1, -1):
-            child = node.children[child_position]
-            child_key = node.child_bucket_key(row, child_position)
-            total = child.buckets[child_key].total
-            parts.append(remaining % total)
-            remaining //= total
-        parts.reverse()
-        for child_position, child in enumerate(node.children):
-            child_key = node.child_bucket_key(row, child_position)
-            self._subtree_access(child, child_key, parts[child_position], assignment)
-
-    # ------------------------------------------------------------------ #
-    # Batched access (amortized, mirrors JoinForestIndex.batch_access)    #
-    # ------------------------------------------------------------------ #
 
     def batch(self, indices: Sequence[int]) -> List[tuple]:
         """The answers at ``indices`` — ``[self.access(i) for i in indices]``.
 
         The request may be unsorted and contain duplicates; the result is
-        aligned with it. Amortized like
-        :meth:`~repro.core.index.JoinForestIndex.batch_access`: positions
-        are sorted once and served in one root-to-leaf walk, so each
-        Fenwick descent, row resolution, and column binding is shared by
-        every position inside the resolved tuple's index range. (Unlike the
-        static walk there is no weight-1 leaf shortcut — dynamic leaf
-        buckets hold zero-weight tombstones, so leaves locate through the
-        Fenwick tree too.) Raises
+        aligned with it. Amortized through the shared
+        :func:`~repro.core.access_engine.batch_walk`, exactly like
+        :meth:`~repro.core.index.JoinForestIndex.batch_access` — the only
+        difference is the bucket store (order-statistic descents instead
+        of binary searches, and no weight-1 leaf shortcut: dynamic leaf
+        buckets hold zero-weight tombstones). Raises
         :class:`~repro.core.errors.OutOfBoundError` if any position is
         outside ``[0, count)``, before resolving anything.
         """
@@ -407,135 +465,11 @@ class DynamicCQIndex:
                 if index < 0 or index >= count:
                     raise OutOfBoundError(index, count)
         acc: Dict[str, object] = {}
-        head = self.head_variables
-        if len(head) == 0:
-            def finish(slot: int) -> None:
-                out[slot] = ()
-        elif len(head) == 1:
-            name = head[0]
-
-            def finish(slot: int) -> None:
-                out[slot] = (acc[name],)
-        else:
-            getter = itemgetter(*head)
-
-            def finish(slot: int) -> None:
-                out[slot] = getter(acc)
-
-        if not self.roots:
-            for slot in range(len(indices)):
-                finish(slot)
-            return out
-        self._batch_roots(0, _sorted_items(indices), acc, finish)
+        finish = access_engine.make_batch_finish(out, acc, self.head_variables)
+        access_engine.batch_walk(
+            self.roots, access_engine.sorted_items(indices), acc, finish
+        )
         return out
-
-    def _batch_roots(
-        self,
-        root_position: int,
-        items: List[Tuple[int, object]],
-        acc: Dict[str, object],
-        cont: Callable[[object], None],
-    ) -> None:
-        """Distribute sorted (index, payload) items across the root digits."""
-        roots = self.roots
-        root = roots[root_position]
-        if root_position == len(roots) - 1:
-            self._subtree_batch(root, (), items, 0, acc, cont)
-            return
-        suffix = 1
-        for later in roots[root_position + 1:]:
-            suffix *= later.buckets[()].total
-        self._subtree_batch(
-            root,
-            (),
-            _digit_groups(items, 0, suffix),
-            0,
-            acc,
-            lambda rest: self._batch_roots(root_position + 1, rest, acc, cont),
-        )
-
-    def _subtree_batch(
-        self,
-        node: _DynamicNode,
-        key: tuple,
-        items: List[Tuple[int, object]],
-        shift: int,
-        acc: Dict[str, object],
-        cont: Callable[[object], None],
-    ) -> None:
-        """Resolve sorted (index, payload) items within one bucket.
-
-        One Fenwick descent per *group* of positions sharing a resolved
-        row, not per position; the bucket-local position of an item is
-        ``item[0] - shift``.
-        """
-        bucket = node.buckets[key]
-        rows = bucket.rows
-        weights = bucket.weights
-        columns = node.columns
-        children = node.children
-        n = len(items)
-        i = 0
-        while i < n:
-            local = items[i][0] - shift
-            position = weights.locate(local)
-            base = weights.prefix(position)
-            end = shift + base + weights.value(position)
-            j = i + 1
-            while j < n and items[j][0] < end:
-                j += 1
-            row = rows[position]
-            for column, value in zip(columns, row):
-                acc[column] = value
-            if not children:
-                for __, payload in items[i:j]:
-                    cont(payload)
-            else:
-                self._batch_children(
-                    node, row, 0, items, i, j, shift + base, acc, cont
-                )
-            i = j
-
-    def _batch_children(
-        self,
-        node: _DynamicNode,
-        row: tuple,
-        child_position: int,
-        items: List[Tuple[int, object]],
-        lo: int,
-        hi: int,
-        shift: int,
-        acc: Dict[str, object],
-        cont: Callable[[object], None],
-    ) -> None:
-        """SplitIndex over a batch: peel off one child's digit at a time."""
-        children = node.children
-        child = children[child_position]
-        child_key = node.child_bucket_key(row, child_position)
-        if child_position == len(children) - 1:
-            if lo == 0 and hi == len(items):
-                group = items
-            else:
-                group = items[lo:hi]
-            self._subtree_batch(child, child_key, group, shift, acc, cont)
-            return
-        suffix = 1
-        for later in range(child_position + 1, len(children)):
-            suffix *= children[later].buckets[node.child_bucket_key(row, later)].total
-        self._subtree_batch(
-            child,
-            child_key,
-            _digit_groups(items[lo:hi], shift, suffix),
-            0,
-            acc,
-            lambda rest: self._batch_children(
-                node, row, child_position + 1, rest, 0, len(rest), 0, acc, cont
-            ),
-        )
-
-    # ------------------------------------------------------------------ #
-    # Sampling and random order                                           #
-    # ------------------------------------------------------------------ #
 
     def sample_many(self, k: int, rng: Optional[random.Random] = None) -> List[tuple]:
         """The first ``min(k, count)`` draws of :meth:`random_order`.
@@ -562,10 +496,6 @@ class DynamicCQIndex:
 
         return iter(RandomPermutationEnumerator(self, rng=rng))
 
-    # ------------------------------------------------------------------ #
-    # Inverted access                                                     #
-    # ------------------------------------------------------------------ #
-
     def ensure_inverted_support(self) -> None:
         """No-op: dynamic buckets keep their rank tables up to date.
 
@@ -578,44 +508,122 @@ class DynamicCQIndex:
         if len(answer) != len(self.head_variables) or self.count == 0:
             return None
         assignment = dict(zip(self.head_variables, answer))
-        index = 0
-        for root in self.roots:
-            part = self._subtree_inverted(root, (), assignment)
-            if part is None:
-                return None
-            index = index * root.buckets[()].total + part
-        return index
-
-    def _subtree_inverted(self, node, key, assignment) -> Optional[int]:
-        bucket = node.buckets.get(key)
-        if bucket is None:
-            return None
-        try:
-            row = tuple(assignment[c] for c in node.columns)
-        except KeyError:
-            return None
-        position = bucket.position_of(row)
-        if position is None or bucket.weights.value(position) == 0:
-            return None
-        offset = 0
-        for child_position, child in enumerate(node.children):
-            child_key = node.child_bucket_key(row, child_position)
-            child_bucket = child.buckets.get(child_key)
-            if child_bucket is None:
-                return None
-            child_index = self._subtree_inverted(child, child_key, assignment)
-            if child_index is None:
-                return None
-            offset = offset * child_bucket.total + child_index
-        return bucket.weights.prefix(position) + offset
+        return access_engine.inverted_walk(self.roots, assignment)
 
     def __contains__(self, answer: tuple) -> bool:
         """Membership test via inverted access (the paper's ``Test``)."""
         return self.inverted_access(tuple(answer)) is not None
 
-    def __iter__(self):
-        for index in range(self.count):
-            yield self.access(index)
+    def __iter__(self) -> Iterator[tuple]:
+        """Enumerate in index order — the canonical global order."""
+        if self.count == 0:
+            return
+        head = self.head_variables
+        for assignment in access_engine.enumerate_walk(self.roots):
+            yield tuple(assignment[name] for name in head)
+
+
+class DynamicCQIndex(DynamicJoinForest):
+    """A random-access index over a full acyclic CQ, under updates.
+
+    The query-level wrapper of :class:`DynamicJoinForest`: validates the
+    query, reduces it (reducer off — see the module notes), and routes
+    base-fact :meth:`insert` / :meth:`delete` calls to the node rows of
+    every atom occurrence through the atoms' constant/repeated-variable
+    normalization.
+
+    Parameters
+    ----------
+    query:
+        A *full* free-connex (equivalently here: acyclic) CQ. Atoms may
+        carry constants and repeated variables — normalization happens in
+        the reduction layer, the same code path the static index uses.
+    database:
+        The initial database (may be empty; relations must exist with the
+        right arities).
+    on_presence_change, compact_fraction:
+        Forwarded to :class:`DynamicJoinForest`.
+    """
+
+    #: The service's capability marker: entries with this flag absorb
+    #: mutations in place instead of invalidating.
+    supports_updates = True
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        on_presence_change: Optional[PresenceHook] = None,
+        compact_fraction: float = DEFAULT_COMPACT_FRACTION,
+    ):
+        report = free_connex_report(query)
+        if not report.tractable:
+            raise NotFreeConnexError(query, report.classification())
+        if not query.is_full():
+            raise NotFreeConnexError(
+                query,
+                "free-connex but not full; the dynamic index supports full "
+                "acyclic joins (maintaining Proposition 4.2's projection "
+                "under updates is the Dynamic Yannakakis problem)",
+            )
+        self.query = query
+
+        # Proposition 4.2's normalization, with the Yannakakis reducer off:
+        # dangling tuples must stay in their buckets (weight zero) so a
+        # later insert of a join partner can revive them in place.
+        reduced = reduce_to_full_acyclic(query, database, reduce=False)
+        super().__init__(
+            reduced,
+            on_presence_change=on_presence_change,
+            compact_fraction=compact_fraction,
+        )
+        # Which atom occurrences does a base relation feed?
+        self._routes: Dict[str, List[int]] = {}
+        for position, atom in enumerate(query.body):
+            self._routes.setdefault(atom.relation, []).append(position)
+        self._atoms = list(query.body)
+
+    # ------------------------------------------------------------------ #
+    # Updates (base facts)                                                #
+    # ------------------------------------------------------------------ #
+
+    def insert(self, relation: str, row: tuple) -> None:
+        """Insert a base fact; all atom occurrences of the relation update."""
+        for atom_index in self._routes.get(relation, ()):
+            normalized = self._normalize(atom_index, row)
+            if normalized is not None:
+                self._apply(self._by_atom[atom_index], normalized, +1)
+
+    def delete(self, relation: str, row: tuple) -> None:
+        """Delete a base fact (no-op for facts that were never inserted)."""
+        for atom_index in self._routes.get(relation, ()):
+            normalized = self._normalize(atom_index, row)
+            if normalized is not None:
+                self._apply(self._by_atom[atom_index], normalized, -1)
+
+    def _normalize(self, atom_index: int, row: tuple) -> Optional[tuple]:
+        """Apply the atom's constants/repeated-variable filters to a fact,
+        returning the node row (sorted-variable order) or ``None``."""
+        atom = self._atoms[atom_index]
+        if len(row) != atom.arity:
+            raise ValueError(
+                f"fact arity {len(row)} does not match atom {atom} arity {atom.arity}"
+            )
+        from repro.query.atoms import Constant
+
+        assignment: Dict[str, object] = {}
+        for term, value in zip(atom.terms, row):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    return None
+            else:
+                seen = assignment.get(term.name, _UNSET)
+                if seen is _UNSET:
+                    assignment[term.name] = value
+                elif seen != value:
+                    return None
+        node = self._by_atom[atom_index]
+        return tuple(assignment[c] for c in node.columns)
 
     def __repr__(self) -> str:
         return f"DynamicCQIndex({self.query.name}, count={self.count})"

@@ -2,12 +2,15 @@
 
 The static index of Algorithm 2 stores per-bucket ``startIndex`` arrays —
 prefix sums that support O(log) *positioning* but O(n) *updates*. The
-dynamic index (:mod:`repro.core.dynamic`) replaces them with Fenwick
-trees: point updates, prefix sums, and descent-by-prefix all in O(log n),
-which is what makes single-tuple database updates affordable.
+first dynamic index replaced them with Fenwick trees: point updates,
+prefix sums, and descent-by-prefix all in O(log n). Fenwick positions are
+append-only, though, which pinned dynamic buckets to insertion order; the
+dynamic buckets now live on the order-maintained
+:class:`~repro.core.order_tree.OrderedWeightTree` (same O(log) bounds,
+plus canonical-position inserts). The Fenwick tree remains part of the
+toolkit for prefix-sum workloads that do not need mid-sequence insertion.
 
-The tree also supports amortized-O(log) appends, since insertions add rows
-to buckets.
+The tree also supports amortized-O(log) appends.
 """
 
 from __future__ import annotations

@@ -22,6 +22,11 @@ The forest generalization: a query whose reduced join has several connected
 components gets one tree per component; the global index is split/combined
 across the roots exactly like across children of a single node.
 
+The walks themselves live in :mod:`repro.core.access_engine`, shared with
+the dynamic index: this module contributes the *static* bucket store —
+plain prefix-sum arrays resolved by binary search, the exact ``startIndex``
+layout of Algorithm 2 — and the Algorithm-2 preprocessing that fills it.
+
 Enumeration order: with ``sort_buckets=True`` (default) every bucket holds
 its tuples in canonical sorted order, which makes the enumeration order of
 the index a restriction of one *global* order on answer tuples shared by
@@ -32,50 +37,31 @@ mc-UCQ compatibility requirements of Section 5.2.
 from __future__ import annotations
 
 from bisect import bisect_right
-from operator import itemgetter
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.database.relation import Relation, row_sort_key
+from repro.core import access_engine
 from repro.core.errors import OutOfBoundError
 from repro.core.reduction import ReducedJoin, ReducedNode
-
-try:  # numpy ships with this environment (scipy depends on it); the sort
-    import numpy as _np  # of a large batch is ~10× faster through argsort.
-except ImportError:  # pragma: no cover - exercised only without numpy
-    _np = None
-
-
-def _sorted_items(indices: Sequence[int]) -> List[Tuple[int, int]]:
-    """``(position, slot)`` pairs sorted by position (ties by slot).
-
-    Duplicate positions stay adjacent and simply resolve twice. Uses a
-    numpy argsort when available — for batches of 10⁵ positions the sort
-    is otherwise a third of the total batch cost.
-    """
-    if _np is not None and len(indices) >= 2048:
-        try:
-            array = _np.fromiter(indices, dtype=_np.int64, count=len(indices))
-        except OverflowError:
-            # Answer counts are polynomial in |D| and can exceed 2^63
-            # (e.g. wide cartesian products); such positions sort fine as
-            # Python ints.
-            return sorted(zip(indices, range(len(indices))))
-        order = _np.argsort(array, kind="stable")
-        return list(zip(array[order].tolist(), order.tolist()))
-    return sorted(zip(indices, range(len(indices))))
 
 
 class _Bucket:
     """One bucket of a node's relation: tuples agreeing on ``pAtts``.
 
-    Holds, per tuple, the weight ``w(t)`` and ``startIndex(t)``; ``total``
-    is the bucket weight ``w(B)``. ``rank`` (tuple → position) is built
-    lazily by :meth:`JoinForestIndex.ensure_inverted_support`, mirroring the
-    paper's implementation note that the inverted-access index is compiled
-    only when a UCQ enumeration needs it.
+    The static :class:`~repro.core.access_engine.BucketStore`: holds, per
+    tuple, the weight ``w(t)`` and ``startIndex(t)`` as plain prefix-sum
+    arrays; ``total`` is the bucket weight ``w(B)``. ``rank`` (tuple →
+    position) is built lazily by
+    :meth:`JoinForestIndex.ensure_inverted_support`, mirroring the paper's
+    implementation note that the inverted-access index is compiled only
+    when a UCQ enumeration needs it.
     """
 
     __slots__ = ("rows", "weights", "start", "total", "rank")
+
+    #: Leaf rows always carry weight 1 here (Algorithm 2 with no children),
+    #: so the engine may index ``rows`` by bucket-local offset directly.
+    unit_leaf = True
 
     def __init__(self, rows: List[tuple]):
         self.rows = rows
@@ -94,14 +80,27 @@ class _Bucket:
         self.start = start
         self.total = running
 
-    def locate(self, index: int) -> int:
-        """The position of the tuple whose index range contains ``index``.
+    def locate_run(self, offset: int) -> Tuple[tuple, int, int]:
+        """The ``(row, start, weight)`` whose index range contains ``offset``.
 
         Zero-weight (dangling) tuples occupy empty ranges and are never
         located — ``bisect_right`` skips entries whose startIndex equals the
         next tuple's.
         """
-        return bisect_right(self.start, index) - 1
+        position = bisect_right(self.start, offset) - 1
+        return self.rows[position], self.start[position], self.weights[position]
+
+    def rank_start(self, row: tuple) -> Optional[int]:
+        """``startIndex(row)``, or ``None`` for absent/dangling rows.
+
+        Requires :meth:`build_rank` (the walk's caller ensures it)."""
+        position = self.rank.get(row)
+        if position is None or self.weights[position] == 0:
+            return None
+        return self.start[position]
+
+    def iter_rows(self) -> Iterator[Tuple[tuple, int]]:
+        return zip(self.rows, self.weights)
 
     def build_rank(self) -> None:
         if self.rank is None:
@@ -174,10 +173,7 @@ class JoinForestIndex:
         self.roots: List[_IndexNode] = [_IndexNode(r, None) for r in reduced.roots]
         for root in self.roots:
             self._build(root)
-        self.count = 1
-        for root in self.roots:
-            bucket = root.buckets.get(())
-            self.count *= bucket.total if bucket is not None else 0
+        self.count = access_engine.forest_count(self.roots)
         self._inverted_ready = False
 
     # ------------------------------------------------------------------ #
@@ -212,7 +208,7 @@ class JoinForestIndex:
             node.buckets[key] = bucket
 
     # ------------------------------------------------------------------ #
-    # Algorithm 3 — random access                                         #
+    # Algorithm 3 — random access (scalar and batched, via the engine)    #
     # ------------------------------------------------------------------ #
 
     def access(self, index: int) -> Dict[str, object]:
@@ -224,43 +220,8 @@ class JoinForestIndex:
         if index < 0 or index >= self.count:
             raise OutOfBoundError(index, self.count)
         assignment: Dict[str, object] = {}
-        remaining = index
-        # Split the global index across roots; the last root is the least
-        # significant digit, mirroring SplitIndex over children.
-        parts: List[int] = []
-        for root in reversed(self.roots):
-            total = root.buckets[()].total
-            parts.append(remaining % total)
-            remaining //= total
-        for root, part in zip(self.roots, reversed(parts)):
-            self._subtree_access(root, (), part, assignment)
+        access_engine.scalar_walk(self.roots, index, assignment)
         return assignment
-
-    def _subtree_access(
-        self, node: _IndexNode, key: tuple, index: int, assignment: Dict[str, object]
-    ) -> None:
-        bucket = node.buckets[key]
-        position = bucket.locate(index)
-        row = bucket.rows[position]
-        for column, value in zip(node.columns, row):
-            assignment[column] = value
-        remaining = index - bucket.start[position]
-        # SplitIndex: the last child takes the modulus.
-        parts: List[int] = []
-        for child_position in range(len(node.children) - 1, -1, -1):
-            child = node.children[child_position]
-            child_key = node.child_bucket_key(row, child_position)
-            total = child.buckets[child_key].total
-            parts.append(remaining % total)
-            remaining //= total
-        parts.reverse()
-        for child_position, child in enumerate(node.children):
-            child_key = node.child_bucket_key(row, child_position)
-            self._subtree_access(child, child_key, parts[child_position], assignment)
-
-    # ------------------------------------------------------------------ #
-    # Batched random access (amortized Algorithm 3)                       #
-    # ------------------------------------------------------------------ #
 
     def batch_access(
         self, indices: Sequence[int], project: Optional[Sequence[str]] = None
@@ -269,13 +230,10 @@ class JoinForestIndex:
 
         Semantically equal to ``[self.access(i) for i in indices]`` (the
         result is aligned with the request, which may be unsorted and may
-        contain duplicates), but amortized: the requested positions are
-        sorted once, and the root-to-leaf walk is shared across positions
-        that resolve through the same tuples. Each bucket's binary-search
-        tier is entered once per contiguous run of positions instead of once
-        per position, and a parent tuple's column bindings and child-bucket
-        resolution are computed once for all positions under its index
-        range.
+        contain duplicates), but amortized through
+        :func:`repro.core.access_engine.batch_walk`: the requested
+        positions are sorted once, and the root-to-leaf walk is shared
+        across positions that resolve through the same tuples.
 
         With ``project`` (a sequence of variable names) each result is the
         tuple of those variables' values instead of a full assignment dict —
@@ -296,191 +254,11 @@ class JoinForestIndex:
                 if index < 0 or index >= count:
                     raise OutOfBoundError(index, count)
         acc: Dict[str, object] = {}
-        if project is None:
-            def finish(slot: int) -> None:
-                out[slot] = dict(acc)
-        elif len(project) == 0:
-            def finish(slot: int) -> None:
-                out[slot] = ()
-        elif len(project) == 1:
-            name = project[0]
-
-            def finish(slot: int) -> None:
-                out[slot] = (acc[name],)
-        else:
-            getter = itemgetter(*project)
-
-            def finish(slot: int) -> None:
-                out[slot] = getter(acc)
-
-        def finish_leaf_group(
-            items: List[Tuple[int, int]],
-            rows: List[tuple],
-            columns: Tuple[str, ...],
-            shift: int,
-        ) -> None:
-            """Terminal fast path: a leaf bucket whose completion ends the
-            walk. Materializes the answers in one loop — no per-item
-            continuation calls, and (under ``project``) no dict writes for
-            the leaf's own columns: a per-group plan splits each output
-            position into "from this row" vs "already bound upstream"."""
-            if project is None:
-                update = acc.update
-                for position, slot in items:
-                    update(zip(columns, rows[position - shift]))
-                    out[slot] = dict(acc)
-                return
-            col_position = {c: i for i, c in enumerate(columns)}
-            plan = [
-                (col_position[name], None) if name in col_position else (None, acc[name])
-                for name in project
-            ]
-            for position, slot in items:
-                row = rows[position - shift]
-                out[slot] = tuple(
-                    [row[p] if p is not None else v for p, v in plan]
-                )
-
-        finish.leaf_group = finish_leaf_group
-        if not self.roots:
-            for slot in range(len(indices)):
-                finish(slot)
-            return out
-        self._batch_roots(0, _sorted_items(indices), acc, finish)
+        finish = access_engine.make_batch_finish(out, acc, project)
+        access_engine.batch_walk(
+            self.roots, access_engine.sorted_items(indices), acc, finish
+        )
         return out
-
-    def _batch_roots(
-        self,
-        root_position: int,
-        items: List[Tuple[int, object]],
-        acc: Dict[str, object],
-        cont: Callable[[object], None],
-    ) -> None:
-        """Distribute sorted (index, payload) items across the root digits.
-
-        ``acc`` is one shared working assignment: every node along the
-        current path writes its columns into it before descending, and the
-        answer is materialized by ``cont`` exactly when the path is fully
-        bound. The last root consumes the whole remaining index, so it gets
-        the items verbatim — no re-grouping pass.
-        """
-        roots = self.roots
-        root = roots[root_position]
-        if root_position == len(roots) - 1:
-            self._subtree_batch(root, (), items, 0, acc, cont)
-            return
-        suffix = 1
-        for later in roots[root_position + 1:]:
-            suffix *= later.buckets[()].total
-        self._subtree_batch(
-            root,
-            (),
-            _digit_groups(items, 0, suffix),
-            0,
-            acc,
-            lambda rest: self._batch_roots(root_position + 1, rest, acc, cont),
-        )
-
-    def _subtree_batch(
-        self,
-        node: _IndexNode,
-        key: tuple,
-        items: List[Tuple[int, object]],
-        shift: int,
-        acc: Dict[str, object],
-        cont: Callable[[object], None],
-    ) -> None:
-        """Resolve sorted (index, payload) items within one bucket.
-
-        The bucket-local position of an item is ``item[0] - shift``;
-        carrying the shift instead of rebuilding shifted item lists is what
-        keeps per-item allocation out of the hot path. Items are grouped by
-        the tuple whose index range contains them — one binary search per
-        group, not per item — the tuple's columns are bound into the shared
-        ``acc``, and the in-range offsets recurse into the children.
-        ``cont(payload)`` fires once per item when its path is fully bound.
-        """
-        bucket = node.buckets[key]
-        rows = bucket.rows
-        columns = node.columns
-        children = node.children
-        if not children:
-            # Leaf buckets assign weight 1 to every row (Algorithm 2 with no
-            # children), so the bucket-local offset *is* the row position —
-            # no binary search needed. When this leaf terminates the walk
-            # (cont is the batch's finish), write the whole group in one
-            # fused loop; otherwise bind + continue per item.
-            leaf_group = getattr(cont, "leaf_group", None)
-            if leaf_group is not None:
-                leaf_group(items, rows, columns, shift)
-                return
-            update = acc.update
-            for value, payload in items:
-                update(zip(columns, rows[value - shift]))
-                cont(payload)
-            return
-        start = bucket.start
-        weights = bucket.weights
-        n = len(items)
-        i = 0
-        while i < n:
-            local = items[i][0] - shift
-            position = bisect_right(start, local) - 1
-            base = start[position]
-            end = shift + base + weights[position]
-            j = i + 1
-            while j < n and items[j][0] < end:
-                j += 1
-            row = rows[position]
-            for column, value in zip(columns, row):
-                acc[column] = value
-            self._batch_children(node, row, 0, items, i, j, shift + base, acc, cont)
-            i = j
-
-    def _batch_children(
-        self,
-        node: _IndexNode,
-        row: tuple,
-        child_position: int,
-        items: List[Tuple[int, object]],
-        lo: int,
-        hi: int,
-        shift: int,
-        acc: Dict[str, object],
-        cont: Callable[[object], None],
-    ) -> None:
-        """SplitIndex over a batch: peel off one child's digit at a time.
-
-        Handles ``items[lo:hi]``, whose in-tuple offsets are
-        ``item[0] - shift``. The last child takes the offset modulus (as in
-        scalar SplitIndex); because it consumes everything that remains, it
-        receives the item range verbatim with an adjusted shift — only
-        *interior* children (nodes with ≥ 2 children) pay a re-grouping
-        pass that materializes quotient/remainder pairs.
-        """
-        children = node.children
-        child = children[child_position]
-        child_key = node.child_bucket_key(row, child_position)
-        if child_position == len(children) - 1:
-            if lo == 0 and hi == len(items):
-                group = items
-            else:
-                group = items[lo:hi]
-            self._subtree_batch(child, child_key, group, shift, acc, cont)
-            return
-        suffix = 1
-        for later in range(child_position + 1, len(children)):
-            suffix *= children[later].buckets[node.child_bucket_key(row, later)].total
-        self._subtree_batch(
-            child,
-            child_key,
-            _digit_groups(items[lo:hi], shift, suffix),
-            0,
-            acc,
-            lambda rest: self._batch_children(
-                node, row, child_position + 1, rest, 0, len(rest), 0, acc, cont
-            ),
-        )
 
     # ------------------------------------------------------------------ #
     # Algorithm 4 — inverted access                                       #
@@ -504,105 +282,15 @@ class JoinForestIndex:
         if self.count == 0:
             return None
         self.ensure_inverted_support()
-        index = 0
-        for root in self.roots:
-            root_total = root.buckets[()].total
-            part = self._subtree_inverted(root, (), assignment)
-            if part is None:
-                return None
-            index = index * root_total + part
-        return index
-
-    def _subtree_inverted(
-        self, node: _IndexNode, key: tuple, assignment: Dict[str, object]
-    ) -> Optional[int]:
-        bucket = node.buckets.get(key)
-        if bucket is None:
-            return None
-        try:
-            row = tuple(assignment[c] for c in node.columns)
-        except KeyError:
-            return None
-        position = bucket.rank.get(row)
-        if position is None or bucket.weights[position] == 0:
-            return None
-        offset = 0
-        for child_position, child in enumerate(node.children):
-            child_key = node.child_bucket_key(row, child_position)
-            child_bucket = child.buckets.get(child_key)
-            if child_bucket is None:
-                return None
-            child_index = self._subtree_inverted(child, child_key, assignment)
-            if child_index is None:
-                return None
-            # CombineIndex: fold left, each child contributing one “digit”
-            # in base = its bucket weight.
-            offset = offset * child_bucket.total + child_index
-        return bucket.start[position] + offset
+        return access_engine.inverted_walk(self.roots, assignment)
 
     # ------------------------------------------------------------------ #
-    # Ordered enumeration (Fact 3.5: access gives Enum⟨lin, log⟩; this     #
-    # direct generator avoids the per-answer binary searches)             #
+    # Ordered enumeration (Fact 3.5: access gives Enum⟨lin, log⟩; the      #
+    # engine's direct generator avoids the per-answer binary searches)    #
     # ------------------------------------------------------------------ #
 
     def enumerate_in_order(self) -> Iterator[Dict[str, object]]:
         """Yield all assignments in enumeration-order (index order)."""
         if self.count == 0:
             return
-        yield from self._forest_assignments(0, {})
-
-    def _forest_assignments(self, root_position: int, acc: Dict[str, object]):
-        if root_position == len(self.roots):
-            yield dict(acc)
-            return
-        root = self.roots[root_position]
-        for assignment in self._node_assignments(root, (), acc):
-            yield from self._forest_assignments(root_position + 1, assignment)
-
-    def _node_assignments(self, node: _IndexNode, key: tuple, acc: Dict[str, object]):
-        bucket = node.buckets.get(key)
-        if bucket is None:
-            return
-        for position, row in enumerate(bucket.rows):
-            if bucket.weights[position] == 0:
-                continue
-            extended = dict(acc)
-            for column, value in zip(node.columns, row):
-                extended[column] = value
-            yield from self._children_assignments(node, row, 0, extended)
-
-    def _children_assignments(self, node: _IndexNode, row: tuple, child_position: int, acc):
-        if child_position == len(node.children):
-            yield acc
-            return
-        child = node.children[child_position]
-        child_key = node.child_bucket_key(row, child_position)
-        for assignment in self._node_assignments(child, child_key, acc):
-            yield from self._children_assignments(node, row, child_position + 1, assignment)
-
-
-def _digit_groups(
-    items: List[Tuple[int, object]], shift: int, suffix: int
-) -> List[Tuple[int, List[Tuple[int, object]]]]:
-    """Group sorted (index, payload) items by ``(index - shift) // suffix``.
-
-    The quotient is the digit consumed at the current level of the
-    mixed-radix SplitIndex decomposition; the remainders (still sorted)
-    travel as each group's payload to the next level. Sorted input makes
-    equal digits contiguous, so grouping is a single linear scan.
-    """
-    groups: List[Tuple[int, List[Tuple[int, object]]]] = []
-    i = 0
-    n = len(items)
-    while i < n:
-        quotient, remainder = divmod(items[i][0] - shift, suffix)
-        rest: List[Tuple[int, object]] = [(remainder, items[i][1])]
-        i += 1
-        while i < n:
-            q, r = divmod(items[i][0] - shift, suffix)
-            if q != quotient:
-                break
-            rest.append((r, items[i][1]))
-            i += 1
-        groups.append((quotient, rest))
-    return groups
+        yield from access_engine.enumerate_walk(self.roots)

@@ -1,0 +1,293 @@
+"""Order-maintained weighted rows: the bucket structure behind dynamic
+canonical-order serving.
+
+The static index of Algorithm 2 sorts every bucket once and stores prefix
+sums; the first dynamic index kept positions *stable* instead (Fenwick
+trees over append-ordered rows), which sacrificed the canonical global
+sort that mc-UCQ compatibility (Section 5.2) relies on — a row inserted
+after the build appended at its bucket's tail. This module restores the
+canonical order under churn: an :class:`OrderedWeightTree` is a treap
+(randomized balanced BST) over rows keyed by
+:func:`~repro.database.relation.row_sort_key`, augmented with subtree
+weight sums, so that
+
+* ``insert_row`` places a new row at its canonical sort position in
+  expected O(log n);
+* ``set_weight`` adjusts one row's weight (ancestor sums fix up along the
+  parent chain) in expected O(log n);
+* ``locate(offset)`` finds the row whose weight range contains ``offset``
+  (the dynamic analog of ``bisect_right(startIndex, offset) − 1``) in
+  expected O(log n), skipping zero-weight rows;
+* ``prefix_of(node)`` recovers a row's ``startIndex`` in expected
+  O(log n) by walking the parent chain;
+* :meth:`from_sorted` bulk-builds a perfectly balanced tree from
+  canonically sorted input in O(n) (priorities are drawn once, sorted,
+  and assigned in BFS order so the heap invariant holds by construction —
+  later random-priority inserts keep the expected balance).
+
+Tree nodes also carry the row's *multiplicity* (how many base facts
+normalize to it — the bucket-level bookkeeping of
+:mod:`repro.core.dynamic`), so the bucket needs no side tables beyond its
+row → node handle map. Deleting to multiplicity 0 keeps the node as a
+zero-weight tombstone (positions of the surviving rows are unaffected
+because the tombstone's weight range is empty); :meth:`compacted` rebuilds
+the tree without tombstones once they dominate.
+
+Priorities come from a module-level seeded PRNG, so tree shapes — and
+therefore performance, though never enumeration order, which is fixed by
+the keys — are reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.database.relation import row_sort_key
+
+#: Deterministic priority source: tree shapes are reproducible run-to-run.
+_PRIORITIES = random.Random(0x5EED)
+
+
+class TreeRow:
+    """One row of an :class:`OrderedWeightTree`.
+
+    ``weight`` is the Algorithm-2 weight ``w(t)`` (0 for dangling rows and
+    tombstones); ``multiplicity`` counts the base facts normalizing to the
+    row (0 marks a tombstone). ``subtotal`` caches the subtree weight sum.
+    """
+
+    __slots__ = ("row", "key", "weight", "multiplicity", "priority",
+                 "left", "right", "parent", "subtotal")
+
+    def __init__(self, row: tuple, weight: int, multiplicity: int, priority: float):
+        self.row = row
+        self.key = row_sort_key(row)
+        self.weight = weight
+        self.multiplicity = multiplicity
+        self.priority = priority
+        self.left: Optional["TreeRow"] = None
+        self.right: Optional["TreeRow"] = None
+        self.parent: Optional["TreeRow"] = None
+        self.subtotal = weight
+
+    def __repr__(self) -> str:
+        return (f"TreeRow({self.row!r}, weight={self.weight}, "
+                f"multiplicity={self.multiplicity})")
+
+
+def _subtotal_of(node: Optional[TreeRow]) -> int:
+    return node.subtotal if node is not None else 0
+
+
+class OrderedWeightTree:
+    """A treap over rows in canonical order, augmented with weight sums."""
+
+    __slots__ = ("root", "size")
+
+    def __init__(self):
+        self.root: Optional[TreeRow] = None
+        self.size = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                        #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_sorted(
+        cls, rows: Sequence[Tuple[tuple, int, int]]
+    ) -> Tuple["OrderedWeightTree", List[TreeRow]]:
+        """Bulk-build from canonically sorted ``(row, weight, multiplicity)``.
+
+        O(n) tree construction plus one O(n log n) sort of freshly drawn
+        priorities; returns the tree and the created nodes (in input
+        order) so the caller can fill its row → node map without a second
+        traversal. The balanced shape is a valid treap: priorities are
+        assigned largest-first along a breadth-first traversal, so every
+        parent outranks its children.
+        """
+        tree = cls()
+        nodes: List[TreeRow] = []
+        n = len(rows)
+        if n == 0:
+            return tree, nodes
+        for row, weight, multiplicity in rows:
+            nodes.append(TreeRow(row, weight, multiplicity, 0.0))
+
+        def build(lo: int, hi: int) -> Optional[TreeRow]:
+            if lo >= hi:
+                return None
+            mid = (lo + hi) // 2
+            node = nodes[mid]
+            node.left = build(lo, mid)
+            node.right = build(mid + 1, hi)
+            node.subtotal = node.weight
+            for child in (node.left, node.right):
+                if child is not None:
+                    child.parent = node
+                    node.subtotal += child.subtotal
+            return node
+
+        tree.root = build(0, n)
+        tree.size = n
+
+        priorities = sorted((_PRIORITIES.random() for __ in range(n)), reverse=True)
+        # BFS order without O(n²) pops: an explicit index cursor.
+        order: List[TreeRow] = [tree.root]
+        cursor = 0
+        while cursor < len(order):
+            node = order[cursor]
+            cursor += 1
+            if node.left is not None:
+                order.append(node.left)
+            if node.right is not None:
+                order.append(node.right)
+        for node, priority in zip(order, priorities):
+            node.priority = priority
+        return tree, nodes
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total(self) -> int:
+        """The sum of all weights (the bucket weight ``w(B)``)."""
+        return self.root.subtotal if self.root is not None else 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def locate(self, offset: int) -> Tuple[TreeRow, int]:
+        """The node whose weight range contains ``offset``, with its prefix.
+
+        Returns ``(node, start)`` where ``start`` is the sum of weights of
+        all rows canonically before ``node`` — i.e. ``startIndex(node)``,
+        with ``start ≤ offset < start + node.weight``. Zero-weight rows
+        occupy empty ranges and are never located. Requires
+        ``0 ≤ offset < total``.
+        """
+        if not 0 <= offset < self.total:
+            raise IndexError(f"offset {offset} outside [0, {self.total})")
+        node = self.root
+        start = 0
+        remaining = offset
+        while True:
+            left_total = _subtotal_of(node.left)
+            if remaining < left_total:
+                node = node.left
+                continue
+            remaining -= left_total
+            start += left_total
+            if remaining < node.weight:
+                return node, start
+            remaining -= node.weight
+            start += node.weight
+            node = node.right
+
+    def prefix_of(self, node: TreeRow) -> int:
+        """``startIndex(node)``: total weight of rows canonically before it."""
+        total = _subtotal_of(node.left)
+        while node.parent is not None:
+            parent = node.parent
+            if node is parent.right:
+                total += parent.weight + _subtotal_of(parent.left)
+            node = parent
+        return total
+
+    def __iter__(self) -> Iterator[TreeRow]:
+        """All nodes (tombstones included) in canonical order."""
+        stack: List[TreeRow] = []
+        node = self.root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node
+            node = node.right
+
+    # ------------------------------------------------------------------ #
+    # Updates                                                             #
+    # ------------------------------------------------------------------ #
+
+    def set_weight(self, node: TreeRow, weight: int) -> None:
+        """Set one row's weight; ancestor sums adjust along the parent chain."""
+        delta = weight - node.weight
+        if delta == 0:
+            return
+        node.weight = weight
+        while node is not None:
+            node.subtotal += delta
+            node = node.parent
+
+    def insert_row(self, row: tuple, weight: int, multiplicity: int) -> TreeRow:
+        """Insert a new row at its canonical sort position (expected O(log)).
+
+        The caller guarantees ``row`` is not already present (buckets keep
+        a row → node map and call :meth:`set_weight` for known rows).
+        """
+        node = TreeRow(row, weight, multiplicity, _PRIORITIES.random())
+        self.size += 1
+        if self.root is None:
+            self.root = node
+            return node
+        # BST descent to the leaf position, bumping subtree sums on the way.
+        key = node.key
+        current = self.root
+        while True:
+            current.subtotal += weight
+            if key < current.key:
+                if current.left is None:
+                    current.left = node
+                    break
+                current = current.left
+            else:
+                if current.right is None:
+                    current.right = node
+                    break
+                current = current.right
+        node.parent = current
+        # Rotate up while the heap invariant is violated.
+        while node.parent is not None and node.priority > node.parent.priority:
+            self._rotate_up(node)
+        return node
+
+    def _rotate_up(self, node: TreeRow) -> None:
+        """One rotation promoting ``node`` above its parent."""
+        parent = node.parent
+        grand = parent.parent
+        if parent.left is node:
+            parent.left = node.right
+            if node.right is not None:
+                node.right.parent = parent
+            node.right = parent
+        else:
+            parent.right = node.left
+            if node.left is not None:
+                node.left.parent = parent
+            node.left = parent
+        parent.parent = node
+        node.parent = grand
+        if grand is None:
+            self.root = node
+        elif grand.left is parent:
+            grand.left = node
+        else:
+            grand.right = node
+        # Only the two rotated nodes' subtotals change; recompute bottom-up.
+        parent.subtotal = (parent.weight + _subtotal_of(parent.left)
+                           + _subtotal_of(parent.right))
+        node.subtotal = (node.weight + _subtotal_of(node.left)
+                         + _subtotal_of(node.right))
+
+    def compacted(self) -> Tuple["OrderedWeightTree", List[TreeRow]]:
+        """A rebuilt tree containing only the live (multiplicity > 0) rows.
+
+        Tombstones carry weight 0, so the rebuilt tree has the same total
+        and the same enumeration order over live rows — compaction is
+        invisible to every reader. Returns the new tree and its nodes so
+        the caller can re-point its row → node map.
+        """
+        live = [(n.row, n.weight, n.multiplicity) for n in self if n.multiplicity > 0]
+        return OrderedWeightTree.from_sorted(live)

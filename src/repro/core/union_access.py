@@ -164,6 +164,17 @@ class UnionRandomAccess:
     def __init__(self, members: Sequence, intersections: Dict[Tuple[int, FrozenSet[int]], object]):
         self.members = list(members)
         self.intersections = intersections
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Recompute the cached member/intersection counts.
+
+        The overlap and suffix-count tables are derived from the member
+        and intersection ``count`` values, which are O(1) reads — but they
+        are *cached* here, so a caller that mutates the underlying indexes
+        (the dynamic mc-UCQ path) must refresh after every batch of
+        updates or access would split the index across stale digit bases.
+        """
         m = len(self.members)
         # |S_ℓ ∩ (S_{ℓ+1} ∪ …)| by inclusion–exclusion over T_{ℓ,I}.
         self._overlap: List[int] = []
@@ -291,16 +302,37 @@ class MCUCQIndex:
     them), all over the same join-forest shape so that orders are
     compatible by construction.
 
+    With ``dynamic=True`` the members are
+    :class:`~repro.core.dynamic.DynamicCQIndex` instances and every
+    intersection a :class:`~repro.core.dynamic.DynamicJoinForest` over the
+    same shape, maintained incrementally: a member row's presence
+    transition (multiplicity 0 ↔ positive) updates exactly the
+    intersections it belongs to, so :meth:`insert` / :meth:`delete` patch
+    the whole 2^m-index family in O(2^m · depth · log) instead of
+    rebuilding it. Because dynamic buckets maintain the canonical sort
+    order under churn (see :mod:`repro.core.order_tree`), the
+    compatibility invariant — every structure's order restricts one global
+    order fixed by the forest shape — holds at all times, and a mutated
+    dynamic union enumerates exactly like a freshly built static one.
+    Dynamic mode requires every member to be *full* (the usual dynamic
+    restriction; see :class:`~repro.core.dynamic.DynamicCQIndex`).
+
     Raises
     ------
     NotFreeConnexError
-        When some member CQ is not free-connex.
+        When some member CQ is not free-connex (or, with ``dynamic=True``,
+        not full).
     IncompatibleUnionError
         When the members' reduced joins are not shape-aligned (the union is
         then outside this library's constructive mc-UCQ class).
     """
 
-    def __init__(self, ucq: UnionOfConjunctiveQueries, database: Database):
+    def __init__(
+        self,
+        ucq: UnionOfConjunctiveQueries,
+        database: Database,
+        dynamic: bool = False,
+    ):
         if len(ucq) > MAX_UNION_MEMBERS:
             raise IncompatibleUnionError(
                 f"union has {len(ucq)} members; the 2^m intersection indexes of "
@@ -308,7 +340,19 @@ class MCUCQIndex:
             )
         self.ucq = ucq
         self.head_variables: Tuple[str, ...] = tuple(v.name for v in ucq.head)
+        self.dynamic = dynamic
+        #: The service's capability marker: a dynamic union absorbs
+        #: mutations in place instead of invalidating.
+        self.supports_updates = dynamic
 
+        if dynamic:
+            self._build_dynamic(database)
+        else:
+            self._build_static(database)
+        self._union = UnionRandomAccess(self.member_indexes, self.intersection_indexes)
+
+    def _build_static(self, database: Database) -> None:
+        ucq = self.ucq
         reduced = [reduce_to_full_acyclic(q, database) for q in ucq.queries]
         if not _forests_aligned(reduced):
             raise IncompatibleUnionError(
@@ -331,7 +375,107 @@ class MCUCQIndex:
                 self.intersection_indexes[(position, subset)] = CQIndex.from_reduced(
                     joined, sort_buckets=True
                 )
-        self._union = UnionRandomAccess(self.member_indexes, self.intersection_indexes)
+
+    def _build_dynamic(self, database: Database) -> None:
+        """Members as dynamic CQ indexes, intersections as dynamic forests.
+
+        Members construct with the reducer off (their reduced relations
+        keep dangling rows as weight-0 tombstones), so the node-wise
+        intersections are supersets of the reduced-relation intersections
+        — harmless, since Algorithm 2 weights dangling rows zero. Each
+        member reports presence transitions through a hook that carries
+        its position, which is all the intersection maintenance needs.
+        """
+        from repro.core.dynamic import DynamicCQIndex, DynamicJoinForest
+
+        ucq = self.ucq
+        self.member_indexes = [
+            DynamicCQIndex(
+                query,
+                database,
+                on_presence_change=self._member_hook(position),
+            )
+            for position, query in enumerate(ucq.queries)
+        ]
+        reduced = [member.reduced for member in self.member_indexes]
+        if not _forests_aligned(reduced):
+            raise IncompatibleUnionError(
+                "member queries reduce to differently-shaped join forests; "
+                "compatible-order random access is unavailable for this union "
+                "(Theorem 5.4's UnionRandomEnumerator still applies)"
+            )
+        m = len(ucq)
+        self.intersection_indexes = {}
+        # Per member position: the intersections it participates in, each
+        # with its full member-index group — the hook's dispatch table.
+        self._memberships: List[List[Tuple[FrozenSet[int], DynamicJoinForest]]] = [
+            [] for __ in range(m)
+        ]
+        for position in range(m):
+            for subset in _nonempty_subsets(range(position + 1, m)):
+                label = "T_%d_%s" % (position, "_".join(str(i) for i in sorted(subset)))
+                joined = intersect_reduced_joins(
+                    [reduced[position]] + [reduced[i] for i in sorted(subset)],
+                    name=label,
+                )
+                forest = DynamicJoinForest(joined)
+                self.intersection_indexes[(position, subset)] = forest
+                group = frozenset({position}) | subset
+                for i in group:
+                    self._memberships[i].append((group, forest))
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance (dynamic mode)                              #
+    # ------------------------------------------------------------------ #
+
+    def _member_hook(self, member_position: int):
+        def hook(shape_position: int, row: tuple, present: bool) -> None:
+            self._on_member_presence(member_position, shape_position, row, present)
+
+        return hook
+
+    def _on_member_presence(
+        self, member_position: int, shape_position: int, row: tuple, present: bool
+    ) -> None:
+        """Propagate one member node-row transition into its intersections.
+
+        A row belongs to intersection ``T`` at a node iff *every* member of
+        ``T`` holds it there. Losing it in one member removes it; gaining
+        it adds it once the last member of the group reports in (members
+        update sequentially during :meth:`insert`, so the all-present test
+        turns true exactly at the final member's hook — earlier hooks
+        no-op). ``set_row_presence`` is idempotent, which makes the
+        dispatch safe under self-joins and repeated transitions.
+        """
+        members = self.member_indexes
+        for group, forest in self._memberships[member_position]:
+            if present:
+                if all(members[i].presence(shape_position, row) for i in group):
+                    forest.set_row_presence(shape_position, row, True)
+            else:
+                forest.set_row_presence(shape_position, row, False)
+
+    def insert(self, relation: str, row: tuple) -> None:
+        """Insert a base fact into every member (and, via presence hooks,
+        every affected intersection) in place. Dynamic mode only."""
+        self._mutate("insert", relation, row)
+
+    def delete(self, relation: str, row: tuple) -> None:
+        """Delete a base fact from every member (and, via presence hooks,
+        every affected intersection) in place. Dynamic mode only."""
+        self._mutate("delete", relation, row)
+
+    def _mutate(self, operation: str, relation: str, row: tuple) -> None:
+        if not self.dynamic:
+            raise TypeError(
+                "this MCUCQIndex is static; build with dynamic=True for "
+                "in-place updates (static entries invalidate-and-rebuild)"
+            )
+        for member in self.member_indexes:
+            getattr(member, operation)(relation, row)
+        # Counts changed: the union's digit bases must be recomputed before
+        # the next access.
+        self._union.refresh()
 
     @property
     def count(self) -> int:

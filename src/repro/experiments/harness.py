@@ -128,7 +128,7 @@ def run_renum_cq(
 
 
 def run_mutation_requery(
-    query: ConjunctiveQuery,
+    query,
     database: Database,
     updates: Sequence[Tuple[str, str, tuple]],
     page_size: int = 10,
@@ -136,6 +136,9 @@ def run_mutation_requery(
 ) -> EnumerationRun:
     """The write-heavy serving workload: mutate, then re-query, repeatedly.
 
+    ``query`` may be a CQ **or a UCQ** — the service serves either, and
+    with a promoted/forced dynamic entry both absorb updates in place (a
+    UCQ through its full 2^m family of member and intersection indexes).
     ``updates`` is a sequence of ``(operation, relation, row)`` triples with
     ``operation`` one of ``"insert"`` / ``"delete"``. Each update is applied
     through the service, then the query is re-served (count + first page) —
@@ -144,11 +147,11 @@ def run_mutation_requery(
     The split mirrors the paper's accounting: the initial index build is
     preprocessing; the mutate-and-requery loop is the enumeration part.
     What the loop costs depends entirely on the service's mutation path —
-    with a promoted/forced :class:`~repro.core.dynamic.DynamicCQIndex` each
-    update is O(depth · log) absorbed in place, with static entries each
-    update forces an O(|D|) rebuild at the next requery.
-    ``extra`` records how many updates were absorbed in place versus how
-    many invalidated (see ``benchmarks/bench_dynamic.py`` for the gate).
+    update-in-place entries absorb each write in O(depth · log), static
+    entries force an O(|D|) rebuild at the next requery. ``extra`` records
+    how many updates were absorbed in place versus how many invalidated,
+    plus promotions and compactions (see ``benchmarks/bench_dynamic.py``
+    and ``benchmarks/bench_union_dynamic.py`` for the gates).
     """
     if service is None:
         service = QueryService(database)
@@ -162,7 +165,7 @@ def run_mutation_requery(
     service.index(query)
     preprocessing = time.perf_counter() - started
 
-    before = service.cache_info()
+    before = service.stats()
     served = 0
     started = time.perf_counter()
     for operation, relation, row in updates:
@@ -175,16 +178,22 @@ def run_mutation_requery(
         if service.count(query):
             served += len(service.page(query, 0, page_size=page_size))
     enumeration = time.perf_counter() - started
-    info = service.cache_info()
+    stats = service.stats()
+    name = getattr(query, "name", str(query))
     return EnumerationRun(
-        label=f"Mutate+Requery {query.name}",
+        label=f"Mutate+Requery {name}",
         preprocessing_seconds=preprocessing,
         enumeration_seconds=enumeration,
         answers=served,
         requested=len(updates),
         extra={
-            "updates_in_place": info.updates - before.updates,
-            "invalidations": info.invalidations - before.invalidations,
+            "updates_in_place": stats.in_place_updates - before.in_place_updates,
+            "invalidations": stats.invalidations - before.invalidations,
+            "promotions": stats.promotions - before.promotions,
+            # compactions is a gauge over the live working set, so the
+            # delta is what this run's updates triggered (a pre-warmed
+            # service's earlier compactions are not billed to this run).
+            "compactions": stats.compactions - before.compactions,
         },
     )
 

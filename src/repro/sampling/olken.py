@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.core import access_engine
 from repro.core.index import JoinForestIndex, _IndexNode
 
 from repro.sampling.base import JoinSampler
@@ -108,5 +109,5 @@ class OlkenThenExactSampler(JoinSampler):
             # Exact descent: a uniform offset within the tuple's index range
             # selects each completion with probability 1/weight.
             offset = self.rng.randrange(weight)
-            self._index._subtree_access(root, (), bucket.start[position] + offset, assignment)
+            access_engine.scalar_walk([root], bucket.start[position] + offset, assignment)
         return assignment

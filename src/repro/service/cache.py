@@ -42,6 +42,7 @@ Doctest
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Iterable, List, NamedTuple, Optional, Tuple
 
@@ -125,6 +126,9 @@ class IndexCache:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[object, object]" = OrderedDict()
+        # Per-entry write locks (created on demand by lock_for); they move
+        # with the entry on rekey and die with it on discard/eviction.
+        self._locks: dict = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -156,9 +160,32 @@ class IndexCache:
         entry = builder()
         self._entries[key] = entry
         if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, __ = self._entries.popitem(last=False)
+            self._locks.pop(evicted, None)
             self.evictions += 1
         return entry
+
+    def lock_for(self, key) -> threading.Lock:
+        """The per-entry write lock for ``key``, created on first use.
+
+        The service's minimal write safety: a mutation applying a delta to
+        an update-in-place entry holds this lock, and readers of the same
+        *dynamic* entry acquire it around their access — so a reader can
+        never interleave an order-statistic descent with a writer's weight
+        propagation (single-writer, coarse-grained; epoch-based snapshots
+        for lock-free reads remain future work). The lock object follows
+        the entry through :meth:`rekey`; because a re-key abandons the old
+        key (and a lock minted for an abandoned key synchronizes with
+        nobody), readers must re-validate that the entry is still cached
+        under the key after fetching its lock — see
+        ``QueryService._entry``'s resolve loop. Static entries are never
+        mutated in place and take no lock.
+        """
+        # setdefault is atomic under the GIL: two threads racing the first
+        # use of a key agree on one lock (a plain get-then-set here would
+        # let a reader and the writer each mint their own lock and
+        # "synchronize" on nothing).
+        return self._locks.setdefault(key, threading.Lock())
 
     def peek(self, key) -> Optional[object]:
         """The entry for ``key``, or ``None`` — no LRU touch, no counters.
@@ -177,6 +204,7 @@ class IndexCache:
         """
         if key in self._entries:
             del self._entries[key]
+            self._locks.pop(key, None)
             self.invalidations += 1
             return True
         return False
@@ -196,6 +224,9 @@ class IndexCache:
             return False
         self._entries[new_key] = entry
         self._entries.move_to_end(new_key)
+        lock = self._locks.pop(old_key, None)
+        if lock is not None:
+            self._locks[new_key] = lock
         self.updates += 1
         return True
 
@@ -209,10 +240,12 @@ class IndexCache:
         if predicate is None:
             dropped = len(self._entries)
             self._entries.clear()
+            self._locks.clear()
         else:
             stale = [key for key in self._entries if predicate(key)]
             for key in stale:
                 del self._entries[key]
+                self._locks.pop(key, None)
             dropped = len(stale)
         self.invalidations += dropped
         return dropped

@@ -14,7 +14,9 @@ routes every request through the shared :class:`~repro.service.cache.IndexCache`
 * ``random_order(q)`` — the full REnum stream;
 * ``insert`` / ``delete`` — database mutations (set semantics: re-inserting
   an existing fact or deleting an absent one is a no-op that keeps the
-  cache warm).
+  cache warm);
+* ``stats()`` — serving effectiveness counters (cache hits/misses,
+  promotions, in-place updates vs. rebuilds, compactions).
 
 Mutation path
 -------------
@@ -23,24 +25,34 @@ entries:
 
 * an entry whose query does not reference the mutated relation is carried
   to the new version untouched — the mutation cannot change its answers;
-* an entry backed by a :class:`~repro.core.dynamic.DynamicCQIndex` gets the
-  single-tuple delta applied **in place** (O(depth · log)) and is re-keyed
+* an update-capable entry (a :class:`~repro.core.dynamic.DynamicCQIndex`,
+  or an :class:`~repro.core.union_access.MCUCQIndex` built with
+  ``dynamic=True``) gets the single-tuple delta applied **in place**
+  (O(depth · log), times the 2^m index family for a union) and is re-keyed
   to the new version — the hot write path;
-* a static :class:`~repro.core.cq_index.CQIndex` /
-  :class:`~repro.core.union_access.MCUCQIndex` entry over the mutated
-  relation is dropped and will be rebuilt in O(|D|) on its next use — the
-  cold path.
+* any other entry over the mutated relation is dropped and will be rebuilt
+  in O(|D|) on its next use — the cold path.
 
 Which queries get a dynamic index is adaptive: after ``promote_after``
 mutations have each invalidated the same canonical query key, the next
-build of that query uses a ``DynamicCQIndex`` (possible exactly for *full*
-acyclic CQs — with existential variables, incremental maintenance is the
-open Dynamic Yannakakis problem, so those queries always rebuild). Pass
-``dynamic=True`` / ``dynamic=False`` to force either mode. Note the
-trade-off a promotion makes: a dynamic index enumerates in insertion
-order, not the static index's canonically sorted order, so the answer
-*set* served for a query is identical but positions may differ from a
-fresh static build.
+build of that query uses an update-in-place index — possible exactly for
+*full* acyclic CQs and for mc-UCQs all of whose members are full acyclic
+(with existential variables, incremental maintenance is the open Dynamic
+Yannakakis problem, so those queries always rebuild). Pass
+``dynamic=True`` / ``dynamic=False`` to force either mode. Because dynamic
+buckets maintain the canonical sort order under churn (see
+:mod:`repro.core.order_tree`), a promoted index enumerates exactly like a
+fresh static build at all times — promotion is invisible to readers, page
+for page.
+
+Write safety is minimal but real: every update-capable entry has a
+per-entry lock in the cache (:meth:`~repro.service.cache.IndexCache.lock_for`);
+mutations hold it while applying deltas, and the service's read methods
+hold it around accesses to dynamic entries, so a reader can never observe
+a half-propagated weight update. Static entries are immutable and take no
+lock. Lazy streams (``random_order``, ``online_mean``) cannot hold a lock
+across their lifetime — mutating the database while consuming one has
+undefined results, as before.
 
 Queries may be rule strings (parsed once per call — cheap next to any
 index work), :class:`~repro.query.cq.ConjunctiveQuery` objects, or
@@ -80,14 +92,15 @@ index, and mutations keep the cached entry instead of dropping it:
 True
 >>> hot.count(q)
 3
->>> hot.cache_info().updates
+>>> hot.stats().in_place_updates
 1
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from contextlib import nullcontext
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Union
 
 from repro.apps.pagination import LivePaginator
 from repro.core.cq_index import CQIndex
@@ -102,6 +115,40 @@ from repro.query.ucq import UnionOfConjunctiveQueries
 from repro.service.cache import CacheInfo, IndexCache, canonical_query_key
 
 Query = Union[str, ConjunctiveQuery, UnionOfConjunctiveQueries]
+
+
+class ServiceStats(NamedTuple):
+    """One snapshot of a service's serving-effectiveness counters.
+
+    The cache-level counters (``hits`` … ``capacity``) mirror
+    :class:`~repro.service.cache.CacheInfo`; the rest are service-level:
+    how builds split between static and dynamic, how mutations split
+    between in-place updates and invalidation-driven rebuilds, and how
+    much maintenance the dynamic structures did for themselves.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    capacity: int
+    #: Builds that chose an update-in-place index because the adaptive
+    #: policy's churn threshold was reached (forced ``dynamic=True`` builds
+    #: are counted in ``dynamic_builds`` but are not promotions).
+    promotions: int
+    dynamic_builds: int
+    static_builds: int
+    #: Mutations absorbed by an update-capable entry without a rebuild.
+    in_place_updates: int
+    #: Entries carried across a mutation untouched because their query
+    #: does not reference the mutated relation.
+    carried_forward: int
+    #: Entries dropped by a mutation (each one is a future rebuild).
+    mutation_invalidations: int
+    #: Bucket compactions performed by live dynamic entries (bounded
+    #: tombstone growth under delete-heavy traffic).
+    compactions: int
 
 
 def _relations_in_key(query_key: tuple) -> frozenset:
@@ -136,13 +183,14 @@ class QueryService:
     promote_after:
         Promotion threshold K of the adaptive mutation path: once K
         mutations have each invalidated the same canonical query key, the
-        next build of that (full acyclic) query is a
-        :class:`~repro.core.dynamic.DynamicCQIndex`, after which writes
-        update it in place instead of invalidating.
+        next build of that query is update-in-place — a
+        :class:`~repro.core.dynamic.DynamicCQIndex` for a full acyclic CQ,
+        an ``MCUCQIndex(dynamic=True)`` for an eligible union — after
+        which writes update it in place instead of invalidating.
     dynamic:
         ``None`` (default) — adaptive promotion as above; ``True`` — serve
-        every eligible (full acyclic) CQ dynamically from the first build;
-        ``False`` — never promote, always invalidate-and-rebuild.
+        every eligible query dynamically from the first build; ``False`` —
+        never promote, always invalidate-and-rebuild.
     """
 
     def __init__(
@@ -160,6 +208,12 @@ class QueryService:
         # Canonical query key → how many times a mutation invalidated a
         # cached entry for it (the promotion pressure signal).
         self._churn: Dict[tuple, int] = {}
+        self._promotions = 0
+        self._dynamic_builds = 0
+        self._static_builds = 0
+        self._in_place_updates = 0
+        self._carried_forward = 0
+        self._mutation_invalidations = 0
 
     @property
     def database(self) -> Database:
@@ -188,33 +242,76 @@ class QueryService:
         new version (update-in-place entries) or a fresh build. Identical
         repeat calls are O(1) lookups plus an LRU touch.
         """
+        return self._entry(query)[0]
+
+    def _entry(self, query: Query):
+        """``(index, guard)`` — the guard is the entry's write lock for
+        update-capable entries, a no-op context otherwise.
+
+        Read methods hold the guard around their access so they cannot
+        interleave with a writer patching the same dynamic entry (see the
+        module notes on write safety). The resolve loop re-validates that
+        the entry is still cached under the key after fetching its lock: a
+        concurrent mutation may have re-keyed the entry (moving its lock)
+        between the two steps, and a lock minted for the abandoned key
+        would synchronize with nobody.
+        """
         query = self.resolve(query)
         query_key = canonical_query_key(query)
-        # The key holds the Database object itself (identity hash): a live
-        # entry therefore pins its database, so — unlike an id() token —
-        # the key can never be recycled by a later allocation.
-        key = (self._database, self._database.version, query_key)
-        return self._cache.get_or_build(key, lambda: self._build(query, query_key))
+        while True:
+            # The key holds the Database object itself (identity hash): a
+            # live entry therefore pins its database, so — unlike an id()
+            # token — the key can never be recycled by a later allocation.
+            key = (self._database, self._database.version, query_key)
+            entry = self._cache.get_or_build(
+                key, lambda: self._build(query, query_key)
+            )
+            if not getattr(entry, "supports_updates", False):
+                return entry, nullcontext()
+            lock = self._cache.lock_for(key)
+            if self._cache.peek(key) is entry:
+                return entry, lock
+            # Lost the race with a concurrent re-key/eviction: resolve
+            # again at the (new) current version.
 
     def _build(self, query, query_key):
+        dynamic = self._serve_dynamically(query, query_key)
         if isinstance(query, UnionOfConjunctiveQueries):
-            return MCUCQIndex(query, self._database)
-        if self._serve_dynamically(query, query_key):
-            return DynamicCQIndex(query, self._database)
-        return CQIndex(query, self._database)
+            built = MCUCQIndex(query, self._database, dynamic=dynamic)
+        elif dynamic:
+            built = DynamicCQIndex(query, self._database)
+        else:
+            built = CQIndex(query, self._database)
+        # Count only builds that actually completed — a constructor that
+        # raises (e.g. a shape-misaligned union) must not inflate stats.
+        if dynamic:
+            if self._dynamic is None:
+                self._promotions += 1
+            self._dynamic_builds += 1
+        else:
+            self._static_builds += 1
+        return built
 
-    def _serve_dynamically(self, query: ConjunctiveQuery, query_key) -> bool:
-        """Should this CQ's next build be an update-in-place index?
+    def _serve_dynamically(self, query, query_key) -> bool:
+        """Should this query's next build be an update-in-place index?
 
         Policy first (forced off / forced on / churn at or above the
-        promotion threshold), eligibility second (only full acyclic CQs
-        can be maintained incrementally).
+        promotion threshold), eligibility second: only full acyclic CQs —
+        and unions whose members are all full acyclic — can be maintained
+        incrementally.
         """
         if self._dynamic is False:
             return False
         if self._dynamic is None and self._churn.get(query_key, 0) < self._promote_after:
             return False
-        return query.is_full() and free_connex_report(query).tractable
+        members = (
+            query.queries
+            if isinstance(query, UnionOfConjunctiveQueries)
+            else (query,)
+        )
+        return all(
+            q.is_full() and free_connex_report(q).tractable for q in members
+        )
 
     # ------------------------------------------------------------------ #
     # Read API                                                            #
@@ -222,15 +319,35 @@ class QueryService:
 
     def count(self, query: Query) -> int:
         """``|Q(D)|`` — O(1) after the cached build."""
-        return self.index(query).count
+        index, guard = self._entry(query)
+        with guard:
+            return index.count
 
     def get(self, query: Query, position: int) -> tuple:
         """The answer at ``position`` of the enumeration order."""
-        return self.index(query).access(position)
+        index, guard = self._entry(query)
+        with guard:
+            return index.access(position)
 
     def batch(self, query: Query, positions: Sequence[int]) -> List[tuple]:
         """The answers at ``positions`` (unsorted, duplicates allowed)."""
-        return self.index(query).batch(positions)
+        index, guard = self._entry(query)
+        with guard:
+            return index.batch(positions)
+
+    def batch_range(self, query: Query, start: int, stop: int) -> List[tuple]:
+        """The answers at positions ``[start, min(stop, count))``.
+
+        The count clamp happens *inside* the entry lock, so — unlike a
+        separate ``count`` call followed by ``batch`` — a concurrent
+        mutation between the two cannot turn a just-valid range into an
+        out-of-bound request. This is the pagination transport: a page
+        served during a write burst may come back shorter than the page
+        size, but it never raises.
+        """
+        index, guard = self._entry(query)
+        with guard:
+            return index.batch(range(max(start, 0), min(stop, index.count)))
 
     def sample(
         self, query: Query, k: int, rng: Optional[random.Random] = None
@@ -240,7 +357,20 @@ class QueryService:
         Equal to the first ``k`` answers of :meth:`random_order` under the
         same seeded ``rng``, but served by one batched access.
         """
-        return self.index(query).sample_many(k, rng)
+        index, guard = self._entry(query)
+        with guard:
+            return index.sample_many(k, rng)
+
+    def position_of(self, query: Query, answer: tuple) -> Optional[int]:
+        """The enumeration position of ``answer``, or ``None`` (inverted
+        access, Algorithm 4); ``None`` also for indexes without inverted
+        support (the union index)."""
+        index, guard = self._entry(query)
+        inverted = getattr(index, "inverted_access", None)
+        if inverted is None:
+            return None
+        with guard:
+            return inverted(tuple(answer))
 
     def random_order(
         self, query: Query, rng: Optional[random.Random] = None
@@ -261,6 +391,8 @@ class QueryService:
         :meth:`delete` mutations instead of pinning a pre-mutation
         snapshot. Between mutations the resolution is a cache hit; across
         a mutation it is the updated-in-place dynamic index or a rebuild.
+        Its page reads go through :meth:`batch`, so they take the entry
+        lock like every other service read.
         """
         return LivePaginator(self, query, page_size=page_size)
 
@@ -278,6 +410,11 @@ class QueryService:
         cached index's batched sampler and folds them into
         :func:`~repro.apps.online_aggregation.estimate_mean` — the paper's
         online-aggregation application without a per-call index rebuild.
+
+        Like :meth:`random_order`, the result is a lazy stream over the
+        live index and therefore takes no entry lock (a lock cannot span
+        the consumer's lifetime); do not mutate the database while
+        consuming it.
         """
         from repro.apps.online_aggregation import estimate_mean_via_index
 
@@ -296,8 +433,8 @@ class QueryService:
     def insert(self, relation: str, row: tuple) -> bool:
         """Insert a fact; cached indexes update in place or invalidate.
 
-        Returns ``True`` when the database changed. Dynamic entries absorb
-        the insert in O(depth · log); static entries are dropped and
+        Returns ``True`` when the database changed. Update-capable entries
+        absorb the insert in O(depth · log); other entries are dropped and
         rebuilt lazily.
         """
         row = tuple(row)
@@ -328,8 +465,9 @@ class QueryService:
         * a query that does not reference the mutated relation cannot have
           changed answers — the entry (static or dynamic) is re-keyed to
           the new version untouched;
-        * a dynamic index gets the delta applied and is re-keyed;
-        * a static index over the mutated relation is dropped, and its
+        * an update-capable entry (``supports_updates``) gets the delta
+          applied — under its per-entry lock — and is re-keyed;
+        * any other entry over the mutated relation is dropped, and its
           query key's churn counter bumped — the promotion pressure that
           eventually flips a hot query to the dynamic path.
 
@@ -355,14 +493,18 @@ class QueryService:
                 continue
             if relation not in _relations_in_key(query_key):
                 self._cache.rekey(key, (database, new_version, query_key))
+                self._carried_forward += 1
                 continue
             entry = self._cache.peek(key)
-            if isinstance(entry, DynamicCQIndex):
-                getattr(entry, operation)(relation, row)
-                self._cache.rekey(key, (database, new_version, query_key))
+            if getattr(entry, "supports_updates", False):
+                with self._cache.lock_for(key):
+                    getattr(entry, operation)(relation, row)
+                    self._cache.rekey(key, (database, new_version, query_key))
+                self._in_place_updates += 1
             else:
                 self._cache.discard(key)
                 self._churn[query_key] = self._churn.get(query_key, 0) + 1
+                self._mutation_invalidations += 1
 
     # ------------------------------------------------------------------ #
     # Introspection                                                       #
@@ -371,6 +513,48 @@ class QueryService:
     def cache_info(self) -> CacheInfo:
         """Hit/miss/eviction/invalidation/update counters of the cache."""
         return self._cache.info()
+
+    def stats(self) -> ServiceStats:
+        """Cache effectiveness plus the service's own serving counters.
+
+        ``compactions`` sums over *this service's* update-capable entries
+        currently in the cache (member and intersection structures
+        included for dynamic unions) — it reports the live dynamic working
+        set's self-maintenance, not an all-time total. A shared cache may
+        hold other services' entries; like the mutation walk, the sum only
+        touches keys bound to this database.
+        """
+        info = self._cache.info()
+        compactions = 0
+        for key in self._cache.keys():
+            if not (isinstance(key, tuple) and len(key) == 3
+                    and key[0] is self._database):
+                continue
+            entry = self._cache.peek(key)
+            if not getattr(entry, "supports_updates", False):
+                continue
+            if isinstance(entry, MCUCQIndex):
+                compactions += sum(m.compactions for m in entry.member_indexes)
+                compactions += sum(
+                    f.compactions for f in entry.intersection_indexes.values()
+                )
+            else:
+                compactions += getattr(entry, "compactions", 0)
+        return ServiceStats(
+            hits=info.hits,
+            misses=info.misses,
+            evictions=info.evictions,
+            invalidations=info.invalidations,
+            size=info.size,
+            capacity=info.capacity,
+            promotions=self._promotions,
+            dynamic_builds=self._dynamic_builds,
+            static_builds=self._static_builds,
+            in_place_updates=self._in_place_updates,
+            carried_forward=self._carried_forward,
+            mutation_invalidations=self._mutation_invalidations,
+            compactions=compactions,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -127,6 +127,31 @@ class TestMutationCommands:
         with pytest.raises(SystemExit):
             main(["page", self.QUERY, str(csv_db), "0", "--insert", "garbage"])
 
+    def test_stats_dynamic_counts_in_place_updates(self, csv_db, capsys):
+        code = main(["stats", self.QUERY, str(csv_db), "--dynamic",
+                     "--insert", "S:20,w", "--delete", "R:1,10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "answers: 2" in out
+        assert "dynamic_builds: 1" in out
+        assert "in_place_updates: 2" in out
+        assert "mutation_invalidations: 0" in out
+
+    def test_stats_static_counts_rebuilds(self, csv_db, capsys):
+        code = main(["stats", self.QUERY, str(csv_db), "--insert", "S:20,w"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "static_builds: 1" in out or "static_builds: 2" in out
+        assert "in_place_updates: 0" in out
+        assert "mutation_invalidations: 1" in out
+
+    def test_stats_serves_unions(self, csv_db, capsys):
+        union = "Q(a, b) :- R(a, b) ; Q(a, b) :- R(a, b)"
+        code = main(["stats", union, str(csv_db), "--dynamic"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "answers: 2" in out and "dynamic_builds: 1" in out
+
 
 class TestRenderer:
     def test_join_tree_drawing(self):

@@ -173,11 +173,11 @@ def _all_nodes(dynamic: DynamicCQIndex):
 
 
 def _bucket_footprint(dynamic: DynamicCQIndex):
-    """(total buckets, total multiplicity entries) across every node."""
+    """(total buckets, total stored rows) across every node."""
     buckets = rows = 0
     for node in _all_nodes(dynamic):
         buckets += len(node.buckets)
-        rows += len(node.multiplicity)
+        rows += sum(len(bucket) for bucket in node.buckets.values())
     return buckets, rows
 
 

@@ -1,0 +1,138 @@
+"""Tests for the order-maintained weighted tree backing dynamic buckets."""
+
+import random
+
+import pytest
+
+from repro.core.order_tree import OrderedWeightTree
+from repro.database.relation import row_sort_key
+
+
+def _reference(entries):
+    """Sorted (row, weight, multiplicity) triples — the model the tree
+    must agree with."""
+    return sorted(entries, key=lambda e: row_sort_key(e[0]))
+
+
+def _check_against_reference(tree, rank, entries):
+    reference = _reference(entries)
+    assert len(tree) == len(reference)
+    assert tree.total == sum(w for __, w, __m in reference)
+    # In-order traversal reproduces the canonical row order.
+    assert [n.row for n in tree] == [row for row, __, __m in reference]
+    # prefix_of agrees with the running prefix sum; locate() inverts it for
+    # every offset inside a positive-weight row's range.
+    running = 0
+    for row, weight, multiplicity in reference:
+        node = rank[row]
+        assert node.weight == weight
+        assert node.multiplicity == multiplicity
+        assert tree.prefix_of(node) == running
+        for offset in (running, running + weight - 1):
+            if weight > 0:
+                located, start = tree.locate(offset)
+                assert located is node
+                assert start == running
+        running += weight
+
+
+class TestBulkBuild:
+    def test_empty(self):
+        tree, nodes = OrderedWeightTree.from_sorted([])
+        assert tree.total == 0 and len(tree) == 0 and nodes == []
+        with pytest.raises(IndexError):
+            tree.locate(0)
+
+    def test_build_matches_reference(self):
+        entries = [((i, chr(97 + i % 3)), i % 4, 1) for i in range(50)]
+        entries = _reference(entries)
+        tree, nodes = OrderedWeightTree.from_sorted(entries)
+        rank = {n.row: n for n in nodes}
+        _check_against_reference(tree, rank, entries)
+
+    def test_heap_invariant_holds_after_bulk_build(self):
+        entries = _reference([((i,), 1, 1) for i in range(100)])
+        tree, __ = OrderedWeightTree.from_sorted(entries)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            for child in (node.left, node.right):
+                if child is not None:
+                    assert child.priority <= node.priority
+                    assert child.parent is node
+                    stack.append(child)
+
+
+class TestUpdates:
+    def test_insert_lands_at_canonical_position(self):
+        tree, nodes = OrderedWeightTree.from_sorted(
+            _reference([((0,), 1, 1), ((4,), 1, 1), ((8,), 1, 1)])
+        )
+        rank = {n.row: n for n in nodes}
+        for value in (6, 2, 10, -1):
+            rank[(value,)] = tree.insert_row((value,), 2, 1)
+        entries = [((v,), 2 if v in (6, 2, 10, -1) else 1, 1)
+                   for v in (-1, 0, 2, 4, 6, 8, 10)]
+        _check_against_reference(tree, rank, entries)
+
+    def test_set_weight_and_tombstones(self):
+        entries = _reference([((i,), 1, 1) for i in range(6)])
+        tree, nodes = OrderedWeightTree.from_sorted(entries)
+        rank = {n.row: n for n in nodes}
+        # Tombstone (2,): weight 0 keeps the survivors' prefixes compact.
+        node = rank[(2,)]
+        tree.set_weight(node, 0)
+        node.multiplicity = 0
+        assert tree.total == 5
+        assert tree.prefix_of(rank[(3,)]) == 2  # (2,) no longer counts
+        located, start = tree.locate(2)
+        assert located is rank[(3,)] and start == 2
+
+    def test_randomized_against_reference_model(self):
+        rng = random.Random(7)
+        tree, nodes = OrderedWeightTree.from_sorted([])
+        rank = {}
+        model = {}
+        for step in range(400):
+            action = rng.random()
+            if action < 0.5 or not model:
+                row = (rng.randrange(60), rng.randrange(3))
+                if row not in model:
+                    weight = rng.randrange(4)
+                    model[row] = (weight, 1)
+                    rank[row] = tree.insert_row(row, weight, 1)
+            else:
+                row = rng.choice(list(model))
+                weight = rng.randrange(4)
+                multiplicity = rng.randrange(2)
+                model[row] = (weight, multiplicity)
+                tree.set_weight(rank[row], weight)
+                rank[row].multiplicity = multiplicity
+            if step % 50 == 49:
+                entries = [(row, w, m) for row, (w, m) in model.items()]
+                _check_against_reference(tree, rank, entries)
+
+    def test_compacted_drops_only_tombstones(self):
+        entries = _reference([((i,), 1 if i % 2 else 0, i % 2) for i in range(10)])
+        tree, nodes = OrderedWeightTree.from_sorted(entries)
+        compacted, new_nodes = tree.compacted()
+        assert [n.row for n in compacted] == [(i,) for i in range(10) if i % 2]
+        assert compacted.total == tree.total
+        rank = {n.row: n for n in new_nodes}
+        _check_against_reference(
+            compacted, rank, [e for e in entries if e[2] > 0]
+        )
+
+    def test_sorted_insertion_order_stays_balanced(self):
+        """Ascending inserts (the adversarial case for a plain BST) must
+        stay logarithmic — the treap's whole reason to exist."""
+        tree, __ = OrderedWeightTree.from_sorted([])
+        for i in range(2000):
+            tree.insert_row((i,), 1, 1)
+
+        def depth(node):
+            if node is None:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        assert depth(tree.root) < 60  # ~3.5x the expected 2·log2(n)

@@ -136,9 +136,8 @@ class TestIndexCacheLRU:
         never exceeds capacity.
 
         Under write pressure the service may promote hot full queries to
-        dynamic (insertion-ordered) indexes, so the check is answer-set
-        equality plus position self-consistency, not position-for-position
-        agreement with a fresh static build.
+        dynamic indexes; their order-maintained buckets enumerate exactly
+        like a fresh static build, so positions are checked against one.
         """
         db = fresh_db()
         cache = IndexCache(capacity=3)
@@ -161,13 +160,11 @@ class TestIndexCacheLRU:
             if expected.count:
                 position = rng.randrange(expected.count)
                 answer = service.get(q, position)
-                assert answer in expected
-                index = service.index(q)
-                inverted = getattr(index, "inverted_access", None)
-                if inverted is not None:
-                    assert inverted(answer) == position
+                assert answer == expected.access(position)
+                assert service.position_of(q, answer) == position
             assert len(cache) <= 3
-            assert set(service.batch(q, range(service.count(q)))) == set(expected)
+            assert service.batch(q, range(service.count(q))) == \
+                expected.batch(range(expected.count))
 
 
 class TestQueryServiceCaching:
@@ -306,10 +303,10 @@ class TestDynamicMutationPath:
         assert isinstance(service.index(projected), CQIndex)
 
     def test_dynamic_and_rebuild_backed_services_agree_under_mutation(self):
-        """The ISSUE's service-level equivalence: page/sample/count served
-        through the dynamic path agree with invalidate-and-rebuild (as
-        answer sets — a dynamic index may enumerate in a different
-        order)."""
+        """The service-level equivalence: page/sample/count served through
+        the dynamic path agree with invalidate-and-rebuild — position for
+        position, since order-maintained buckets keep the canonical
+        enumeration order under churn."""
         hot = QueryService(fresh_db(), dynamic=True)
         cold = QueryService(fresh_db(), dynamic=False)
         rng = random.Random(23)
@@ -323,16 +320,14 @@ class TestDynamicMutationPath:
                 assert hot.delete(relation, row) == cold.delete(relation, row)
             assert hot.count(CHAIN) == cold.count(CHAIN)
             n = hot.count(CHAIN)
-            assert sorted(hot.batch(CHAIN, range(n))) == sorted(cold.batch(CHAIN, range(n)))
+            assert hot.batch(CHAIN, range(n)) == cold.batch(CHAIN, range(n))
             if n:
                 pages = (n + 2) // 3
                 hot_pages = [t for p in range(pages) for t in hot.page(CHAIN, p, page_size=3)]
                 cold_pages = [t for p in range(pages) for t in cold.page(CHAIN, p, page_size=3)]
-                assert sorted(hot_pages) == sorted(cold_pages)
-                answers = set(cold_pages)
+                assert hot_pages == cold_pages
                 sample = hot.sample(CHAIN, min(5, n), random.Random(step))
-                assert len(sample) == len(set(sample)) == min(5, n)
-                assert set(sample) <= answers
+                assert sample == cold.sample(CHAIN, min(5, n), random.Random(step))
         assert hot.cache_info().updates > 0
 
     def test_live_paginator_follows_dynamic_updates(self):
@@ -345,9 +340,11 @@ class TestDynamicMutationPath:
         assert paginator.total_answers == 5
         all_pages = [t for p in range(paginator.total_pages) for t in paginator.page(p)]
         assert (3, 30, 999) in all_pages
-        # Previously-served prefix is stable: the new row appended at its
-        # bucket tail, it did not reshuffle the already-served page.
+        # The new row landed at its canonical sort position (after every
+        # b=10 answer), so the already-served first page is stable.
         assert paginator.page(0) == first_before
+        # And the whole pagination equals a fresh static build's order.
+        assert all_pages == CQIndex(parse_cq(CHAIN), service.database).batch(range(5))
 
     def test_unreferenced_relation_mutations_keep_entries_and_churn(self):
         """Writes to a relation a cached query never mentions must neither
