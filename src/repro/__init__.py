@@ -34,8 +34,17 @@ from repro.query import (
     parse_sql_cq,
     parse_ucq,
 )
-from repro.database import Database, Relation, evaluate_cq, evaluate_ucq
-from repro.service import IndexCache, QueryService
+from repro.database import (
+    AppliedDelta,
+    Database,
+    Delta,
+    DeltaError,
+    Relation,
+    evaluate_cq,
+    evaluate_ucq,
+)
+from repro.errors import ReproError
+from repro.service import Cursor, IndexCache, QueryService, StaleCursorError, Transaction
 from repro.core import (
     CQIndex,
     DeletableAnswerSet,
@@ -67,13 +76,20 @@ __all__ = [
     "parse_sql_cq",
     "parse_ucq",
     "SQLParseError",
+    "AppliedDelta",
     "Database",
+    "Delta",
+    "DeltaError",
     "Relation",
+    "ReproError",
     "evaluate_cq",
     "evaluate_ucq",
     "CQIndex",
+    "Cursor",
     "IndexCache",
     "QueryService",
+    "StaleCursorError",
+    "Transaction",
     "DeletableAnswerSet",
     "DynamicCQIndex",
     "FenwickTree",

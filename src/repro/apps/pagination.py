@@ -90,45 +90,41 @@ class Paginator:
 
 
 class LivePaginator(Paginator):
-    """A paginator whose index re-resolves through a query service per use.
+    """A paginator over a re-resolving service cursor.
 
     A plain :class:`Paginator` pins the index it was built over — correct
     for a static snapshot, wrong for a long-held handle over a mutating
     database. This variant holds a
-    :class:`~repro.service.query_service.QueryService` and a query instead:
-    every ``page`` / ``total_pages`` / ``page_of_answer`` resolves the
-    index through the service, so pages stay correct across
-    ``service.insert`` / ``service.delete``. Between mutations, resolution
-    is a cache hit; across a mutation it is either the same
-    :class:`~repro.core.dynamic.DynamicCQIndex` updated in place (the hot
-    path) or a fresh rebuild — the paginator cannot tell and does not care.
+    :class:`~repro.service.cursor.Cursor` (``on_stale="reresolve"``): the
+    query is parsed and canonicalized once at construction, and every
+    ``page`` / ``total_pages`` / ``page_of_answer`` reads through the
+    cursor, so pages stay correct across ``service.insert`` /
+    ``service.delete`` / ``service.apply``. Between mutations a read is an
+    O(1) probe of the cached entry; across a mutation it is either the
+    same :class:`~repro.core.dynamic.DynamicCQIndex` updated in place (the
+    hot path) or a fresh rebuild — the paginator cannot tell and does not
+    care.
     """
 
     def __init__(self, service, query, page_size: int = 10):
-        self._service = service
-        self._query = service.resolve(query)
-        # Validates page_size and primes the cache; the index attribute set
-        # here is shadowed by the property below.
-        super().__init__(service.index(self._query), page_size=page_size)
+        self._cursor = service.cursor(query, on_stale="reresolve")
+        # The base class validates page_size; a cursor duck-types the
+        # index contract (count/access/batch/inverted_access), and its
+        # reads hold the entry's write lock, so a page fetch cannot
+        # interleave with a concurrent in-place mutation. batch_range
+        # re-clamps to the count *inside* the lock, so a mutation landing
+        # between this paginator's count read and the batch shortens the
+        # page instead of raising out-of-bound.
+        super().__init__(self._cursor, page_size=page_size)
 
     @property
-    def index(self):
-        return self._service.index(self._query)
-
-    @index.setter
-    def index(self, value) -> None:
-        # Paginator.__init__ assigns self.index; the live view ignores the
-        # pinned snapshot and always resolves through the service.
-        pass
+    def query(self):
+        """The resolved query this paginator serves."""
+        return self._cursor.query
 
     @property
     def total_answers(self) -> int:
-        return self._service.count(self._query)
+        return self._cursor.count
 
     def _batch(self, start: int, stop: int) -> List[tuple]:
-        # Through the service, so the read holds the entry's write lock
-        # and cannot interleave with a concurrent in-place mutation; the
-        # range variant re-clamps to the count *inside* the lock, so a
-        # mutation landing between this paginator's count read and the
-        # batch shortens the page instead of raising out-of-bound.
-        return self._service.batch_range(self._query, start, stop)
+        return self._cursor.batch_range(start, stop)

@@ -23,6 +23,13 @@ Commands
 ``insert`` / ``delete``
     Mutate the CSV database itself: apply one fact insert/delete through a
     service and write the relation's ``.csv`` back.
+``apply``
+    Mutate the CSV database with a whole JSONL **delta file** — one
+    ``{"op": "insert"|"delete", "relation": "R", "row": [...]}`` object
+    per line — applied as a single batch (one
+    :class:`~repro.database.delta.Delta`, one version bump); reports
+    per-relation applied/no-op counts and writes the touched ``.csv``
+    files back.
 ``tpch``
     Generate the synthetic TPC-H instance and print table cardinalities.
 ``figures``
@@ -33,21 +40,23 @@ relation ``<name>``, the first line naming its columns. Values parse as
 int, then float, then string.
 
 All query-serving commands go through a
-:class:`~repro.service.QueryService`, so a command that touches the same
-query several times (e.g. ``access`` with many positions) builds the index
-exactly once and serves the positions from one batch.
+:class:`~repro.service.QueryService` **cursor**, so a command that touches
+the same query several times (e.g. ``access`` with many positions)
+resolves the query and builds the index exactly once and serves the
+positions from one batch.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import json
 import pathlib
 import random
 import sys
 from typing import List, Optional
 
-from repro import Database, QueryService, Relation, parse_cq
+from repro import Database, Delta, DeltaError, QueryService, Relation, parse_cq
 from repro.query.render import describe_query
 
 
@@ -139,15 +148,15 @@ def _apply_mutations(service: QueryService, args) -> None:
 
 
 def command_count(args) -> int:
-    print(_build_service(args).count(args.query))
+    print(_build_service(args).cursor(args.query).count)
     return 0
 
 
 def command_access(args) -> int:
-    service = _build_service(args)
-    count = service.count(args.query)
+    cursor = _build_service(args).cursor(args.query)
+    count = cursor.count
     in_bounds = [p for p in args.positions if 0 <= p < count]
-    answers = dict(zip(in_bounds, service.batch(args.query, in_bounds)))
+    answers = dict(zip(in_bounds, cursor.batch(in_bounds)))
     for position in args.positions:
         if position in answers:
             print(f"{position}\t{_format_answer(answers[position])}")
@@ -157,10 +166,10 @@ def command_access(args) -> int:
 
 
 def command_shuffle(args) -> int:
-    service = _build_service(args)
+    cursor = _build_service(args).cursor(args.query)
     rng = random.Random(args.seed) if args.seed is not None else random.Random()
-    limit = args.limit if args.limit is not None else service.count(args.query)
-    for emitted, answer in enumerate(service.random_order(args.query, rng)):
+    limit = args.limit if args.limit is not None else cursor.count
+    for emitted, answer in enumerate(cursor.random_order(rng)):
         if emitted >= limit:
             break
         print(_format_answer(answer))
@@ -190,7 +199,7 @@ def command_sample(args) -> int:
     service = _build_service(args)
     _apply_mutations(service, args)
     rng = random.Random(args.seed) if args.seed is not None else random.Random()
-    for answer in service.sample(args.query, args.k, rng):
+    for answer in service.cursor(args.query).sample(args.k, rng):
         print(_format_answer(answer))
     return 0
 
@@ -222,6 +231,65 @@ def command_mutate(args) -> int:
         print(f"{outcome}: {args.relation}({_format_answer(row)}) -> {path}")
     else:
         print(f"{outcome}: {args.relation}({_format_answer(row)})")
+    return 0
+
+
+def _load_delta_jsonl(path: pathlib.Path, database: Database) -> Delta:
+    """Parse a JSONL delta file into a database-bound (validated) Delta."""
+    if not path.is_file():
+        raise SystemExit(f"not a delta file: {path}")
+    delta = Delta(database=database)
+    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"{path}:{line_number}: invalid JSON ({error})")
+        if not isinstance(record, dict) or not {"op", "relation", "row"} <= set(record):
+            raise SystemExit(
+                f'{path}:{line_number}: expected an object with "op", '
+                f'"relation" and "row" keys, got {line!r}'
+            )
+        row = record["row"]
+        if not isinstance(row, list) or not all(
+            value is None or isinstance(value, (str, int, float, bool))
+            for value in row
+        ):
+            raise SystemExit(
+                f'{path}:{line_number}: "row" must be a JSON array of scalar '
+                f"values (strings, numbers, booleans, null)"
+            )
+        try:
+            delta.add(record["op"], record["relation"], tuple(row))
+        except DeltaError as error:
+            # The up-front validation of the Delta API: the bad fact is
+            # reported with its source line before anything is applied.
+            raise SystemExit(f"{path}:{line_number}: {error}")
+    return delta
+
+
+def command_apply(args) -> int:
+    """Apply a JSONL delta as one batch and persist the touched CSVs."""
+    database = load_csv_database(args.database)
+    service = QueryService(database)
+    delta = _load_delta_jsonl(pathlib.Path(args.delta), database)
+    result = service.apply(delta)
+    for name in sorted(result.by_relation):
+        counts = result.by_relation[name]
+        applied = counts["inserted"] + counts["deleted"]
+        noops = counts["noop_inserts"] + counts["noop_deletes"]
+        print(
+            f"{name}: {applied} applied "
+            f"(+{counts['inserted']} -{counts['deleted']}), {noops} no-op"
+        )
+        if applied:
+            _write_relation_csv(args.database, database.relation(name))
+    print(
+        f"applied {len(delta)} op(s) in one batch: {result.inserted} "
+        f"inserted, {result.deleted} deleted, {result.noops} no-op"
+    )
     return 0
 
 
@@ -310,6 +378,16 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("relation", help="relation (CSV file stem) to mutate")
         sub.add_argument("values", nargs="+", help="the fact's values, in order")
         sub.set_defaults(run=command_mutate)
+
+    apply_cmd = commands.add_parser(
+        "apply", help="apply a JSONL delta file as one batch and persist it"
+    )
+    apply_cmd.add_argument("database", help="directory of <relation>.csv files")
+    apply_cmd.add_argument(
+        "delta",
+        help='JSONL file: one {"op", "relation", "row"} object per line',
+    )
+    apply_cmd.set_defaults(run=command_apply)
 
     tpch = commands.add_parser("tpch", help="generate TPC-H and print sizes")
     tpch.add_argument("--scale-factor", type=float, default=0.01)

@@ -141,6 +141,15 @@ class _DynamicBucket:
             self.tombstones += 1
         return node
 
+    def bulk_insert(self, entries: Sequence[Tuple[tuple, int, int]]) -> None:
+        """Bulk-add canonically sorted new ``(row, weight, multiplicity)``
+        entries — one tree operation per batch, not per row (see
+        :meth:`~repro.core.order_tree.OrderedWeightTree.insert_sorted`)."""
+        for node in self.tree.insert_sorted(entries):
+            self.rank[node.row] = node
+            if node.multiplicity == 0:
+                self.tombstones += 1
+
     def compact(self) -> None:
         """Rebuild without multiplicity-0 rows (weight ranges unchanged —
         tombstones occupy empty ranges, so no reader can tell)."""
@@ -328,6 +337,151 @@ class DynamicJoinForest:
         """
         if self.presence(shape_position, row) != present:
             self._apply(self.nodes[shape_position], row, +1 if present else -1)
+
+    def set_rows_presence(
+        self, changes: Sequence[Tuple[int, tuple, bool]]
+    ) -> None:
+        """Batched :meth:`set_row_presence`: one maintenance pass for many
+        ``(shape_position, row, present)`` changes (idempotent each)."""
+        ops = []
+        for shape_position, row, present in changes:
+            if self.presence(shape_position, row) != present:
+                ops.append((shape_position, row, +1 if present else -1))
+        self.apply_ops(ops)
+
+    def apply_ops(self, ops: Sequence[Tuple[int, tuple, int]]) -> None:
+        """Apply a batch of node-row multiplicity deltas in **one pass**.
+
+        ``ops`` is a sequence of ``(shape_position, row, delta)`` — the
+        batched generalization of :meth:`_apply`. Several ops on the same
+        node row merge into one net delta (set semantics make the final
+        state equal to sequential application; a net-zero pair on a fresh
+        row simply never materializes, not even as a tombstone).
+
+        The pass is the batched analog of insert-then-propagate, with the
+        propagation *deduplicated over the dirty bucket paths*: nodes are
+        visited children-first (reverse preorder), each touched bucket is
+        processed exactly once — new rows grouped, sorted once, and
+        bulk-inserted; changed weights recomputed once per affected row
+        even when many ops hit the same child bucket — and a parent
+        recomputes a dependent row at most once per batch instead of once
+        per fact. Presence hooks fire once per net 0↔positive transition,
+        after the structure is fully consistent.
+        """
+        per_node: Dict[int, Dict[tuple, int]] = {}
+        for shape_position, row, delta in ops:
+            if delta == 0:
+                continue
+            rows = per_node.setdefault(shape_position, {})
+            rows[row] = rows.get(row, 0) + delta
+        if not per_node:
+            return
+        #: shape position → bucket keys whose total changed this pass.
+        dirty: Dict[int, set] = {}
+        transitions: List[Tuple[int, tuple, bool]] = []
+        for position in range(len(self.nodes) - 1, -1, -1):
+            node = self.nodes[position]
+            direct = per_node.get(position)
+            # Weight-recompute demands flowing up from dirty child buckets
+            # (the reverse index walk of _propagate, deduplicated).
+            recompute: Dict[tuple, set] = {}
+            for child_position, child in enumerate(node.children):
+                child_dirty = dirty.get(child.shape_position)
+                if not child_dirty:
+                    continue
+                table = node.dependents[child_position]
+                for child_key in child_dirty:
+                    affected = table.get(child_key)
+                    if not affected:
+                        continue
+                    dead = []
+                    for parent_key, row in affected:
+                        bucket = node.buckets.get(parent_key)
+                        if bucket is None or row not in bucket.rank:
+                            dead.append((parent_key, row))  # compacted away
+                            continue
+                        recompute.setdefault(parent_key, set()).add(row)
+                    if dead:
+                        affected.difference_update(dead)
+            if not direct and not recompute:
+                continue
+            by_key: Dict[tuple, List[Tuple[tuple, int]]] = {}
+            if direct:
+                for row, delta in direct.items():
+                    by_key.setdefault(node.bucket_key_of_row(row), []).append(
+                        (row, delta)
+                    )
+            for key in set(by_key) | set(recompute):
+                changed = self._apply_bucket_batch(
+                    node, key, by_key.get(key, ()), recompute.get(key, ()),
+                    transitions,
+                )
+                if changed:
+                    dirty.setdefault(position, set()).add(key)
+        for shape_position, row, present in transitions:
+            self._notify(self.nodes[shape_position], row, present)
+
+    def _apply_bucket_batch(
+        self,
+        node: _DynamicNode,
+        key: tuple,
+        direct: Sequence[Tuple[tuple, int]],
+        recompute: Sequence[tuple],
+        transitions: List[Tuple[int, tuple, bool]],
+    ) -> bool:
+        """Process one bucket's share of a batch; ``True`` if its total
+        changed (the parent must then recompute its dependent rows).
+
+        ``direct`` carries the net multiplicity deltas landing in this
+        bucket, ``recompute`` the rows whose weight must be refreshed
+        because a child bucket total changed. Transition records are
+        appended to ``transitions`` (fired by the caller at the end).
+        """
+        bucket = node.buckets.get(key)
+        if bucket is None:
+            if not any(delta > 0 for __, delta in direct):
+                # Pure no-op deletes: like _apply, never allocate a bucket.
+                return False
+            bucket = node.buckets[key] = _DynamicBucket()
+        old_total = bucket.total
+        touched = set(recompute)
+        fresh: List[Tuple[tuple, int]] = []
+        for row, delta in direct:
+            handle = bucket.rank.get(row)
+            if handle is None:
+                if delta > 0:
+                    fresh.append((row, delta))
+                continue  # deleting a row that was never inserted: no-op
+            multiplicity = handle.multiplicity + delta
+            if multiplicity < 0:
+                continue  # deleting a fact that was never inserted
+            was_present = handle.multiplicity > 0
+            now_present = multiplicity > 0
+            handle.multiplicity = multiplicity
+            if was_present and not now_present:
+                bucket.tombstones += 1
+            elif now_present and not was_present:
+                bucket.tombstones -= 1
+            if was_present != now_present:
+                transitions.append((node.shape_position, row, now_present))
+            touched.add(row)
+        for row in touched:
+            handle = bucket.rank.get(row)
+            if handle is None:
+                continue  # compacted away between collection and now
+            weight = node.own_weight(row) if handle.multiplicity > 0 else 0
+            bucket.tree.set_weight(handle, weight)
+        if fresh:
+            fresh.sort(key=lambda entry: row_sort_key(entry[0]))
+            bucket.bulk_insert(
+                [(row, node.own_weight(row), delta) for row, delta in fresh]
+            )
+            for row, __ in fresh:
+                node.register_row(key, row)
+                transitions.append((node.shape_position, row, True))
+        changed = bucket.total != old_total
+        self._maybe_compact(bucket)
+        return changed
 
     def _apply(self, node: _DynamicNode, row: tuple, delta: int) -> None:
         key = node.bucket_key_of_row(row)
@@ -600,6 +754,34 @@ class DynamicCQIndex(DynamicJoinForest):
             normalized = self._normalize(atom_index, row)
             if normalized is not None:
                 self._apply(self._by_atom[atom_index], normalized, -1)
+
+    def apply_delta(self, delta) -> None:
+        """Absorb a whole write batch in one maintenance pass.
+
+        ``delta`` is a :class:`~repro.database.delta.Delta` (or any
+        iterable of ``(op, relation, row)`` triples); facts over relations
+        this query does not mention are skipped. All atom-occurrence rows
+        are routed first, then :meth:`apply_ops` runs the single grouped
+        insert + deduplicated propagation pass — the amortization that
+        makes a 10⁴-fact batch cost far less than 10⁴ single calls.
+        Equivalent, order-for-order, to applying the same operations one
+        by one through :meth:`insert` / :meth:`delete` (the batch property
+        tests assert exactly this).
+        """
+        ops: List[Tuple[int, tuple, int]] = []
+        for op, relation, row in delta:
+            routes = self._routes.get(relation)
+            if not routes:
+                continue
+            sign = +1 if op == "insert" else -1
+            row = tuple(row)
+            for atom_index in routes:
+                normalized = self._normalize(atom_index, row)
+                if normalized is not None:
+                    ops.append(
+                        (self._by_atom[atom_index].shape_position, normalized, sign)
+                    )
+        self.apply_ops(ops)
 
     def _normalize(self, atom_index: int, row: tuple) -> Optional[tuple]:
         """Apply the atom's constants/repeated-variable filters to a fact,

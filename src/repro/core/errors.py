@@ -1,9 +1,16 @@
-"""Exception types of the core algorithms."""
+"""Exception types of the core algorithms.
+
+All of them derive from :class:`repro.errors.ReproError` (in addition to
+the builtin their callers historically caught), so one handler can fence
+off every deliberate rejection this library makes.
+"""
 
 from __future__ import annotations
 
+from repro.errors import ReproError
 
-class NotFreeConnexError(ValueError):
+
+class NotFreeConnexError(ReproError, ValueError):
     """Raised when an index is requested for a CQ outside the tractable class.
 
     Per Theorem 4.1 / Corollary 4.5, a self-join-free CQ that is not
@@ -21,7 +28,7 @@ class NotFreeConnexError(ValueError):
         self.classification = classification
 
 
-class OutOfBoundError(IndexError):
+class OutOfBoundError(ReproError, IndexError):
     """Raised by the access routine for positions outside ``[0, count)``.
 
     The paper's random-access contract returns an error message for such
@@ -40,7 +47,7 @@ class OutOfBoundError(IndexError):
         self.count = count
 
 
-class IncompatibleUnionError(ValueError):
+class IncompatibleUnionError(ReproError, ValueError):
     """Raised when a UCQ does not meet this library's mc-UCQ construction.
 
     The mc-UCQ class (Section 5.2) requires every intersection CQ to be

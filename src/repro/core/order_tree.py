@@ -21,9 +21,15 @@ weight sums, so that
 * ``prefix_of(node)`` recovers a row's ``startIndex`` in expected
   O(log n) by walking the parent chain;
 * :meth:`from_sorted` bulk-builds a perfectly balanced tree from
-  canonically sorted input in O(n) (priorities are drawn once, sorted,
-  and assigned in BFS order so the heap invariant holds by construction —
-  later random-priority inserts keep the expected balance).
+  canonically sorted input in O(n) — *including* the priorities: they are
+  generated already descending (sequential uniform order statistics, see
+  :func:`_descending_priorities`) and assigned in BFS order so the heap
+  invariant holds by construction, with no O(n log n) priority sort;
+  later random-priority inserts keep the expected balance;
+* :meth:`insert_sorted` bulk-inserts a canonically sorted batch of new
+  rows: small batches insert one by one (expected O(k log n)), batches
+  comparable to the tree merge-and-rebuild in O(n + k), reusing the
+  existing :class:`TreeRow` objects so outstanding handles stay valid.
 
 Tree nodes also carry the row's *multiplicity* (how many base facts
 normalize to it — the bucket-level bookkeeping of
@@ -47,6 +53,27 @@ from repro.database.relation import row_sort_key
 
 #: Deterministic priority source: tree shapes are reproducible run-to-run.
 _PRIORITIES = random.Random(0x5EED)
+
+
+def _descending_priorities(n: int) -> "List[float]":
+    """``n`` uniform draws, already sorted descending, in O(n).
+
+    The classic sequential order-statistics scheme: the largest of ``n``
+    uniforms is distributed as ``U^(1/n)``, and conditioned on it the next
+    largest is that times ``U^(1/(n-1))``, and so on — so generating
+    ``current *= U^(1/remaining)`` with ``remaining`` counting down yields
+    exactly the descending sorted sequence of ``n`` i.i.d. uniforms,
+    without drawing them all and paying an O(n log n) sort. Distributional
+    fidelity matters: later single inserts draw plain uniforms and compete
+    against these priorities, so bulk-built trees must look like they grew
+    from random inserts for the treap's expected balance to hold.
+    """
+    out: List[float] = []
+    current = 1.0
+    for remaining in range(n, 0, -1):
+        current *= _PRIORITIES.random() ** (1.0 / remaining)
+        out.append(current)
+    return out
 
 
 class TreeRow:
@@ -99,20 +126,29 @@ class OrderedWeightTree:
     ) -> Tuple["OrderedWeightTree", List[TreeRow]]:
         """Bulk-build from canonically sorted ``(row, weight, multiplicity)``.
 
-        O(n) tree construction plus one O(n log n) sort of freshly drawn
-        priorities; returns the tree and the created nodes (in input
-        order) so the caller can fill its row → node map without a second
-        traversal. The balanced shape is a valid treap: priorities are
-        assigned largest-first along a breadth-first traversal, so every
-        parent outranks its children.
+        O(n) all in: tree construction is one balanced recursion and the
+        priorities arrive pre-sorted from :func:`_descending_priorities`
+        (no O(n log n) sort). Returns the tree and the created nodes (in
+        input order) so the caller can fill its row → node map without a
+        second traversal. The balanced shape is a valid treap: priorities
+        are assigned largest-first along a breadth-first traversal, so
+        every parent outranks its children.
+        """
+        nodes = [TreeRow(row, weight, multiplicity, 0.0) for row, weight, multiplicity in rows]
+        return cls._over_nodes(nodes), nodes
+
+    @classmethod
+    def _over_nodes(cls, nodes: "List[TreeRow]") -> "OrderedWeightTree":
+        """A balanced tree over existing, key-sorted ``TreeRow`` objects.
+
+        The node objects are *reused* — their ``left``/``right``/``parent``
+        pointers, subtotals, and priorities are overwritten — so handles
+        held by callers (bucket rank maps) stay valid across a rebuild.
         """
         tree = cls()
-        nodes: List[TreeRow] = []
-        n = len(rows)
+        n = len(nodes)
         if n == 0:
-            return tree, nodes
-        for row, weight, multiplicity in rows:
-            nodes.append(TreeRow(row, weight, multiplicity, 0.0))
+            return tree
 
         def build(lo: int, hi: int) -> Optional[TreeRow]:
             if lo >= hi:
@@ -129,9 +165,10 @@ class OrderedWeightTree:
             return node
 
         tree.root = build(0, n)
+        tree.root.parent = None
         tree.size = n
 
-        priorities = sorted((_PRIORITIES.random() for __ in range(n)), reverse=True)
+        priorities = _descending_priorities(n)
         # BFS order without O(n²) pops: an explicit index cursor.
         order: List[TreeRow] = [tree.root]
         cursor = 0
@@ -144,7 +181,7 @@ class OrderedWeightTree:
                 order.append(node.right)
         for node, priority in zip(order, priorities):
             node.priority = priority
-        return tree, nodes
+        return tree
 
     # ------------------------------------------------------------------ #
     # Queries                                                             #
@@ -280,6 +317,48 @@ class OrderedWeightTree:
                            + _subtotal_of(parent.right))
         node.subtotal = (node.weight + _subtotal_of(node.left)
                          + _subtotal_of(node.right))
+
+    def insert_sorted(
+        self, entries: Sequence[Tuple[tuple, int, int]]
+    ) -> List[TreeRow]:
+        """Bulk-insert canonically sorted new rows; returns their nodes.
+
+        The caller guarantees the entries are sorted by
+        :func:`~repro.database.relation.row_sort_key` and that none of the
+        rows is already present. Small batches fall back to individual
+        treap inserts (expected O(k log n)); batches comparable to the
+        tree size merge the new nodes with the existing in-order sequence
+        and rebuild in O(n + k) via :meth:`_over_nodes` — existing
+        ``TreeRow`` objects are reused, so outstanding handles stay valid
+        either way.
+        """
+        k = len(entries)
+        if k == 0:
+            return []
+        n = self.size
+        if n and k * (n + k).bit_length() <= n + k:
+            return [
+                self.insert_row(row, weight, multiplicity)
+                for row, weight, multiplicity in entries
+            ]
+        new_nodes = [
+            TreeRow(row, weight, multiplicity, 0.0)
+            for row, weight, multiplicity in entries
+        ]
+        merged: List[TreeRow] = []
+        fresh = iter(new_nodes)
+        pending = next(fresh)
+        for node in self:
+            while pending is not None and pending.key < node.key:
+                merged.append(pending)
+                pending = next(fresh, None)
+            merged.append(node)
+        if pending is not None:
+            merged.append(pending)
+            merged.extend(fresh)
+        rebuilt = OrderedWeightTree._over_nodes(merged)
+        self.root, self.size = rebuilt.root, rebuilt.size
+        return new_nodes
 
     def compacted(self) -> Tuple["OrderedWeightTree", List[TreeRow]]:
         """A rebuilt tree containing only the live (multiplicity > 0) rows.

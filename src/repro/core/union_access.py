@@ -344,6 +344,10 @@ class MCUCQIndex:
         #: The service's capability marker: a dynamic union absorbs
         #: mutations in place instead of invalidating.
         self.supports_updates = dynamic
+        # While apply_delta runs, member presence transitions buffer here
+        # (forest id → (forest, member group, touched node rows)) instead
+        # of patching intersections one transition at a time.
+        self._hook_buffer = None
 
         if dynamic:
             self._build_dynamic(database)
@@ -447,6 +451,19 @@ class MCUCQIndex:
         no-op). ``set_row_presence`` is idempotent, which makes the
         dispatch safe under self-joins and repeated transitions.
         """
+        if self._hook_buffer is not None:
+            # Batch mode: only record *which* intersection rows were
+            # touched; their final presence is decided (and applied, one
+            # batched pass per forest) after every member has absorbed the
+            # whole delta — set_rows_presence is idempotent, so deciding
+            # from the final member state is equivalent to replaying the
+            # transitions.
+            for group, forest in self._memberships[member_position]:
+                __, __, touched = self._hook_buffer.setdefault(
+                    id(forest), (forest, group, set())
+                )
+                touched.add((shape_position, row))
+            return
         members = self.member_indexes
         for group, forest in self._memberships[member_position]:
             if present:
@@ -475,6 +492,48 @@ class MCUCQIndex:
             getattr(member, operation)(relation, row)
         # Counts changed: the union's digit bases must be recomputed before
         # the next access.
+        self._union.refresh()
+
+    def apply_delta(self, delta) -> None:
+        """Absorb a whole write batch across the 2^m index family with
+        **exactly one** :meth:`UnionRandomAccess.refresh`.
+
+        Every member absorbs the batch through its own
+        :meth:`~repro.core.dynamic.DynamicCQIndex.apply_delta` (grouped
+        buckets, one deduplicated propagation pass each); presence
+        transitions are buffered instead of patching intersections one
+        transition at a time, then each touched intersection forest takes
+        one batched presence pass decided from the members' final state.
+        The per-fact path refreshes the union's digit bases after every
+        fact — here the whole batch pays that once. Dynamic mode only.
+        """
+        if not self.dynamic:
+            raise TypeError(
+                "this MCUCQIndex is static; build with dynamic=True for "
+                "in-place updates (static entries invalidate-and-rebuild)"
+            )
+        from repro.database.relation import row_sort_key
+
+        self._hook_buffer = {}
+        try:
+            for member in self.member_indexes:
+                member.apply_delta(delta)
+            buffered = self._hook_buffer
+        finally:
+            self._hook_buffer = None
+        members = self.member_indexes
+        for forest, group, touched in buffered.values():
+            forest.set_rows_presence([
+                (
+                    shape_position,
+                    row,
+                    all(members[i].presence(shape_position, row) for i in group),
+                )
+                # Deterministic maintenance order (sets hash-order rows).
+                for shape_position, row in sorted(
+                    touched, key=lambda t: (t[0], row_sort_key(t[1]))
+                )
+            ])
         self._union.refresh()
 
     @property

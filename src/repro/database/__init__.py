@@ -13,6 +13,7 @@ lookup tables.
 
 from repro.database.relation import Relation, RelationError
 from repro.database.database import Database
+from repro.database.delta import AppliedDelta, Delta, DeltaError
 from repro.database.indexes import HashIndex
 from repro.database.joins import evaluate_cq, evaluate_ucq, join_rows
 from repro.database.yannakakis import full_reduction, semijoin
@@ -21,6 +22,9 @@ __all__ = [
     "Relation",
     "RelationError",
     "Database",
+    "AppliedDelta",
+    "Delta",
+    "DeltaError",
     "HashIndex",
     "evaluate_cq",
     "evaluate_ucq",

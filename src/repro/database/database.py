@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Sequence
 
+from repro.database.delta import AppliedDelta, Delta
 from repro.database.relation import Relation, RelationError
 
 
@@ -84,6 +85,80 @@ class Database:
         del rows[position]
         self.replace(Relation.copy_from(relation.name, relation.columns, rows))
         return True
+
+    def apply(self, delta) -> AppliedDelta:
+        """Apply a batch of fact operations with a **single** version bump.
+
+        ``delta`` is a :class:`~repro.database.delta.Delta` (or any
+        iterable of ``(op, relation, row)`` triples, which is normalized
+        into one). Per touched relation the copy-on-write rebuild happens
+        once — not once per fact — so a write burst costs
+        O(|touched relations' data| + |delta|) instead of O(|R| · |delta|).
+        Set semantics match :meth:`insert` / :meth:`delete` fact for fact:
+        re-inserting a present row or deleting an absent one is a no-op.
+
+        Every operation is validated (relation exists, arity matches)
+        *before* anything is mutated; a bad op raises
+        :class:`~repro.database.delta.DeltaError` (wrapped by the bound
+        :class:`Delta` constructor) and leaves the database untouched.
+
+        Returns an :class:`~repro.database.delta.AppliedDelta` carrying
+        the effective sub-delta (what actually changed — exactly what
+        dynamic indexes must absorb) and per-relation applied/no-op
+        counts. :attr:`version` bumps by exactly one when anything
+        changed, and not at all otherwise.
+        """
+        # Always re-validate through a freshly bound Delta — raw iterables,
+        # deltas bound to another database, and deltas recorded before a
+        # schema change (replace()) alike: apply-time arity is what the
+        # unchecked Relation.copy_from below relies on. Re-normalizing an
+        # already normalized delta is O(|delta|) and order-preserving.
+        delta = Delta(delta, database=self)
+        per_relation: Dict[str, List] = {}
+        for op, relation, row in delta:
+            per_relation.setdefault(relation, []).append((op, row))
+
+        effective = Delta()
+        by_relation: Dict[str, Dict[str, int]] = {}
+        changed_relations: Dict[str, List[tuple]] = {}
+        for name, ops in per_relation.items():
+            relation = self.relation(name)
+            present = set(relation.rows)
+            counts = by_relation[name] = {
+                "inserted": 0, "deleted": 0, "noop_inserts": 0, "noop_deletes": 0,
+            }
+            # The delta holds at most one op per fact, so effectiveness is
+            # decided against the pre-batch rows — no interplay to track.
+            deleted = set()
+            appended: List[tuple] = []
+            for op, row in ops:
+                if op == "insert":
+                    if row in present:
+                        counts["noop_inserts"] += 1
+                    else:
+                        appended.append(row)
+                        counts["inserted"] += 1
+                        effective.insert(name, row)
+                else:
+                    if row in present:
+                        deleted.add(row)
+                        counts["deleted"] += 1
+                        effective.delete(name, row)
+                    else:
+                        counts["noop_deletes"] += 1
+            if deleted or appended:
+                rows = (
+                    [r for r in relation.rows if r not in deleted]
+                    if deleted else list(relation.rows)
+                )
+                rows.extend(appended)
+                changed_relations[name] = rows
+        for name, rows in changed_relations.items():
+            relation = self._relations[name]
+            self._relations[name] = Relation.copy_from(name, relation.columns, rows)
+        if changed_relations:
+            self.version += 1
+        return AppliedDelta(effective, by_relation)
 
     def relation(self, name: str) -> Relation:
         try:

@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
+from repro.errors import ReproError
 
-class RelationError(ValueError):
+
+class RelationError(ReproError, ValueError):
     """Raised on schema violations (arity mismatch, unknown column, …)."""
 
 

@@ -1,0 +1,17 @@
+"""The library-wide exception root.
+
+Every error this library raises on purpose derives from :class:`ReproError`
+(usually alongside the builtin its callers historically caught —
+``ValueError``, ``IndexError`` — so existing ``except`` clauses keep
+working). Catching ``ReproError`` is the one-handler way to separate
+"this library rejected the request" from genuine bugs.
+
+This module is a leaf on purpose: it imports nothing from the package, so
+any layer (core, database, service) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every deliberate error raised by this library."""

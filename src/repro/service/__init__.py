@@ -12,13 +12,19 @@ serve many" shape:
   invalidates exactly the stale ones;
 * :mod:`repro.service.query_service` — :class:`QueryService`, the façade
   the applications (pagination, online aggregation, the CLI) talk to:
-  ``count`` / ``get`` / ``batch`` / ``sample`` / ``page`` plus
-  ``insert`` / ``delete`` mutations that keep the cache honest. Writes
-  are incremental where theory allows: cached
-  :class:`~repro.core.dynamic.DynamicCQIndex` entries absorb single-tuple
-  deltas in place (O(depth · log) instead of an O(|D|) rebuild), and hot
-  full acyclic queries are promoted to that mode adaptively after
-  repeated invalidations.
+  reads through :class:`~repro.service.cursor.Cursor` objects
+  (``service.cursor(q)`` — resolve once, read many; the free ``count`` /
+  ``get`` / ``batch`` / ``sample`` / ``page`` methods are one-shot-cursor
+  shims), writes through :class:`~repro.database.delta.Delta` batches
+  (``service.apply(delta)`` / ``service.transaction()``; ``insert`` /
+  ``delete`` are one-fact deltas) that keep the cache honest. Writes are
+  incremental where theory allows: cached
+  :class:`~repro.core.dynamic.DynamicCQIndex` entries absorb deltas in
+  place (O(depth · log) per fact instead of an O(|D|) rebuild, with
+  propagation deduplicated across a batch), and hot full acyclic queries
+  are promoted to that mode adaptively after repeated invalidations;
+* :mod:`repro.service.cursor` — the cursor itself, with the documented
+  staleness contract (transparent re-resolve or ``StaleCursorError``).
 
 Quickstart
 ----------
@@ -44,6 +50,14 @@ True
 """
 
 from repro.service.cache import IndexCache, canonical_query_key
-from repro.service.query_service import QueryService
+from repro.service.cursor import Cursor, StaleCursorError
+from repro.service.query_service import QueryService, Transaction
 
-__all__ = ["IndexCache", "QueryService", "canonical_query_key"]
+__all__ = [
+    "Cursor",
+    "IndexCache",
+    "QueryService",
+    "StaleCursorError",
+    "Transaction",
+    "canonical_query_key",
+]

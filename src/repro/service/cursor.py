@@ -1,0 +1,271 @@
+"""The ``Cursor``: a query's read session, resolved once.
+
+The free read methods of :class:`~repro.service.query_service.QueryService`
+re-resolve their query on every call — parse the rule, canonicalize it,
+look the entry up — which is cheap but pure waste for the common shape of
+a read session: one consumer issuing many reads against one query. A
+:class:`Cursor` front-loads that work: it parses and canonicalizes
+**exactly once** at construction, pins the database version it was opened
+at, and then serves ``count`` / ``get`` / ``batch`` / ``pages`` /
+``sample`` / ``random_order`` / ``position_of`` against the one resolved
+index — every read still honoring the service's per-entry write locks, so
+cursor reads interleave safely with concurrent ``apply`` batches.
+
+Staleness contract
+------------------
+The cursor pins ``database.version`` at construction (and after each
+:meth:`refresh`). When a read finds the database has moved on, the
+``on_stale`` policy chosen at construction decides — the caller's choice:
+
+* ``"reresolve"`` (default) — the cursor transparently re-binds to the
+  current version and serves fresh answers. For update-in-place entries
+  this is the *same index object* patched by the writes; otherwise it is
+  a rebuild. This is the live-paginator behavior: a long-held cursor
+  keeps serving correct pages across mutations.
+* ``"raise"`` — the read raises :class:`StaleCursorError` instead, for
+  callers that need a consistent position space across reads (for
+  example, a pager that must not shift rows between two page fetches).
+  Call :meth:`refresh` to acknowledge the new version and continue.
+
+Either way a cursor never serves answers computed against a database
+other than the version it reports via :attr:`version`. Lazy streams
+(:meth:`random_order`, iteration) snapshot nothing and cannot span locks;
+do not mutate the database while consuming one.
+
+Doctest
+-------
+>>> from repro import Database, Relation
+>>> from repro.service.query_service import QueryService
+>>> db = Database([
+...     Relation("R", ("a", "b"), [(1, 10), (2, 20)]),
+...     Relation("S", ("b", "c"), [(10, "x"), (10, "y"), (20, "z")]),
+... ])
+>>> service = QueryService(db)
+>>> cursor = service.cursor("Q(a, b, c) :- R(a, b), S(b, c)")
+>>> cursor.count
+3
+>>> cursor.get(0)
+(1, 10, 'x')
+>>> list(cursor.pages(page_size=2))
+[[(1, 10, 'x'), (1, 10, 'y')], [(2, 20, 'z')]]
+>>> strict = service.cursor("Q(a, b, c) :- R(a, b), S(b, c)", on_stale="raise")
+>>> service.insert("S", (20, "w"))
+True
+>>> cursor.count        # reresolve policy: follows the mutation
+4
+>>> strict.is_stale
+True
+>>> try:
+...     strict.count
+... except StaleCursorError:
+...     print("stale")
+stale
+>>> strict.refresh().count
+4
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+class StaleCursorError(ReproError, RuntimeError):
+    """A ``Cursor`` built with ``on_stale="raise"`` was read after the
+    database moved past the version it is bound to."""
+
+    def __init__(self, bound_version: int, current_version: int):
+        super().__init__(
+            f"cursor is bound to database version {bound_version}, but the "
+            f"database is at version {current_version}; call refresh() to "
+            f"re-bind, or open the cursor with on_stale='reresolve'"
+        )
+        self.bound_version = bound_version
+        self.current_version = current_version
+
+
+class Cursor:
+    """One query's read surface over a :class:`QueryService`.
+
+    Build through :meth:`~repro.service.query_service.QueryService.cursor`.
+    The query is resolved and canonicalized once, here; every read then
+    costs one O(1) cache probe plus the access itself, and takes the
+    entry's write lock exactly like the service's free methods. A cursor
+    also duck-types the index contract (``count`` / ``access`` /
+    ``batch`` / ``sample_many`` / ``inverted_access``), so index-shaped
+    consumers — paginators, enumeration harnesses, online aggregation —
+    run on a cursor unchanged.
+    """
+
+    def __init__(self, service, query, on_stale: str = "reresolve"):
+        if on_stale not in ("reresolve", "raise"):
+            raise ValueError(
+                f"on_stale must be 'reresolve' or 'raise', got {on_stale!r}"
+            )
+        from repro.service.cache import canonical_query_key
+
+        self._service = service
+        self.query = service.resolve(query)
+        self._query_key = canonical_query_key(self.query)
+        self._on_stale = on_stale
+        self._version = service.database.version
+        # The index itself resolves lazily on the first read: construction
+        # binds the *version*, and a read is one cache probe — exactly the
+        # probe the equivalent free service method would have made, so
+        # cursors leave the cache-effectiveness counters undistorted.
+
+    # ------------------------------------------------------------------ #
+    # Binding                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def version(self) -> int:
+        """The database version this cursor is bound to."""
+        return self._version
+
+    @property
+    def is_stale(self) -> bool:
+        """Has the database moved past the bound version?"""
+        return self._service.database.version != self._version
+
+    def refresh(self) -> "Cursor":
+        """Re-bind to the current database version (chainable)."""
+        self._version = self._service.database.version
+        return self
+
+    def _entry(self):
+        """``(index, guard)`` at the bound version, policing staleness."""
+        current = self._service.database.version
+        if current != self._version:
+            if self._on_stale == "raise":
+                raise StaleCursorError(self._version, current)
+            self._version = current
+        return self._service._entry_resolved(self.query, self._query_key)
+
+    @property
+    def index(self):
+        """The backing index (no lock — prefer the cursor's read methods,
+        which serialize with writers; use this for introspection)."""
+        return self._entry()[0]
+
+    # ------------------------------------------------------------------ #
+    # Reads                                                               #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def count(self) -> int:
+        """``|Q(D)|`` — O(1) after the (already cached) build."""
+        index, guard = self._entry()
+        with guard:
+            return index.count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def get(self, position: int) -> tuple:
+        """The answer at ``position`` of the enumeration order."""
+        index, guard = self._entry()
+        with guard:
+            return index.access(position)
+
+    #: Index-contract alias for :meth:`get`.
+    access = get
+
+    def batch(self, positions: Sequence[int]) -> List[tuple]:
+        """The answers at ``positions`` (unsorted, duplicates allowed)."""
+        index, guard = self._entry()
+        with guard:
+            return index.batch(positions)
+
+    def batch_range(self, start: int, stop: int) -> List[tuple]:
+        """The answers at positions ``[start, min(stop, count))`` — the
+        count clamp happens inside the entry lock (see
+        :meth:`QueryService.batch_range`)."""
+        index, guard = self._entry()
+        with guard:
+            return index.batch(range(max(start, 0), min(stop, index.count)))
+
+    def page(self, number: int, page_size: int = 10) -> List[tuple]:
+        """Page ``number`` (0-based); short or empty past the last page."""
+        if number < 0 or page_size < 1:
+            raise ValueError(f"bad page request ({number=}, {page_size=})")
+        return self.batch_range(number * page_size, (number + 1) * page_size)
+
+    def pages(self, page_size: int = 10) -> Iterator[List[tuple]]:
+        """Every page of the enumeration order, in order.
+
+        Each page is one locked batch; a mutation between pages (under the
+        re-resolve policy) shifts later pages to the new contents, exactly
+        like a live paginator.
+        """
+        number = 0
+        while True:
+            batch = self.page(number, page_size)
+            if not batch:
+                return
+            yield batch
+            if len(batch) < page_size:
+                return
+            number += 1
+
+    def sample(self, k: int, rng: Optional[random.Random] = None) -> List[tuple]:
+        """``min(k, count)`` uniform draws without replacement."""
+        index, guard = self._entry()
+        with guard:
+            return index.sample_many(k, rng)
+
+    #: Index-contract alias for :meth:`sample`.
+    sample_many = sample
+
+    def position_of(self, answer: tuple) -> Optional[int]:
+        """The enumeration position of ``answer``, or ``None`` (also
+        ``None`` for indexes without inverted support)."""
+        index, guard = self._entry()
+        inverted = getattr(index, "inverted_access", None)
+        if inverted is None:
+            return None
+        with guard:
+            return inverted(tuple(answer))
+
+    def inverted_access(self, answer: tuple) -> Optional[int]:
+        """Index-contract alias for :meth:`position_of`."""
+        return self.position_of(answer)
+
+    def __contains__(self, answer: tuple) -> bool:
+        """Membership test (the paper's ``Test``).
+
+        Served by inverted access where the index supports it; otherwise
+        (the union index) by the index's own membership fallback — never
+        by conflating "no inverted support" with "absent".
+        """
+        index, guard = self._entry()
+        inverted = getattr(index, "inverted_access", None)
+        with guard:
+            if inverted is None:
+                return tuple(answer) in index
+            return inverted(tuple(answer)) is not None
+
+    def ensure_inverted_support(self) -> None:
+        """Build the backing index's inverted-access support if needed."""
+        index, guard = self._entry()
+        with guard:
+            index.ensure_inverted_support()
+
+    def random_order(self, rng: Optional[random.Random] = None) -> Iterator[tuple]:
+        """REnum: every answer in uniformly random order (lazy — takes no
+        lock; do not mutate the database while consuming)."""
+        return self.index.random_order(rng)
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Enumerate in index order (lazy — same caveat as
+        :meth:`random_order`)."""
+        return iter(self.index)
+
+    def __repr__(self) -> str:
+        name = getattr(self.query, "name", str(self.query))
+        return (
+            f"Cursor({name}, version={self._version}, "
+            f"on_stale={self._on_stale!r})"
+        )

@@ -12,16 +12,24 @@ routes every request through the shared :class:`~repro.service.cache.IndexCache`
 * ``page(q, number)`` / ``paginator(q)`` — pagination served by batched
   access;
 * ``random_order(q)`` — the full REnum stream;
-* ``insert`` / ``delete`` — database mutations (set semantics: re-inserting
-  an existing fact or deleting an absent one is a no-op that keeps the
-  cache warm);
+* ``cursor(q)`` — a :class:`~repro.service.cursor.Cursor`, the preferred
+  read surface: the query is resolved exactly once and every subsequent
+  read is an O(1) probe plus the access (the free methods above are thin
+  shims that open a one-shot cursor);
+* ``apply(delta)`` / ``transaction()`` — batched writes: a whole
+  :class:`~repro.database.delta.Delta` with one version bump, one lock
+  acquisition and one re-key per cached entry, and one union refresh per
+  dynamic UCQ entry (``insert`` / ``delete`` are thin one-fact deltas;
+  set semantics: re-inserting an existing fact or deleting an absent one
+  is a no-op that keeps the cache warm);
 * ``stats()`` — serving effectiveness counters (cache hits/misses,
-  promotions, in-place updates vs. rebuilds, compactions).
+  promotions, in-place updates vs. rebuilds — split single-fact vs.
+  batched — compactions).
 
 Mutation path
 -------------
-A mutation bumps ``database.version`` and then walks this database's cache
-entries:
+A mutation bumps ``database.version`` (a batch bumps it **once**) and then
+walks this database's cache entries:
 
 * an entry whose query does not reference the mutated relation is carried
   to the new version untouched — the mutation cannot change its answers;
@@ -94,6 +102,23 @@ True
 3
 >>> hot.stats().in_place_updates
 1
+
+A write burst goes through one :class:`~repro.database.delta.Delta` —
+buffered by ``transaction()`` — and is absorbed as a single batch:
+
+>>> with hot.transaction() as txn:
+...     txn.insert("R", (3, 20))
+...     txn.insert("S", (20, "v"))
+...     txn.delete("S", (20, "w"))
+Delta(1 ops over R)
+Delta(2 ops over R,S)
+Delta(3 ops over R,S)
+>>> txn.result.inserted, txn.result.deleted
+(2, 1)
+>>> hot.count(q)
+4
+>>> hot.stats().batched_updates
+1
 """
 
 from __future__ import annotations
@@ -107,12 +132,14 @@ from repro.core.cq_index import CQIndex
 from repro.core.dynamic import DynamicCQIndex
 from repro.core.union_access import MCUCQIndex
 from repro.database.database import Database
+from repro.database.delta import AppliedDelta, Delta
 from repro.query.cq import ConjunctiveQuery
 from repro.query.free_connex import free_connex_report
 from repro.query.parser import parse_cq, parse_ucq
 from repro.query.ucq import UnionOfConjunctiveQueries
 
 from repro.service.cache import CacheInfo, IndexCache, canonical_query_key
+from repro.service.cursor import Cursor
 
 Query = Union[str, ConjunctiveQuery, UnionOfConjunctiveQueries]
 
@@ -139,7 +166,8 @@ class ServiceStats(NamedTuple):
     promotions: int
     dynamic_builds: int
     static_builds: int
-    #: Mutations absorbed by an update-capable entry without a rebuild.
+    #: Single-fact mutations absorbed by an update-capable entry without
+    #: a rebuild.
     in_place_updates: int
     #: Entries carried across a mutation untouched because their query
     #: does not reference the mutated relation.
@@ -149,6 +177,13 @@ class ServiceStats(NamedTuple):
     #: Bucket compactions performed by live dynamic entries (bounded
     #: tombstone growth under delete-heavy traffic).
     compactions: int
+    #: Whole deltas absorbed by an update-capable entry in one batched
+    #: maintenance pass (one per entry per ``apply`` call).
+    batched_updates: int = 0
+    #: Total facts those batched deltas carried (``batched_update_ops /
+    #: batched_updates`` is the mean batch size a cost-based promotion
+    #: tuner would weigh against the per-fact path).
+    batched_update_ops: int = 0
 
 
 def _relations_in_key(query_key: tuple) -> frozenset:
@@ -214,6 +249,12 @@ class QueryService:
         self._in_place_updates = 0
         self._carried_forward = 0
         self._mutation_invalidations = 0
+        self._batched_updates = 0
+        self._batched_update_ops = 0
+        # Canonical query key → {"single_fact", "batched", "batched_ops"}:
+        # how each entry's in-place maintenance split between the per-fact
+        # and the batched path (see update_profile()).
+        self._entry_updates: Dict[tuple, Dict[str, int]] = {}
 
     @property
     def database(self) -> Database:
@@ -257,7 +298,11 @@ class QueryService:
         would synchronize with nobody.
         """
         query = self.resolve(query)
-        query_key = canonical_query_key(query)
+        return self._entry_resolved(query, canonical_query_key(query))
+
+    def _entry_resolved(self, query, query_key):
+        """:meth:`_entry` for an already resolved and canonicalized query
+        — the cursor's per-read path, which must not re-parse anything."""
         while True:
             # The key holds the Database object itself (identity hash): a
             # live entry therefore pins its database, so — unlike an id()
@@ -316,24 +361,35 @@ class QueryService:
     # ------------------------------------------------------------------ #
     # Read API                                                            #
     # ------------------------------------------------------------------ #
+    # ``cursor`` is the primary surface; the free methods below are thin
+    # one-shot-cursor shims kept for convenience and compatibility.
+
+    def cursor(self, query: Query, on_stale: str = "reresolve") -> Cursor:
+        """A :class:`~repro.service.cursor.Cursor` over ``query``.
+
+        The read session object: the query is parsed and canonicalized
+        exactly once, the backing index is resolved (building it on first
+        use), and every subsequent read is an O(1) cache probe plus the
+        access — under the entry's write lock, like all service reads.
+        ``on_stale`` picks the staleness policy: ``"reresolve"`` follows
+        mutations transparently, ``"raise"`` raises
+        :class:`~repro.service.cursor.StaleCursorError` once the database
+        moves past the bound version (see :mod:`repro.service.cursor` for
+        the full contract).
+        """
+        return Cursor(self, query, on_stale=on_stale)
 
     def count(self, query: Query) -> int:
         """``|Q(D)|`` — O(1) after the cached build."""
-        index, guard = self._entry(query)
-        with guard:
-            return index.count
+        return self.cursor(query).count
 
     def get(self, query: Query, position: int) -> tuple:
         """The answer at ``position`` of the enumeration order."""
-        index, guard = self._entry(query)
-        with guard:
-            return index.access(position)
+        return self.cursor(query).get(position)
 
     def batch(self, query: Query, positions: Sequence[int]) -> List[tuple]:
         """The answers at ``positions`` (unsorted, duplicates allowed)."""
-        index, guard = self._entry(query)
-        with guard:
-            return index.batch(positions)
+        return self.cursor(query).batch(positions)
 
     def batch_range(self, query: Query, start: int, stop: int) -> List[tuple]:
         """The answers at positions ``[start, min(stop, count))``.
@@ -345,9 +401,7 @@ class QueryService:
         served during a write burst may come back shorter than the page
         size, but it never raises.
         """
-        index, guard = self._entry(query)
-        with guard:
-            return index.batch(range(max(start, 0), min(stop, index.count)))
+        return self.cursor(query).batch_range(start, stop)
 
     def sample(
         self, query: Query, k: int, rng: Optional[random.Random] = None
@@ -357,26 +411,19 @@ class QueryService:
         Equal to the first ``k`` answers of :meth:`random_order` under the
         same seeded ``rng``, but served by one batched access.
         """
-        index, guard = self._entry(query)
-        with guard:
-            return index.sample_many(k, rng)
+        return self.cursor(query).sample(k, rng)
 
     def position_of(self, query: Query, answer: tuple) -> Optional[int]:
         """The enumeration position of ``answer``, or ``None`` (inverted
         access, Algorithm 4); ``None`` also for indexes without inverted
         support (the union index)."""
-        index, guard = self._entry(query)
-        inverted = getattr(index, "inverted_access", None)
-        if inverted is None:
-            return None
-        with guard:
-            return inverted(tuple(answer))
+        return self.cursor(query).position_of(answer)
 
     def random_order(
         self, query: Query, rng: Optional[random.Random] = None
     ) -> Iterator[tuple]:
         """REnum: stream every answer in uniformly random order."""
-        return self.index(query).random_order(rng)
+        return self.cursor(query).random_order(rng)
 
     def page(self, query: Query, number: int, page_size: int = 10) -> List[tuple]:
         """Page ``number`` (0-based) of the enumeration order."""
@@ -385,14 +432,14 @@ class QueryService:
     def paginator(self, query: Query, page_size: int = 10):
         """A :class:`~repro.apps.pagination.LivePaginator` for ``query``.
 
-        *Live*: the paginator re-resolves its index through the service on
-        every use, so a long-held paginator keeps serving correct pages
-        (and a correct ``total_pages``) across :meth:`insert` /
-        :meth:`delete` mutations instead of pinning a pre-mutation
-        snapshot. Between mutations the resolution is a cache hit; across
-        a mutation it is the updated-in-place dynamic index or a rebuild.
-        Its page reads go through :meth:`batch`, so they take the entry
-        lock like every other service read.
+        *Live*: the paginator reads through a re-resolving
+        :meth:`cursor`, so a long-held paginator keeps serving correct
+        pages (and a correct ``total_pages``) across :meth:`insert` /
+        :meth:`delete` / :meth:`apply` mutations instead of pinning a
+        pre-mutation snapshot. Between mutations each read is an O(1)
+        probe of the cached entry; across a mutation it is the
+        updated-in-place dynamic index or a rebuild. Cursor reads take the
+        entry lock like every other service read.
         """
         return LivePaginator(self, query, page_size=page_size)
 
@@ -411,15 +458,15 @@ class QueryService:
         :func:`~repro.apps.online_aggregation.estimate_mean` — the paper's
         online-aggregation application without a per-call index rebuild.
 
-        Like :meth:`random_order`, the result is a lazy stream over the
-        live index and therefore takes no entry lock (a lock cannot span
-        the consumer's lifetime); do not mutate the database while
-        consuming it.
+        The result is a lazy stream served through a cursor: each block of
+        draws is one locked batch read, but no lock spans the consumer's
+        lifetime — so, like :meth:`random_order`, do not mutate the
+        database while consuming it if you need one consistent sample.
         """
         from repro.apps.online_aggregation import estimate_mean_via_index
 
         return estimate_mean_via_index(
-            self.index(query),
+            self.cursor(query),
             value_of,
             sample_size=sample_size,
             rng=rng,
@@ -433,41 +480,89 @@ class QueryService:
     def insert(self, relation: str, row: tuple) -> bool:
         """Insert a fact; cached indexes update in place or invalidate.
 
-        Returns ``True`` when the database changed. Update-capable entries
-        absorb the insert in O(depth · log); other entries are dropped and
-        rebuilt lazily.
+        A thin one-fact :meth:`apply`. Returns ``True`` when the database
+        changed. Update-capable entries absorb the insert in
+        O(depth · log); other entries are dropped and rebuilt lazily.
         """
-        row = tuple(row)
-        changed = self._database.insert(relation, row)
-        if changed:
-            self._absorb_mutation("insert", relation, row)
-        return changed
+        delta = Delta(database=self._database).insert(relation, tuple(row))
+        return self.apply(delta).changed
 
     def delete(self, relation: str, row: tuple) -> bool:
         """Delete a fact; cached indexes update in place or invalidate.
 
-        Returns ``True`` when the database changed (deleting an absent
-        fact is a no-op that keeps the cache warm).
+        A thin one-fact :meth:`apply`. Returns ``True`` when the database
+        changed (deleting an absent fact is a no-op that keeps the cache
+        warm).
         """
-        row = tuple(row)
-        changed = self._database.delete(relation, row)
-        if changed:
-            self._absorb_mutation("delete", relation, row)
-        return changed
+        delta = Delta(database=self._database).delete(relation, tuple(row))
+        return self.apply(delta).changed
 
-    def _absorb_mutation(self, operation: str, relation: str, row: tuple) -> None:
-        """Carry this database's cache entries across one applied mutation.
+    def apply(self, delta) -> AppliedDelta:
+        """Apply a whole :class:`~repro.database.delta.Delta` as one batch.
+
+        The write-burst entry point: the database takes **one** version
+        bump (:meth:`~repro.database.database.Database.apply` — one
+        copy-on-write rebuild per touched relation, not per fact), and the
+        cache walk happens **once** — one lock acquisition and one re-key
+        per update-capable entry, which absorbs the *effective* sub-delta
+        through its ``apply_delta`` (grouped buckets, one deduplicated
+        propagation pass, and for a dynamic union exactly one
+        ``UnionRandomAccess.refresh`` instead of one per fact).
+
+        ``delta`` may also be a plain iterable of ``(op, relation, row)``
+        triples; every op is validated up front
+        (:class:`~repro.database.delta.DeltaError` on unknown relations or
+        wrong arities) before anything mutates. A batch whose every op is
+        a no-op changes nothing: no version bump, entries stay put. For
+        promotion accounting, one batch is one write-pressure event: a
+        dropped static entry's churn counter is bumped once per batch, not
+        once per fact.
+
+        Returns the :class:`~repro.database.delta.AppliedDelta` with the
+        effective sub-delta and per-relation applied/no-op counts.
+        """
+        if not isinstance(delta, Delta):
+            delta = Delta(delta, database=self._database)
+        result = self._database.apply(delta)
+        if result.changed:
+            self._absorb_delta(result.effective)
+        return result
+
+    def transaction(self) -> "Transaction":
+        """A write buffer that applies as **one** delta on exit.
+
+        Use as a context manager: ``insert`` / ``delete`` calls on the
+        transaction record into a bound
+        :class:`~repro.database.delta.Delta` (validated immediately,
+        last-op-wins per fact) and nothing touches the database until the
+        ``with`` block exits cleanly — then the whole buffer goes through
+        :meth:`apply`, and the outcome is available as ``txn.result``. If
+        the block raises, nothing is applied.
+
+        >>> from repro import Database, Relation
+        >>> service = QueryService(Database([Relation("R", ("a",), [(1,)])]))
+        >>> with service.transaction() as txn:
+        ...     txn.insert("R", (2,)).delete("R", (1,))
+        Delta(2 ops over R)
+        >>> txn.result.inserted, service.database.relation("R").rows
+        (1, [(2,)])
+        """
+        return Transaction(self)
+
+    def _absorb_delta(self, effective: Delta) -> None:
+        """Carry this database's cache entries across one applied batch.
 
         A shared cache may hold foreign-shaped keys (IndexCache is
         storage-agnostic); only this service's (database, version, query)
-        tuples are touched. For entries at the pre-mutation version:
+        tuples are touched. For entries at the pre-batch version:
 
-        * a query that does not reference the mutated relation cannot have
-          changed answers — the entry (static or dynamic) is re-keyed to
-          the new version untouched;
-        * an update-capable entry (``supports_updates``) gets the delta
-          applied — under its per-entry lock — and is re-keyed;
-        * any other entry over the mutated relation is dropped, and its
+        * a query that references none of the batch's relations cannot
+          have changed answers — the entry (static or dynamic) is re-keyed
+          to the new version untouched;
+        * an update-capable entry (``supports_updates``) absorbs the batch
+          — one ``apply_delta`` (or the per-fact method for a one-fact
+          batch) under one lock acquisition — and is re-keyed once;
+        * any other entry over a touched relation is dropped, and its
           query key's churn counter bumped — the promotion pressure that
           eventually flips a hot query to the dynamic path.
 
@@ -478,6 +573,8 @@ class QueryService:
         """
         database = self._database
         new_version = database.version
+        touched = effective.relations()
+        single = effective.ops()[0] if len(effective) == 1 else None
         ours = [
             key
             for key in self._cache.keys()
@@ -485,26 +582,49 @@ class QueryService:
         ]
         for key in ours:
             query_key = key[2]
-            # Database.insert/delete bump the version by exactly one, so a
-            # current entry sits at new_version - 1.
+            # Database.apply bumps the version by exactly one per batch,
+            # so a current entry sits at new_version - 1.
             current = key[1] == new_version - 1
             if not current:
                 self._cache.discard(key)
                 continue
-            if relation not in _relations_in_key(query_key):
+            if touched.isdisjoint(_relations_in_key(query_key)):
                 self._cache.rekey(key, (database, new_version, query_key))
                 self._carried_forward += 1
                 continue
             entry = self._cache.peek(key)
             if getattr(entry, "supports_updates", False):
                 with self._cache.lock_for(key):
-                    getattr(entry, operation)(relation, row)
+                    if single is not None:
+                        operation, relation, row = single
+                        getattr(entry, operation)(relation, row)
+                    else:
+                        entry.apply_delta(effective)
                     self._cache.rekey(key, (database, new_version, query_key))
-                self._in_place_updates += 1
+                profile = self._entry_updates.setdefault(
+                    query_key,
+                    {"single_fact": 0, "batched": 0, "batched_ops": 0},
+                )
+                if single is not None:
+                    self._in_place_updates += 1
+                    profile["single_fact"] += 1
+                else:
+                    self._batched_updates += 1
+                    self._batched_update_ops += len(effective)
+                    profile["batched"] += 1
+                    profile["batched_ops"] += len(effective)
             else:
                 self._cache.discard(key)
                 self._churn[query_key] = self._churn.get(query_key, 0) + 1
                 self._mutation_invalidations += 1
+
+    def update_profile(self) -> Dict[tuple, Dict[str, int]]:
+        """Per-entry in-place maintenance counts, keyed by canonical query
+        key: ``{"single_fact", "batched", "batched_ops"}`` — the inputs a
+        cost-based promotion tuner needs (how often each hot query is
+        written, and in what batch sizes) alongside the churn pressure
+        already driving count-based promotion."""
+        return {key: dict(counts) for key, counts in self._entry_updates.items()}
 
     # ------------------------------------------------------------------ #
     # Introspection                                                       #
@@ -554,9 +674,50 @@ class QueryService:
             carried_forward=self._carried_forward,
             mutation_invalidations=self._mutation_invalidations,
             compactions=compactions,
+            batched_updates=self._batched_updates,
+            batched_update_ops=self._batched_update_ops,
         )
 
     def __repr__(self) -> str:
         return (
             f"QueryService({self._database!r}, cache={self._cache!r})"
         )
+
+
+class Transaction:
+    """A buffered write batch bound to one service (see
+    :meth:`QueryService.transaction`).
+
+    ``insert`` / ``delete`` record into :attr:`delta` (a database-bound
+    :class:`~repro.database.delta.Delta`, so bad facts fail fast at
+    recording time); a clean ``with`` exit applies the whole buffer as one
+    :meth:`QueryService.apply` and stores its
+    :class:`~repro.database.delta.AppliedDelta` in :attr:`result`. An
+    exceptional exit discards the buffer — nothing was ever applied.
+    """
+
+    def __init__(self, service: QueryService):
+        self._service = service
+        self.delta = Delta(database=service.database)
+        #: The AppliedDelta once the transaction has committed.
+        self.result: Optional[AppliedDelta] = None
+
+    def insert(self, relation: str, row: tuple) -> Delta:
+        """Buffer an insert (returns the delta, chainable)."""
+        return self.delta.insert(relation, tuple(row))
+
+    def delete(self, relation: str, row: tuple) -> Delta:
+        """Buffer a delete (returns the delta, chainable)."""
+        return self.delta.delete(relation, tuple(row))
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        if exc_type is None:
+            self.result = self._service.apply(self.delta)
+        return False
+
+    def __repr__(self) -> str:
+        state = "committed" if self.result is not None else "open"
+        return f"Transaction({self.delta!r}, {state})"

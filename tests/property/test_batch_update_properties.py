@@ -1,0 +1,151 @@
+"""Property-based testing of the batched write path: ``apply_delta`` must
+leave every index *identical* to applying the same operations one by one —
+count, full enumeration order (order-level, not just set-level), inverted
+access, and for a dynamic union every member and intersection forest —
+including cancelling insert/delete pairs and no-ops, which the Delta
+normalization collapses and the one-by-one path actually executes."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Database,
+    Delta,
+    DynamicCQIndex,
+    MCUCQIndex,
+    QueryService,
+    Relation,
+    parse_cq,
+    parse_ucq,
+)
+
+CQ = parse_cq("Q(a, b, c) :- R(a, b), S(b, c)")
+UCQ = parse_ucq(
+    "Q(a, b, c) :- R(a, b), S(b, c) ; Q(a, b, c) :- R(a, b), T(b, c)"
+)
+
+RELATIONS = ("R", "S", "T")
+
+# An operation: (relation choice, insert?, value1, value2). The domain is
+# tiny so ops frequently collide — yielding genuine no-ops (re-inserting a
+# present fact, deleting an absent one), revivals, and cancelling
+# insert-then-delete pairs within one batch.
+operation = st.tuples(
+    st.integers(0, 2), st.booleans(), st.integers(0, 3), st.integers(0, 2)
+)
+
+
+def fresh_db() -> Database:
+    return Database([
+        Relation("R", ("a", "b"), [(0, 0), (1, 1), (2, 0)]),
+        Relation("S", ("b", "c"), [(0, 0), (1, 2)]),
+        Relation("T", ("b", "c"), [(0, 0), (0, 2)]),
+    ])
+
+
+def as_ops(operations):
+    return [
+        ("insert" if is_insert else "delete", RELATIONS[which], (v1, v2))
+        for which, is_insert, v1, v2 in operations
+    ]
+
+
+def assert_same_forest(batched, sequential):
+    """Order-level agreement plus the inverted-access bijection."""
+    assert batched.count == sequential.count
+    answers = list(batched)
+    assert answers == list(sequential)
+    for position, answer in enumerate(answers):
+        assert batched.inverted_access(answer) == position
+        assert sequential.inverted_access(answer) == position
+
+
+@given(st.lists(operation, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_cq_apply_delta_matches_one_by_one(operations):
+    ops = as_ops(operations)
+    db_seq, db_bat = fresh_db(), fresh_db()
+    sequential = DynamicCQIndex(CQ, db_seq)
+    batched = DynamicCQIndex(CQ, db_bat)
+
+    # One by one, database-gated exactly like the service's per-fact path
+    # (the index contract: inserts are new facts, deletes may be no-ops).
+    for op, relation, row in ops:
+        if getattr(db_seq, op)(relation, row):
+            getattr(sequential, op)(relation, row)
+    # One batch: the database resolves the normalized delta into its
+    # effective sub-delta, which the index absorbs in one pass.
+    result = db_bat.apply(Delta(ops, database=db_bat))
+    batched.apply_delta(result.effective)
+
+    assert db_seq.relation("R").row_set() == db_bat.relation("R").row_set()
+    assert_same_forest(batched, sequential)
+
+
+@given(st.lists(operation, max_size=25))
+@settings(max_examples=40, deadline=None)
+def test_union_apply_delta_matches_one_by_one(operations):
+    ops = as_ops(operations)
+    db_seq, db_bat = fresh_db(), fresh_db()
+    sequential = MCUCQIndex(UCQ, db_seq, dynamic=True)
+    batched = MCUCQIndex(UCQ, db_bat, dynamic=True)
+
+    for op, relation, row in ops:
+        if getattr(db_seq, op)(relation, row):
+            getattr(sequential, op)(relation, row)
+    result = db_bat.apply(Delta(ops, database=db_bat))
+    batched.apply_delta(result.effective)
+
+    # The union surface: count and the full Durand–Strozecki order.
+    assert batched.count == sequential.count
+    assert [batched.access(i) for i in range(batched.count)] == \
+        [sequential.access(i) for i in range(sequential.count)]
+    # Every member index and every intersection forest, order-level.
+    for member_b, member_s in zip(
+        batched.member_indexes, sequential.member_indexes
+    ):
+        assert_same_forest(member_b, member_s)
+    assert set(batched.intersection_indexes) == set(sequential.intersection_indexes)
+    for key, forest in batched.intersection_indexes.items():
+        assert_same_forest(forest, sequential.intersection_indexes[key])
+
+
+@given(st.lists(operation, min_size=1, max_size=25), st.integers(0, 2**30))
+@settings(max_examples=40, deadline=None)
+def test_service_transaction_matches_per_fact_service(operations, seed):
+    """Service-level equivalence: a transaction over a hot dynamic entry
+    serves exactly like the same ops issued one service call at a time —
+    pages, samples, and positions included."""
+    ops = as_ops(operations)
+    one_by_one = QueryService(fresh_db(), dynamic=True)
+    transactional = QueryService(fresh_db(), dynamic=True)
+    one_by_one.count(CQ)
+    transactional.count(CQ)  # warm: the batch must hit the dynamic entry
+
+    for op, relation, row in ops:
+        getattr(one_by_one, op)(relation, row)
+    with transactional.transaction() as txn:
+        for op, relation, row in ops:
+            getattr(txn, op)(relation, row)
+
+    n = one_by_one.count(CQ)
+    assert transactional.count(CQ) == n
+    assert transactional.batch(CQ, range(n)) == one_by_one.batch(CQ, range(n))
+    if n:
+        rng_a, rng_b = random.Random(seed), random.Random(seed)
+        k = min(5, n)
+        assert transactional.sample(CQ, k, rng_a) == one_by_one.sample(CQ, k, rng_b)
+        for position, answer in enumerate(one_by_one.batch(CQ, range(n))):
+            assert transactional.position_of(CQ, answer) == position
+    relevant = txn.result.effective.relations() & {"R", "S"}
+    if txn.result.changed and relevant:
+        stats = transactional.stats()
+        if len(txn.result.effective) == 1:
+            # A one-fact effective delta rides the per-fact hot path.
+            assert stats.in_place_updates == 1
+            assert stats.batched_updates == 0
+        else:
+            assert stats.batched_updates == 1
+            assert stats.in_place_updates == 0
+            assert stats.batched_update_ops == len(txn.result.effective)

@@ -10,9 +10,11 @@ import pytest
 
 import repro
 import repro.core.shuffle
+import repro.database.delta
 import repro.query.parser
 import repro.service
 import repro.service.cache
+import repro.service.cursor
 import repro.service.query_service
 
 
@@ -21,9 +23,11 @@ import repro.service.query_service
     [
         repro,
         repro.core.shuffle,
+        repro.database.delta,
         repro.query.parser,
         repro.service,
         repro.service.cache,
+        repro.service.cursor,
         repro.service.query_service,
     ],
     ids=lambda m: m.__name__,

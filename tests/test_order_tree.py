@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.core.order_tree import OrderedWeightTree
+from repro.core.order_tree import OrderedWeightTree, _descending_priorities
 from repro.database.relation import row_sort_key
 
 
@@ -53,6 +53,75 @@ class TestBulkBuild:
     def test_heap_invariant_holds_after_bulk_build(self):
         entries = _reference([((i,), 1, 1) for i in range(100)])
         tree, __ = OrderedWeightTree.from_sorted(entries)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            for child in (node.left, node.right):
+                if child is not None:
+                    assert child.priority <= node.priority
+                    assert child.parent is node
+                    stack.append(child)
+
+    def test_descending_priorities_are_sorted_uniforms(self):
+        """The O(n) order-statistics generator: descending, in (0, 1],
+        and distributed like sorted i.i.d. uniforms (spot-check: the
+        median of the maximum of n uniforms is 2^(-1/n))."""
+        priorities = _descending_priorities(500)
+        assert len(priorities) == 500
+        assert all(0.0 < p <= 1.0 for p in priorities)
+        assert priorities == sorted(priorities, reverse=True)
+        assert len(set(priorities)) == 500  # ties would stall rotations
+        maxima = [_descending_priorities(16)[0] for __ in range(400)]
+        median = sorted(maxima)[200]
+        assert abs(median - 2 ** (-1 / 16)) < 0.05
+
+
+class TestInsertSorted:
+    def test_small_batch_uses_individual_inserts(self):
+        tree, nodes = OrderedWeightTree.from_sorted(
+            _reference([((i,), 1, 1) for i in range(0, 200, 2)])
+        )
+        rank = {n.row: n for n in nodes}
+        kept_root_nodes = set(id(n) for n in tree)
+        new = tree.insert_sorted(_reference([((5,), 2, 1), ((7,), 3, 1)]))
+        for node in new:
+            rank[node.row] = node
+        entries = [((i,), 1, 1) for i in range(0, 200, 2)] + \
+            [((5,), 2, 1), ((7,), 3, 1)]
+        _check_against_reference(tree, rank, _reference(entries))
+        # Existing nodes were reused, not rebuilt.
+        assert kept_root_nodes <= set(id(n) for n in tree)
+
+    def test_large_batch_merge_rebuild_keeps_handles_valid(self):
+        tree, nodes = OrderedWeightTree.from_sorted(
+            _reference([((i, "x"), 1, 1) for i in range(0, 40, 4)])
+        )
+        rank = {n.row: n for n in nodes}
+        batch = _reference([((i, "y"), 2, 1) for i in range(0, 40, 2)])
+        new = tree.insert_sorted(batch)
+        assert len(new) == len(batch)
+        for node in new:
+            rank[node.row] = node
+        entries = [((i, "x"), 1, 1) for i in range(0, 40, 4)] + batch
+        # Old handles still resolve: prefix_of/locate work through them.
+        _check_against_reference(tree, rank, _reference(entries))
+
+    def test_bulk_insert_into_empty_tree(self):
+        tree, __ = OrderedWeightTree.from_sorted([])
+        new = tree.insert_sorted(_reference([((i,), 1, 1) for i in range(9)]))
+        assert [n.row for n in tree] == [(i,) for i in range(9)]
+        assert tree.total == 9 and len(new) == 9
+
+    def test_empty_batch_is_a_noop(self):
+        tree, __ = OrderedWeightTree.from_sorted(_reference([((1,), 1, 1)]))
+        assert tree.insert_sorted([]) == []
+        assert tree.total == 1
+
+    def test_heap_invariant_survives_merge_rebuild(self):
+        tree, __ = OrderedWeightTree.from_sorted(
+            _reference([((i,), 1, 1) for i in range(10)])
+        )
+        tree.insert_sorted(_reference([((i + 0.5,), 1, 1) for i in range(10)]))
         stack = [tree.root]
         while stack:
             node = stack.pop()
