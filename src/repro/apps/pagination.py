@@ -110,11 +110,12 @@ class LivePaginator(Paginator):
         self._cursor = service.cursor(query, on_stale="reresolve")
         # The base class validates page_size; a cursor duck-types the
         # index contract (count/access/batch/inverted_access), and its
-        # reads hold the entry's write lock, so a page fetch cannot
-        # interleave with a concurrent in-place mutation. batch_range
-        # re-clamps to the count *inside* the lock, so a mutation landing
-        # between this paginator's count read and the batch shortens the
-        # page instead of raising out-of-bound.
+        # reads serve from the snapshot pinned at the bound version, so a
+        # page fetch is wait-free and cannot interleave with a concurrent
+        # in-place mutation. batch_range clamps to the count of the same
+        # pinned snapshot it reads, so a mutation landing between this
+        # paginator's count read and the batch shortens the page instead
+        # of raising out-of-bound.
         super().__init__(self._cursor, page_size=page_size)
 
     @property

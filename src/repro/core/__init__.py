@@ -27,14 +27,19 @@ from repro.core.errors import (
 from repro.core.shuffle import LazyShuffle, random_permutation_indices
 from repro.core.fenwick import FenwickTree
 from repro.core.order_tree import OrderedWeightTree
-from repro.core.dynamic import DynamicCQIndex, DynamicJoinForest
+from repro.core.dynamic import DynamicCQIndex, DynamicJoinForest, IndexSnapshot
 from repro.core.reduction import PreparedQuery, ReducedJoin, prepare_query, reduce_to_full_acyclic
 from repro.core.index import JoinForestIndex
 from repro.core.cq_index import CQIndex
 from repro.core.permutation import RandomPermutationEnumerator, random_order
 from repro.core.deletable import DeletableAnswerSet
 from repro.core.union_enum import UnionRandomEnumerator
-from repro.core.union_access import MCUCQIndex, UnionRandomAccess, enumerate_union
+from repro.core.union_access import (
+    MCUCQIndex,
+    UnionIndexSnapshot,
+    UnionRandomAccess,
+    enumerate_union,
+)
 from repro.core.counting import ucq_count, ucq_intersection_counts
 
 __all__ = [
@@ -47,6 +52,7 @@ __all__ = [
     "OrderedWeightTree",
     "DynamicCQIndex",
     "DynamicJoinForest",
+    "IndexSnapshot",
     "PreparedQuery",
     "ReducedJoin",
     "prepare_query",
@@ -58,6 +64,7 @@ __all__ = [
     "DeletableAnswerSet",
     "UnionRandomEnumerator",
     "MCUCQIndex",
+    "UnionIndexSnapshot",
     "UnionRandomAccess",
     "enumerate_union",
     "ucq_count",

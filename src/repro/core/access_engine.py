@@ -42,6 +42,8 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.database.relation import row_sort_key as _row_sort_key
+
 try:  # numpy ships with this environment (scipy depends on it); the sort
     import numpy as _np  # of a large batch is ~10× faster through argsort.
 except ImportError:  # pragma: no cover - exercised only without numpy
@@ -88,6 +90,94 @@ class BucketStore(Protocol):
     def iter_rows(self) -> Iterator[Tuple[tuple, int]]:
         """``(row, weight)`` pairs in enumeration order, zero-weight rows
         included (callers skip them)."""
+
+
+# ---------------------------------------------------------------------- #
+# Snapshot bucket store (lock-free reads over a frozen tree version)      #
+# ---------------------------------------------------------------------- #
+
+
+class SnapshotBucketStore:
+    """A read-only :class:`BucketStore` over one frozen treap version.
+
+    Wraps the root returned by
+    :meth:`~repro.core.order_tree.OrderedWeightTree.snapshot`: every node
+    reachable from it is immutable (the live tree path-copies around
+    frozen nodes), so all four engine walks can run against this store
+    with **zero synchronization** while a writer keeps mutating the live
+    bucket. Traversal is strictly root-down — parent pointers belong to
+    the live tree and are never read here.
+
+    Offsets resolve by the same order-statistic descent the live dynamic
+    bucket uses; ``rank_start`` replaces the live bucket's row → node
+    handle map (which the writer owns) with a key-guided descent: within
+    a bucket, equal sort keys imply equal rows, so the descent is
+    deterministic.
+    """
+
+    __slots__ = ("root", "total")
+
+    #: Frozen dynamic buckets hold zero-weight tombstones, so bucket-local
+    #: offsets are not row positions — the engine must locate.
+    unit_leaf = False
+
+    def __init__(self, root):
+        self.root = root
+        self.total = root.subtotal if root is not None else 0
+
+    def __len__(self) -> int:
+        count = 0
+        for __ in self.iter_rows():
+            count += 1
+        return count
+
+    def locate_run(self, offset: int) -> Tuple[tuple, int, int]:
+        if not 0 <= offset < self.total:
+            raise IndexError(f"offset {offset} outside [0, {self.total})")
+        node = self.root
+        start = 0
+        remaining = offset
+        while True:
+            left = node.left
+            left_total = left.subtotal if left is not None else 0
+            if remaining < left_total:
+                node = left
+                continue
+            remaining -= left_total
+            start += left_total
+            if remaining < node.weight:
+                return node.row, start, node.weight
+            remaining -= node.weight
+            start += node.weight
+            node = node.right
+
+    def rank_start(self, row: tuple) -> Optional[int]:
+        key = _row_sort_key(row)
+        node = self.root
+        start = 0
+        while node is not None:
+            left = node.left
+            if key < node.key:
+                node = left
+            elif node.key < key:
+                start += (left.subtotal if left is not None else 0) + node.weight
+                node = node.right
+            else:
+                if node.weight == 0 or node.row != row:
+                    return None  # dangling/tombstone (or, defensively, absent)
+                return start + (left.subtotal if left is not None else 0)
+        return None
+
+    def iter_rows(self) -> Iterator[Tuple[tuple, int]]:
+        stack: List[object] = []
+        node = self.root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.row, node.weight
+            node = node.right
 
 
 # ---------------------------------------------------------------------- #

@@ -43,6 +43,14 @@ Design notes
   that the mc-UCQ compatibility machinery of Section 5.2 relies on, which
   is what lets :class:`~repro.core.union_access.MCUCQIndex` members update
   in place under churn.
+* **Snapshot isolation.** Every mutation ends by *publishing* an
+  immutable :class:`IndexSnapshot` — per-bucket frozen treap versions
+  (see the snapshot notes in :mod:`repro.core.order_tree`) behind one
+  atomic reference swap. Readers pin ``forest.snapshot`` and traverse it
+  with zero synchronization while the single writer keeps going; a
+  pinned snapshot is mutually consistent across count / access / batch /
+  inverted access / enumeration, and publication is incremental (clean
+  buckets and clean subtrees are shared between versions).
 * Restriction to full queries is fundamental, not incidental: with
   existential variables, Proposition 4.2's projection step is only correct
   on globally consistent databases, and maintaining global consistency
@@ -91,18 +99,34 @@ class _DynamicBucket:
     support O(log) point updates, and offsets resolve by order-statistic
     descent. ``rank`` maps each row to its tree node (the handle carrying
     weight and multiplicity); ``tombstones`` counts multiplicity-0 rows.
+
+    :meth:`freeze` returns an immutable
+    :class:`~repro.core.access_engine.SnapshotBucketStore` over the
+    current tree version — memoized until the next mutation, so clean
+    buckets share one frozen view across many publishes. The tree's
+    ``on_clone`` hook keeps ``rank`` pointing at live nodes while the
+    write path path-copies around frozen spines.
     """
 
-    __slots__ = ("tree", "rank", "tombstones")
+    __slots__ = ("tree", "rank", "tombstones", "_frozen")
 
     #: Dynamic leaf buckets hold zero-weight tombstones, so bucket-local
     #: offsets are *not* row positions — the engine must locate.
     unit_leaf = False
 
     def __init__(self):
-        self.tree = OrderedWeightTree()
         self.rank: Dict[tuple, TreeRow] = {}
         self.tombstones = 0
+        self._frozen: Optional[access_engine.SnapshotBucketStore] = None
+        self._adopt(OrderedWeightTree())
+
+    def _adopt(self, tree: OrderedWeightTree) -> None:
+        """Take ownership of ``tree``: its clones re-point our handles."""
+        self.tree = tree
+        tree.on_clone = self._repoint
+
+    def _repoint(self, node: TreeRow) -> None:
+        self.rank[node.row] = node
 
     @classmethod
     def from_sorted_rows(
@@ -110,9 +134,16 @@ class _DynamicBucket:
     ) -> "_DynamicBucket":
         """Bulk-build from canonically sorted (row, weight, multiplicity)."""
         bucket = cls()
-        bucket.tree, nodes = OrderedWeightTree.from_sorted(entries)
+        tree, nodes = OrderedWeightTree.from_sorted(entries)
+        bucket._adopt(tree)
         bucket.rank = {node.row: node for node in nodes}
         return bucket
+
+    def freeze(self) -> access_engine.SnapshotBucketStore:
+        """The frozen view of the current version (memoized until dirtied)."""
+        if self._frozen is None:
+            self._frozen = access_engine.SnapshotBucketStore(self.tree.snapshot())
+        return self._frozen
 
     @property
     def total(self) -> int:
@@ -134,7 +165,15 @@ class _DynamicBucket:
     def iter_rows(self) -> Iterator[Tuple[tuple, int]]:
         return ((node.row, node.weight) for node in self.tree)
 
+    def set_weight(self, node: TreeRow, weight: int) -> TreeRow:
+        """Point weight update; returns the (possibly re-pointed) handle."""
+        if node.weight == weight:
+            return node
+        self._frozen = None
+        return self.tree.set_weight(node, weight)
+
     def add_row(self, row: tuple, weight: int, multiplicity: int) -> TreeRow:
+        self._frozen = None
         node = self.tree.insert_row(row, weight, multiplicity)
         self.rank[row] = node
         if multiplicity == 0:
@@ -145,6 +184,9 @@ class _DynamicBucket:
         """Bulk-add canonically sorted new ``(row, weight, multiplicity)``
         entries — one tree operation per batch, not per row (see
         :meth:`~repro.core.order_tree.OrderedWeightTree.insert_sorted`)."""
+        if not entries:
+            return
+        self._frozen = None
         for node in self.tree.insert_sorted(entries):
             self.rank[node.row] = node
             if node.multiplicity == 0:
@@ -152,8 +194,11 @@ class _DynamicBucket:
 
     def compact(self) -> None:
         """Rebuild without multiplicity-0 rows (weight ranges unchanged —
-        tombstones occupy empty ranges, so no reader can tell)."""
-        self.tree, nodes = self.tree.compacted()
+        tombstones occupy empty ranges, so no reader can tell). The old
+        tree is left intact for any snapshot still holding its root."""
+        self._frozen = None
+        tree, nodes = self.tree.compacted()
+        self._adopt(tree)
         self.rank = {node.row: node for node in nodes}
         self.tombstones = 0
 
@@ -233,7 +278,161 @@ class _DynamicNode:
         return weight
 
 
-class DynamicJoinForest:
+class EngineServingMixin:
+    """The engine-driven read surface over ``roots`` + ``head_variables``.
+
+    Shared by the live :class:`DynamicJoinForest` (writer-side reads) and
+    the immutable :class:`IndexSnapshot` (lock-free reader-side): both
+    expose the same forest-node protocol to
+    :mod:`repro.core.access_engine`, so count / access / batch / inverted
+    access / ordered and random-order enumeration are written once.
+    """
+
+    roots: Sequence
+    head_variables: Tuple[str, ...]
+
+    @property
+    def count(self) -> int:
+        return access_engine.forest_count(self.roots)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def access(self, index: int) -> tuple:
+        if index < 0 or index >= self.count:
+            raise OutOfBoundError(index, self.count)
+        assignment: Dict[str, object] = {}
+        access_engine.scalar_walk(self.roots, index, assignment)
+        return tuple(assignment[name] for name in self.head_variables)
+
+    def batch(self, indices: Sequence[int]) -> List[tuple]:
+        """The answers at ``indices`` — ``[self.access(i) for i in indices]``.
+
+        The request may be unsorted and contain duplicates; the result is
+        aligned with it. Amortized through the shared
+        :func:`~repro.core.access_engine.batch_walk`, exactly like
+        :meth:`~repro.core.index.JoinForestIndex.batch_access` — the only
+        difference is the bucket store (order-statistic descents instead
+        of binary searches, and no weight-1 leaf shortcut: dynamic leaf
+        buckets hold zero-weight tombstones). Raises
+        :class:`~repro.core.errors.OutOfBoundError` if any position is
+        outside ``[0, count)``, before resolving anything.
+        """
+        # Every slot is overwritten before returning (the bound check below
+        # is all-or-nothing), so placeholder empty tuples keep the element
+        # type honest.
+        out: List[tuple] = [()] * len(indices)
+        if not indices:
+            return out
+        count = self.count
+        if min(indices) < 0 or max(indices) >= count:
+            for index in indices:
+                if index < 0 or index >= count:
+                    raise OutOfBoundError(index, count)
+        acc: Dict[str, object] = {}
+        finish = access_engine.make_batch_finish(out, acc, self.head_variables)
+        access_engine.batch_walk(
+            self.roots, access_engine.sorted_items(indices), acc, finish
+        )
+        return out
+
+    def sample_many(self, k: int, rng: Optional[random.Random] = None) -> List[tuple]:
+        """The first ``min(k, count)`` draws of :meth:`random_order`.
+
+        Element-for-element (and randomness-for-randomness) equal to ``k``
+        sequential draws from a seeded
+        :class:`~repro.core.permutation.RandomPermutationEnumerator`; the
+        positions come from one vectorized
+        :meth:`~repro.core.shuffle.LazyShuffle.take`, then a single batched
+        access serves them all. Draws are without replacement.
+        """
+        from repro.core.shuffle import LazyShuffle
+
+        positions = LazyShuffle(self.count, rng).take(k)
+        return self.batch(positions)
+
+    def random_order(self, rng: Optional[random.Random] = None):
+        """REnum over this version's contents: answers in uniform random
+        order. Over an :class:`IndexSnapshot` the stream is immune to
+        concurrent writes; over the live forest, mutate-while-consuming
+        has container-resize semantics — pin a snapshot instead.
+        """
+        from repro.core.permutation import RandomPermutationEnumerator
+
+        return iter(RandomPermutationEnumerator(self, rng=rng))
+
+    def ensure_inverted_support(self) -> None:
+        """No-op: dynamic buckets keep their rank support up to date.
+
+        Present for interface parity with
+        :meth:`~repro.core.cq_index.CQIndex.ensure_inverted_support`, so
+        service-layer callers need not special-case the backing index.
+        """
+
+    def inverted_access(self, answer: tuple) -> Optional[int]:
+        if len(answer) != len(self.head_variables) or self.count == 0:
+            return None
+        assignment = dict(zip(self.head_variables, answer))
+        return access_engine.inverted_walk(self.roots, assignment)
+
+    def __contains__(self, answer: tuple) -> bool:
+        """Membership test via inverted access (the paper's ``Test``)."""
+        return self.inverted_access(tuple(answer)) is not None
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Enumerate in index order — the canonical global order."""
+        if self.count == 0:
+            return
+        head = self.head_variables
+        for assignment in access_engine.enumerate_walk(self.roots):
+            yield tuple(assignment[name] for name in head)
+
+
+class _SnapshotNode:
+    """One frozen join-forest node: the engine's node protocol over
+    immutable :class:`~repro.core.access_engine.SnapshotBucketStore`
+    buckets. Clean nodes (no dirty bucket, unchanged children) are shared
+    between consecutive snapshots."""
+
+    __slots__ = ("columns", "children", "child_key_positions", "buckets")
+
+    def __init__(self, columns, children, child_key_positions, buckets):
+        self.columns = columns
+        self.children = children
+        self.child_key_positions = child_key_positions
+        self.buckets = buckets
+
+    def child_bucket_key(self, row: tuple, child_position: int) -> tuple:
+        return tuple(row[p] for p in self.child_key_positions[child_position])
+
+
+class IndexSnapshot(EngineServingMixin):
+    """One published, immutable version of a dynamic index.
+
+    The lock-free read surface: a writer publishes a snapshot with a
+    single atomic reference swap at the end of every mutation
+    (:attr:`DynamicJoinForest.snapshot`), and any number of readers
+    traverse it concurrently — count, access, batch, inverted access,
+    sampling, random-order and in-order enumeration all run against the
+    pinned version with zero synchronization, mutually consistent, while
+    the writer keeps mutating the live structure. ``version`` is the
+    forest-local publish sequence number.
+    """
+
+    #: Snapshots are read-only; the service must never route writes here.
+    supports_updates = False
+
+    def __init__(self, roots, head_variables: Tuple[str, ...], version: int):
+        self.roots = roots
+        self.head_variables = head_variables
+        self.version = version
+
+    def __repr__(self) -> str:
+        return (f"IndexSnapshot(version={self.version}, "
+                f"count={self.count})")
+
+
+class DynamicJoinForest(EngineServingMixin):
     """A maintained Theorem 4.3 structure over a reduced full acyclic join.
 
     The core the query-level :class:`DynamicCQIndex` and the mc-UCQ
@@ -269,12 +468,21 @@ class DynamicJoinForest:
         self.on_presence_change = on_presence_change
         self.compact_fraction = compact_fraction
         self.compactions = 0
+        #: Snapshot publications performed (also the version stamp of the
+        #: latest :class:`IndexSnapshot`).
+        self.publishes = 0
         #: Nodes in preorder; a node's index here is its shape position.
         self.nodes: List[_DynamicNode] = []
         self._by_atom: Dict[int, _DynamicNode] = {}
+        # (shape position, bucket key) pairs touched since the last
+        # publish, and the published-version plumbing they feed.
+        self._dirty: set = set()
+        self._snapshot: Optional[IndexSnapshot] = None
+        self._snapshot_nodes: Optional[List[Optional[_SnapshotNode]]] = None
         self.roots: List[_DynamicNode] = [
             self._build(root, None) for root in reduced.roots
         ]
+        self._publish()
 
     # ------------------------------------------------------------------ #
     # Construction                                                        #
@@ -337,6 +545,7 @@ class DynamicJoinForest:
         """
         if self.presence(shape_position, row) != present:
             self._apply(self.nodes[shape_position], row, +1 if present else -1)
+            self._publish()
 
     def set_rows_presence(
         self, changes: Sequence[Tuple[int, tuple, bool]]
@@ -418,6 +627,7 @@ class DynamicJoinForest:
                 )
                 if changed:
                     dirty.setdefault(position, set()).add(key)
+        self._publish()
         for shape_position, row, present in transitions:
             self._notify(self.nodes[shape_position], row, present)
 
@@ -443,6 +653,7 @@ class DynamicJoinForest:
                 # Pure no-op deletes: like _apply, never allocate a bucket.
                 return False
             bucket = node.buckets[key] = _DynamicBucket()
+        self._mark_dirty(node, key)
         old_total = bucket.total
         touched = set(recompute)
         fresh: List[Tuple[tuple, int]] = []
@@ -470,7 +681,7 @@ class DynamicJoinForest:
             if handle is None:
                 continue  # compacted away between collection and now
             weight = node.own_weight(row) if handle.multiplicity > 0 else 0
-            bucket.tree.set_weight(handle, weight)
+            bucket.set_weight(handle, weight)
         if fresh:
             fresh.sort(key=lambda entry: row_sort_key(entry[0]))
             bucket.bulk_insert(
@@ -497,6 +708,7 @@ class DynamicJoinForest:
             if bucket is None:
                 bucket = node.buckets[key] = _DynamicBucket()
             old_total = bucket.total
+            self._mark_dirty(node, key)
             bucket.add_row(row, node.own_weight(row), delta)
             node.register_row(key, row)
             self._notify(node, row, True)
@@ -516,7 +728,8 @@ class DynamicJoinForest:
             bucket.tombstones -= 1
 
         old_total = bucket.total
-        bucket.tree.set_weight(handle, node.own_weight(row) if now_present else 0)
+        self._mark_dirty(node, key)
+        bucket.set_weight(handle, node.own_weight(row) if now_present else 0)
         changed = bucket.total != old_total
         if was_present != now_present:
             self._notify(node, row, now_present)
@@ -568,7 +781,8 @@ class DynamicJoinForest:
             new_weight = parent.own_weight(row) if handle.multiplicity > 0 else 0
             if new_weight != handle.weight:
                 before = bucket.total
-                bucket.tree.set_weight(handle, new_weight)
+                self._mark_dirty(parent, parent_key)
+                bucket.set_weight(handle, new_weight)
                 if bucket.total != before:
                     changed_parent_keys.add(parent_key)
         if dead:
@@ -577,104 +791,84 @@ class DynamicJoinForest:
             self._propagate(parent, parent_key)
 
     # ------------------------------------------------------------------ #
-    # Queries (engine-driven serving surface)                             #
+    # Snapshot publication (lock-free reads)                              #
     # ------------------------------------------------------------------ #
+    # The engine-driven read surface itself comes from EngineServingMixin
+    # (writer-side reads over the live buckets); readers that must not
+    # block on the single writer pin `self.snapshot` instead.
 
     @property
-    def count(self) -> int:
-        return access_engine.forest_count(self.roots)
+    def snapshot(self) -> IndexSnapshot:
+        """The latest published :class:`IndexSnapshot` (atomic read).
 
-    def __len__(self) -> int:
-        return self.count
-
-    def access(self, index: int) -> tuple:
-        if index < 0 or index >= self.count:
-            raise OutOfBoundError(index, self.count)
-        assignment: Dict[str, object] = {}
-        access_engine.scalar_walk(self.roots, index, assignment)
-        return tuple(assignment[name] for name in self.head_variables)
-
-    def batch(self, indices: Sequence[int]) -> List[tuple]:
-        """The answers at ``indices`` — ``[self.access(i) for i in indices]``.
-
-        The request may be unsorted and contain duplicates; the result is
-        aligned with it. Amortized through the shared
-        :func:`~repro.core.access_engine.batch_walk`, exactly like
-        :meth:`~repro.core.index.JoinForestIndex.batch_access` — the only
-        difference is the bucket store (order-statistic descents instead
-        of binary searches, and no weight-1 leaf shortcut: dynamic leaf
-        buckets hold zero-weight tombstones). Raises
-        :class:`~repro.core.errors.OutOfBoundError` if any position is
-        outside ``[0, count)``, before resolving anything.
+        Publication is a single reference swap at the end of every
+        mutation, so this property always returns a complete, internally
+        consistent version — mid-batch it is the pre-batch version.
         """
-        # Every slot is overwritten before returning (the bound check below
-        # is all-or-nothing), so placeholder empty tuples keep the element
-        # type honest.
-        out: List[tuple] = [()] * len(indices)
-        if not indices:
-            return out
-        count = self.count
-        if min(indices) < 0 or max(indices) >= count:
-            for index in indices:
-                if index < 0 or index >= count:
-                    raise OutOfBoundError(index, count)
-        acc: Dict[str, object] = {}
-        finish = access_engine.make_batch_finish(out, acc, self.head_variables)
-        access_engine.batch_walk(
-            self.roots, access_engine.sorted_items(indices), acc, finish
-        )
-        return out
+        return self._snapshot
 
-    def sample_many(self, k: int, rng: Optional[random.Random] = None) -> List[tuple]:
-        """The first ``min(k, count)`` draws of :meth:`random_order`.
+    def _mark_dirty(self, node: "_DynamicNode", key: tuple) -> None:
+        """Remember that a bucket was touched since the last publish."""
+        self._dirty.add((node.shape_position, key))
 
-        Element-for-element (and randomness-for-randomness) equal to ``k``
-        sequential draws from a seeded
-        :class:`~repro.core.permutation.RandomPermutationEnumerator`; the
-        positions come from one vectorized
-        :meth:`~repro.core.shuffle.LazyShuffle.take`, then a single batched
-        access serves them all. Draws are without replacement.
+    def _publish(self) -> IndexSnapshot:
+        """Publish the current version as an immutable snapshot.
+
+        Incremental: only buckets touched since the last publish are
+        re-frozen (an O(1) treap-epoch bump each), untouched buckets share
+        their existing frozen view, and clean subtrees share their whole
+        snapshot node. The new snapshot becomes visible to readers via
+        one atomic attribute swap at the very end.
         """
-        from repro.core.shuffle import LazyShuffle
+        if self._snapshot is not None and not self._dirty:
+            return self._snapshot
+        changed: Dict[int, set] = {}
+        for position, key in self._dirty:
+            changed.setdefault(position, set()).add(key)
+        self._dirty.clear()
+        old_nodes = self._snapshot_nodes
+        new_nodes: List[Optional[_SnapshotNode]] = [None] * len(self.nodes)
 
-        positions = LazyShuffle(self.count, rng).take(k)
-        return self.batch(positions)
+        def rebuild(live: _DynamicNode) -> _SnapshotNode:
+            position = live.shape_position
+            previous = old_nodes[position] if old_nodes is not None else None
+            children = tuple(rebuild(child) for child in live.children)
+            dirty_keys = changed.get(position)
+            if previous is not None:
+                buckets = previous.buckets
+                mutated = False
+                if dirty_keys:
+                    for key in dirty_keys:
+                        bucket = live.buckets.get(key)
+                        if bucket is None:
+                            continue  # marked, but never actually allocated
+                        frozen = bucket.freeze()
+                        if buckets.get(key) is not frozen:
+                            if not mutated:
+                                buckets = dict(buckets)
+                                mutated = True
+                            buckets[key] = frozen
+                if not mutated and all(
+                    c is p for c, p in zip(children, previous.children)
+                ):
+                    new_nodes[position] = previous
+                    return previous
+            else:
+                buckets = {
+                    key: bucket.freeze() for key, bucket in live.buckets.items()
+                }
+            node = _SnapshotNode(
+                live.columns, children, live.child_key_positions, buckets
+            )
+            new_nodes[position] = node
+            return node
 
-    def random_order(self, rng: Optional[random.Random] = None):
-        """REnum over the *current* contents: answers in uniform random order.
-
-        The iterator snapshots nothing — mutating the index mid-iteration
-        has undefined results, like resizing any container under iteration.
-        """
-        from repro.core.permutation import RandomPermutationEnumerator
-
-        return iter(RandomPermutationEnumerator(self, rng=rng))
-
-    def ensure_inverted_support(self) -> None:
-        """No-op: dynamic buckets keep their rank tables up to date.
-
-        Present for interface parity with
-        :meth:`~repro.core.cq_index.CQIndex.ensure_inverted_support`, so
-        service-layer callers need not special-case the backing index.
-        """
-
-    def inverted_access(self, answer: tuple) -> Optional[int]:
-        if len(answer) != len(self.head_variables) or self.count == 0:
-            return None
-        assignment = dict(zip(self.head_variables, answer))
-        return access_engine.inverted_walk(self.roots, assignment)
-
-    def __contains__(self, answer: tuple) -> bool:
-        """Membership test via inverted access (the paper's ``Test``)."""
-        return self.inverted_access(tuple(answer)) is not None
-
-    def __iter__(self) -> Iterator[tuple]:
-        """Enumerate in index order — the canonical global order."""
-        if self.count == 0:
-            return
-        head = self.head_variables
-        for assignment in access_engine.enumerate_walk(self.roots):
-            yield tuple(assignment[name] for name in head)
+        roots = [rebuild(root) for root in self.roots]
+        self._snapshot_nodes = new_nodes
+        self.publishes += 1
+        snapshot = IndexSnapshot(roots, self.head_variables, self.publishes)
+        self._snapshot = snapshot  # the atomic publication point
+        return snapshot
 
 
 class DynamicCQIndex(DynamicJoinForest):
@@ -742,11 +936,17 @@ class DynamicCQIndex(DynamicJoinForest):
     # ------------------------------------------------------------------ #
 
     def insert(self, relation: str, row: tuple) -> None:
-        """Insert a base fact; all atom occurrences of the relation update."""
+        """Insert a base fact; all atom occurrences of the relation update.
+
+        Publishes a fresh :class:`IndexSnapshot` once the structure is
+        fully consistent again, so concurrent snapshot readers never see
+        the mutation half-applied.
+        """
         for atom_index in self._routes.get(relation, ()):
             normalized = self._normalize(atom_index, row)
             if normalized is not None:
                 self._apply(self._by_atom[atom_index], normalized, +1)
+        self._publish()
 
     def delete(self, relation: str, row: tuple) -> None:
         """Delete a base fact (no-op for facts that were never inserted)."""
@@ -754,6 +954,7 @@ class DynamicCQIndex(DynamicJoinForest):
             normalized = self._normalize(atom_index, row)
             if normalized is not None:
                 self._apply(self._by_atom[atom_index], normalized, -1)
+        self._publish()
 
     def apply_delta(self, delta) -> None:
         """Absorb a whole write batch in one maintenance pass.

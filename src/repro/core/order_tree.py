@@ -42,12 +42,37 @@ the tree without tombstones once they dominate.
 Priorities come from a module-level seeded PRNG, so tree shapes — and
 therefore performance, though never enumeration order, which is fixed by
 the keys — are reproducible across runs.
+
+Snapshot isolation (persistence on the write path)
+--------------------------------------------------
+:meth:`OrderedWeightTree.snapshot` freezes the current tree in O(1): it
+returns the root and bumps the tree's *epoch*. Every node carries the
+epoch it was created in (``stamp``); a mutation may only edit nodes
+stamped with the current epoch, so after a snapshot the write path
+**path-copies** the O(log n) spine from the root down to the touched node
+instead of editing shared nodes in place. A frozen root therefore denotes
+an immutable tree version: its ``left``/``right``/``key``/``row``/
+``weight``/``subtotal`` fields never change again, and readers can
+traverse it with zero synchronization while the writer keeps mutating the
+live tree (see :class:`~repro.core.access_engine.SnapshotBucketStore`).
+
+Two deliberate exceptions keep the write path cheap, both invisible to
+snapshot readers (who navigate root-down and never read these fields):
+
+* ``parent`` pointers always describe the **live** tree — cloning a node
+  re-points its (possibly shared) children's parents at the clone;
+* ``multiplicity`` is writer bookkeeping (tombstone accounting) and may
+  be adjusted in place on a shared node.
+
+Handles churn under path copying: a clone replaces the original node in
+the live tree, so the owning bucket re-points its row → node map through
+the :attr:`OrderedWeightTree.on_clone` callback.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.database.relation import row_sort_key
 
@@ -82,12 +107,16 @@ class TreeRow:
     ``weight`` is the Algorithm-2 weight ``w(t)`` (0 for dangling rows and
     tombstones); ``multiplicity`` counts the base facts normalizing to the
     row (0 marks a tombstone). ``subtotal`` caches the subtree weight sum.
+    ``stamp`` is the tree epoch the node was created (or cloned) in — a
+    node whose stamp trails the tree's current epoch is frozen into at
+    least one snapshot and must be path-copied before mutation.
     """
 
     __slots__ = ("row", "key", "weight", "multiplicity", "priority",
-                 "left", "right", "parent", "subtotal")
+                 "left", "right", "parent", "subtotal", "stamp")
 
-    def __init__(self, row: tuple, weight: int, multiplicity: int, priority: float):
+    def __init__(self, row: tuple, weight: int, multiplicity: int,
+                 priority: float, stamp: int = 0):
         self.row = row
         self.key = row_sort_key(row)
         self.weight = weight
@@ -97,6 +126,7 @@ class TreeRow:
         self.right: Optional["TreeRow"] = None
         self.parent: Optional["TreeRow"] = None
         self.subtotal = weight
+        self.stamp = stamp
 
     def __repr__(self) -> str:
         return (f"TreeRow({self.row!r}, weight={self.weight}, "
@@ -108,13 +138,23 @@ def _subtotal_of(node: Optional[TreeRow]) -> int:
 
 
 class OrderedWeightTree:
-    """A treap over rows in canonical order, augmented with weight sums."""
+    """A treap over rows in canonical order, augmented with weight sums.
 
-    __slots__ = ("root", "size")
+    Mutations are persistent with respect to outstanding snapshots: after
+    :meth:`snapshot`, the write path copies the spine it touches (see the
+    module notes). ``on_clone``, when set, is called with every clone so
+    the owning bucket can re-point its row → node handle map.
+    """
+
+    __slots__ = ("root", "size", "epoch", "on_clone")
 
     def __init__(self):
         self.root: Optional[TreeRow] = None
         self.size = 0
+        #: Current write epoch; nodes stamped earlier are frozen.
+        self.epoch = 0
+        #: Optional clone observer: ``on_clone(new_node)``.
+        self.on_clone: Optional[Callable[[TreeRow], None]] = None
 
     # ------------------------------------------------------------------ #
     # Construction                                                        #
@@ -245,18 +285,101 @@ class OrderedWeightTree:
             node = node.right
 
     # ------------------------------------------------------------------ #
+    # Snapshots (persistence)                                             #
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Optional[TreeRow]:
+        """Freeze the current tree version in O(1); returns its root.
+
+        Bumps the epoch, so every node reachable from the returned root is
+        immutable from now on (later mutations path-copy their spines —
+        see the module notes). The returned root may be ``None`` for an
+        empty tree.
+        """
+        self.epoch += 1
+        return self.root
+
+    def _clone(self, node: TreeRow) -> TreeRow:
+        """A current-epoch copy of ``node`` (pointers copied verbatim)."""
+        copy = TreeRow.__new__(TreeRow)
+        copy.row = node.row
+        copy.key = node.key
+        copy.weight = node.weight
+        copy.multiplicity = node.multiplicity
+        copy.priority = node.priority
+        copy.left = node.left
+        copy.right = node.right
+        copy.parent = node.parent
+        copy.subtotal = node.subtotal
+        copy.stamp = self.epoch
+        return copy
+
+    def _own_child(self, parent: Optional[TreeRow], node: TreeRow) -> TreeRow:
+        """``node``, made safe to mutate in the current epoch.
+
+        ``parent`` must already be owned (or ``None`` for the root): a
+        frozen ``node`` is cloned, the clone replaces it under ``parent``,
+        and the (possibly shared) children's parent pointers are re-aimed
+        at the clone — parent pointers describe the live tree only.
+        """
+        if node.stamp == self.epoch:
+            return node
+        clone = self._clone(node)
+        if parent is None:
+            self.root = clone
+        elif parent.left is node:
+            parent.left = clone
+        else:
+            parent.right = clone
+        clone.parent = parent
+        if clone.left is not None:
+            clone.left.parent = clone
+        if clone.right is not None:
+            clone.right.parent = clone
+        if self.on_clone is not None:
+            self.on_clone(clone)
+        return clone
+
+    def _owned(self, node: TreeRow) -> TreeRow:
+        """An owned version of ``node``, path-copying its frozen spine.
+
+        Ownership is always established root-down, so an owned node's
+        ancestors are owned too — the fast path is one stamp compare.
+        """
+        if node.stamp == self.epoch:
+            return node
+        chain = [node]
+        current = node.parent
+        while current is not None:
+            chain.append(current)
+            current = current.parent
+        owned: Optional[TreeRow] = None
+        for current in reversed(chain):
+            owned = self._own_child(owned, current)
+        return owned
+
+    # ------------------------------------------------------------------ #
     # Updates                                                             #
     # ------------------------------------------------------------------ #
 
-    def set_weight(self, node: TreeRow, weight: int) -> None:
-        """Set one row's weight; ancestor sums adjust along the parent chain."""
+    def set_weight(self, node: TreeRow, weight: int) -> TreeRow:
+        """Set one row's weight; ancestor sums adjust along the parent chain.
+
+        Returns the (possibly cloned) node carrying the new weight — under
+        snapshot isolation the handle may change, and callers tracking
+        handles must keep the returned one (``on_clone`` fires for every
+        spine clone as well).
+        """
         delta = weight - node.weight
         if delta == 0:
-            return
+            return node
+        node = self._owned(node)
         node.weight = weight
-        while node is not None:
-            node.subtotal += delta
-            node = node.parent
+        current: Optional[TreeRow] = node
+        while current is not None:
+            current.subtotal += delta
+            current = current.parent
+        return node
 
     def insert_row(self, row: tuple, weight: int, multiplicity: int) -> TreeRow:
         """Insert a new row at its canonical sort position (expected O(log)).
@@ -264,28 +387,30 @@ class OrderedWeightTree:
         The caller guarantees ``row`` is not already present (buckets keep
         a row → node map and call :meth:`set_weight` for known rows).
         """
-        node = TreeRow(row, weight, multiplicity, _PRIORITIES.random())
+        node = TreeRow(row, weight, multiplicity, _PRIORITIES.random(), self.epoch)
         self.size += 1
         if self.root is None:
             self.root = node
             return node
-        # BST descent to the leaf position, bumping subtree sums on the way.
+        # BST descent to the leaf position, owning the spine and bumping
+        # subtree sums on the way.
         key = node.key
-        current = self.root
+        current = self._own_child(None, self.root)
         while True:
             current.subtotal += weight
             if key < current.key:
                 if current.left is None:
                     current.left = node
                     break
-                current = current.left
+                current = self._own_child(current, current.left)
             else:
                 if current.right is None:
                     current.right = node
                     break
-                current = current.right
+                current = self._own_child(current, current.right)
         node.parent = current
-        # Rotate up while the heap invariant is violated.
+        # Rotate up while the heap invariant is violated (the rotation
+        # only mutates the new node and its owned spine).
         while node.parent is not None and node.priority > node.parent.priority:
             self._rotate_up(node)
         return node
@@ -328,9 +453,10 @@ class OrderedWeightTree:
         rows is already present. Small batches fall back to individual
         treap inserts (expected O(k log n)); batches comparable to the
         tree size merge the new nodes with the existing in-order sequence
-        and rebuild in O(n + k) via :meth:`_over_nodes` — existing
-        ``TreeRow`` objects are reused, so outstanding handles stay valid
-        either way.
+        and rebuild in O(n + k) via :meth:`_over_nodes` — current-epoch
+        ``TreeRow`` objects are reused (outstanding handles stay valid),
+        while nodes frozen into a snapshot are cloned first (``on_clone``
+        fires for each, so handle maps follow).
         """
         k = len(entries)
         if k == 0:
@@ -341,8 +467,9 @@ class OrderedWeightTree:
                 self.insert_row(row, weight, multiplicity)
                 for row, weight, multiplicity in entries
             ]
+        epoch = self.epoch
         new_nodes = [
-            TreeRow(row, weight, multiplicity, 0.0)
+            TreeRow(row, weight, multiplicity, 0.0, epoch)
             for row, weight, multiplicity in entries
         ]
         merged: List[TreeRow] = []
@@ -352,6 +479,12 @@ class OrderedWeightTree:
             while pending is not None and pending.key < node.key:
                 merged.append(pending)
                 pending = next(fresh, None)
+            if node.stamp != epoch:
+                # Frozen into a snapshot: the rebuild below overwrites
+                # every pointer and priority, so it must work on a copy.
+                node = self._clone(node)
+                if self.on_clone is not None:
+                    self.on_clone(node)
             merged.append(node)
         if pending is not None:
             merged.append(pending)

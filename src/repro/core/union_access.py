@@ -161,10 +161,21 @@ class UnionRandomAccess:
         ``S_ℓ``'s, keyed by ``(ℓ, frozenset(I))``.
     """
 
-    def __init__(self, members: Sequence, intersections: Dict[Tuple[int, FrozenSet[int]], object]):
+    def __init__(
+        self,
+        members: Sequence,
+        intersections: Dict[Tuple[int, FrozenSet[int]], object],
+        tables: Optional[Tuple[List[int], List[int]]] = None,
+    ):
         self.members = list(members)
         self.intersections = intersections
-        self.refresh()
+        if tables is not None:
+            # Adopt already-computed (overlap, suffix-count) tables — the
+            # snapshot path reuses the live union's fresh refresh instead
+            # of recomputing the O(m·2^m) inclusion–exclusion sums.
+            self._overlap, self._suffix_count = tables
+        else:
+            self.refresh()
 
     def refresh(self) -> None:
         """Recompute the cached member/intersection counts.
@@ -290,6 +301,107 @@ def enumerate_union(members: Sequence) -> Iterator[tuple]:
 
 
 # ---------------------------------------------------------------------- #
+# Snapshot publication (lock-free reads over the whole 2^m family)        #
+# ---------------------------------------------------------------------- #
+
+
+def _batch_union(union: UnionRandomAccess, count: int, indices: Sequence[int]) -> List[tuple]:
+    """The union answers at ``indices``, aligned with the request.
+
+    Shared by :meth:`MCUCQIndex.batch` and
+    :meth:`UnionIndexSnapshot.batch`. The union walk has no per-position
+    prefix to share (each access re-runs the inclusion–exclusion rank
+    searches), so the batch win is deduplication plus a sorted walk: each
+    *distinct* position is resolved once, in ascending order, which keeps
+    the member indexes' bucket walks cache-friendly. Raises
+    :class:`~repro.core.errors.OutOfBoundError` on any position outside
+    ``[0, count)`` before resolving anything.
+    """
+    # Every slot is overwritten before returning (the bound check below is
+    # all-or-nothing), so placeholder empty tuples keep the element type
+    # honest without a List[Optional[tuple]] false positive.
+    out: List[tuple] = [()] * len(indices)
+    if not indices:
+        return out
+    for index in indices:
+        if index < 0 or index >= count:
+            raise OutOfBoundError(index, count)
+    access = union.access
+    resolved: Dict[int, tuple] = {}
+    for slot in sorted(range(len(indices)), key=indices.__getitem__):
+        index = indices[slot]
+        answer = resolved.get(index)
+        if answer is None:
+            answer = resolved[index] = access(index)
+        out[slot] = answer
+    return out
+
+
+class UnionIndexSnapshot:
+    """One published, immutable version of a dynamic mc-UCQ index.
+
+    Holds the pinned :class:`~repro.core.dynamic.IndexSnapshot` of every
+    member and every ``T_{ℓ,I}`` intersection — all published by the same
+    write batch — plus a :class:`UnionRandomAccess` whose overlap and
+    suffix-count tables were computed once from those frozen counts.
+    Every read (count, access, batch, sampling, Durand–Strozecki
+    enumeration, random order) therefore runs against one mutually
+    consistent version of the whole 2^m family with zero synchronization,
+    while the single writer keeps patching the live index.
+
+    Like the live :class:`MCUCQIndex`, the union surface offers no
+    inverted access.
+    """
+
+    #: Snapshots are read-only; the service must never route writes here.
+    supports_updates = False
+
+    def __init__(
+        self,
+        members: Sequence,
+        intersections: Dict[Tuple[int, FrozenSet[int]], object],
+        head_variables: Tuple[str, ...],
+        version: int,
+        tables: Optional[Tuple[List[int], List[int]]] = None,
+    ):
+        self.member_snapshots = list(members)
+        self.intersection_snapshots = dict(intersections)
+        self.head_variables = head_variables
+        self.version = version
+        self._union = UnionRandomAccess(
+            self.member_snapshots, self.intersection_snapshots, tables=tables
+        )
+
+    @property
+    def count(self) -> int:
+        return self._union.count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def access(self, index: int) -> tuple:
+        return self._union.access(index)
+
+    def batch(self, indices: Sequence[int]) -> List[tuple]:
+        return _batch_union(self._union, self.count, indices)
+
+    def sample_many(self, k: int, rng: Optional[random.Random] = None) -> List[tuple]:
+        return self.batch(LazyShuffle(self.count, rng).take(k))
+
+    def __iter__(self) -> Iterator[tuple]:
+        return enumerate_union(self.member_snapshots)
+
+    def random_order(self, rng: Optional[random.Random] = None) -> Iterator[tuple]:
+        shuffle = LazyShuffle(self.count, rng)
+        for position in shuffle:
+            yield self.access(position)
+
+    def __repr__(self) -> str:
+        return (f"UnionIndexSnapshot(version={self.version}, "
+                f"count={self.count})")
+
+
+# ---------------------------------------------------------------------- #
 # The public mc-UCQ index (Theorem 5.5, REnum(mcUCQ))                     #
 # ---------------------------------------------------------------------- #
 
@@ -354,6 +466,12 @@ class MCUCQIndex:
         else:
             self._build_static(database)
         self._union = UnionRandomAccess(self.member_indexes, self.intersection_indexes)
+        #: Published union snapshots (dynamic mode only; also the version
+        #: stamp of the latest :class:`UnionIndexSnapshot`).
+        self.publishes = 0
+        self._snapshot: Optional[UnionIndexSnapshot] = None
+        if dynamic:
+            self._publish()
 
     def _build_static(self, database: Database) -> None:
         ucq = self.ucq
@@ -493,6 +611,7 @@ class MCUCQIndex:
         # Counts changed: the union's digit bases must be recomputed before
         # the next access.
         self._union.refresh()
+        self._publish()
 
     def apply_delta(self, delta) -> None:
         """Absorb a whole write batch across the 2^m index family with
@@ -535,6 +654,47 @@ class MCUCQIndex:
                 )
             ])
         self._union.refresh()
+        self._publish()
+
+    # ------------------------------------------------------------------ #
+    # Snapshot publication (dynamic mode)                                 #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def snapshot(self) -> Optional[UnionIndexSnapshot]:
+        """The latest published :class:`UnionIndexSnapshot` (atomic read).
+
+        ``None`` for a static index — a static union is immutable and
+        *is* its own consistent version. Mid-mutation this property still
+        returns the pre-mutation snapshot: members and intersections
+        publish their own forest snapshots as they absorb the write, but
+        the union version flips only at the final reference swap, after
+        ``UnionRandomAccess.refresh()``.
+        """
+        return self._snapshot
+
+    def _publish(self) -> UnionIndexSnapshot:
+        """Pin every member/intersection snapshot into one union version.
+
+        Runs right after ``self._union.refresh()``, and the snapshots
+        being pinned carry exactly the counts that refresh read — so the
+        just-computed overlap/suffix tables are handed to the snapshot
+        instead of being recomputed (``refresh`` rebinds fresh lists each
+        time, so sharing them is safe).
+        """
+        self.publishes += 1
+        snapshot = UnionIndexSnapshot(
+            [member.snapshot for member in self.member_indexes],
+            {
+                key: forest.snapshot
+                for key, forest in self.intersection_indexes.items()
+            },
+            self.head_variables,
+            self.publishes,
+            tables=(self._union._overlap, self._union._suffix_count),
+        )
+        self._snapshot = snapshot  # the atomic publication point
+        return snapshot
 
     @property
     def count(self) -> int:
@@ -554,34 +714,11 @@ class MCUCQIndex:
     def batch(self, indices: Sequence[int]) -> List[tuple]:
         """The union answers at ``indices``, aligned with the request.
 
-        Equal to ``[self.access(i) for i in indices]``. Unlike the CQ
-        index, the union walk has no per-position prefix to share (each
-        access re-runs the inclusion–exclusion rank searches), so the batch
-        win here is deduplication plus a sorted walk: each *distinct*
-        position is resolved once, in ascending order, which keeps the
-        member indexes' bucket walks cache-friendly. Raises
-        :class:`~repro.core.errors.OutOfBoundError` on any position outside
-        ``[0, count)`` before resolving anything.
+        Equal to ``[self.access(i) for i in indices]`` — see
+        :func:`_batch_union` for the dedup-and-sort amortization shared
+        with :class:`UnionIndexSnapshot`.
         """
-        # Every slot is overwritten before returning (the bound check below
-        # is all-or-nothing), so placeholder empty tuples keep the element
-        # type honest without a List[Optional[tuple]] false positive.
-        out: List[tuple] = [()] * len(indices)
-        if not indices:
-            return out
-        count = self.count
-        for index in indices:
-            if index < 0 or index >= count:
-                raise OutOfBoundError(index, count)
-        access = self._union.access
-        resolved: Dict[int, tuple] = {}
-        for slot in sorted(range(len(indices)), key=indices.__getitem__):
-            index = indices[slot]
-            answer = resolved.get(index)
-            if answer is None:
-                answer = resolved[index] = access(index)
-            out[slot] = answer
-        return out
+        return _batch_union(self._union, self.count, indices)
 
     def sample_many(self, k: int, rng: Optional[random.Random] = None) -> List[tuple]:
         """The first ``min(k, count)`` draws of :meth:`random_order`.

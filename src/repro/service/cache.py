@@ -166,20 +166,21 @@ class IndexCache:
         return entry
 
     def lock_for(self, key) -> threading.Lock:
-        """The per-entry write lock for ``key``, created on first use.
+        """The per-entry **writer-writer** lock for ``key``, created on
+        first use.
 
-        The service's minimal write safety: a mutation applying a delta to
-        an update-in-place entry holds this lock, and readers of the same
-        *dynamic* entry acquire it around their access — so a reader can
-        never interleave an order-statistic descent with a writer's weight
-        propagation (single-writer, coarse-grained; epoch-based snapshots
-        for lock-free reads remain future work). The lock object follows
-        the entry through :meth:`rekey`; because a re-key abandons the old
-        key (and a lock minted for an abandoned key synchronizes with
-        nobody), readers must re-validate that the entry is still cached
-        under the key after fetching its lock — see
-        ``QueryService._entry``'s resolve loop. Static entries are never
-        mutated in place and take no lock.
+        Mutations applying a delta to an update-in-place entry hold this
+        lock so two concurrent ``apply`` calls cannot interleave their
+        maintenance passes. Readers do *not* take it: they read the
+        entry's published snapshot (an atomic reference swap at the end of
+        each mutation), so a pagination or sampling read proceeds
+        wait-free while a writer holds the entry mid-burst. The lock
+        object follows the entry through :meth:`rekey`; because a re-key
+        abandons the old key (and a lock minted for an abandoned key
+        synchronizes with nobody), any locking caller must re-validate
+        that the entry is still cached under the key after fetching its
+        lock — see ``QueryService._read_view``'s legacy fallback. Static
+        entries are never mutated in place and take no lock.
         """
         # setdefault is atomic under the GIL: two threads racing the first
         # use of a key agree on one lock (a plain get-then-set here would

@@ -1,4 +1,4 @@
-"""The ``Cursor``: a query's read session, resolved once.
+"""The ``Cursor``: a query's read session, resolved once, snapshot-pinned.
 
 The free read methods of :class:`~repro.service.query_service.QueryService`
 re-resolve their query on every call — parse the rule, canonicalize it,
@@ -7,30 +7,41 @@ a read session: one consumer issuing many reads against one query. A
 :class:`Cursor` front-loads that work: it parses and canonicalizes
 **exactly once** at construction, pins the database version it was opened
 at, and then serves ``count`` / ``get`` / ``batch`` / ``pages`` /
-``sample`` / ``random_order`` / ``position_of`` against the one resolved
-index — every read still honoring the service's per-entry write locks, so
-cursor reads interleave safely with concurrent ``apply`` batches.
+``sample`` / ``random_order`` / ``position_of`` against one pinned,
+immutable read view — the entry's published snapshot for update-in-place
+entries, the (immutable) index itself for static ones. Reads are
+therefore **wait-free**: they never take the entry's write lock, cannot
+stall behind a writer mid-burst, and all reads against one pinned view
+are mutually consistent — a ``count`` and the ``batch`` it sizes can
+never disagree.
 
-Staleness contract
-------------------
-The cursor pins ``database.version`` at construction (and after each
-:meth:`refresh`). When a read finds the database has moved on, the
-``on_stale`` policy chosen at construction decides — the caller's choice:
+Staleness contract (version-pinned)
+-----------------------------------
+The cursor pins ``database.version`` — and the snapshot published for it —
+at construction (and after each :meth:`refresh`). When a read finds the
+database has moved on, the ``on_stale`` policy chosen at construction
+decides — the caller's choice:
 
-* ``"reresolve"`` (default) — the cursor transparently re-binds to the
-  current version and serves fresh answers. For update-in-place entries
-  this is the *same index object* patched by the writes; otherwise it is
-  a rebuild. This is the live-paginator behavior: a long-held cursor
-  keeps serving correct pages across mutations.
+* ``"reresolve"`` (default) — the cursor transparently re-pins the
+  snapshot published for the current version and serves fresh answers.
+  This is the live-paginator behavior: a long-held cursor keeps serving
+  correct pages across mutations.
 * ``"raise"`` — the read raises :class:`StaleCursorError` instead, for
   callers that need a consistent position space across reads (for
   example, a pager that must not shift rows between two page fetches).
   Call :meth:`refresh` to acknowledge the new version and continue.
 
-Either way a cursor never serves answers computed against a database
-other than the version it reports via :attr:`version`. Lazy streams
-(:meth:`random_order`, iteration) snapshot nothing and cannot span locks;
-do not mutate the database while consuming one.
+A cursor never mixes two versions within one read. ``"raise"`` cursors
+additionally guarantee answers computed against exactly the version they
+report: a read that lands while a writer is mid-``apply`` waits out the
+in-flight publication. A ``"reresolve"`` read in that window stays
+wait-free instead and may serve the final pre-batch version while
+:attr:`version` already reports the in-flight one — a freshness (never a
+consistency) race, recorded in the ROADMAP as the atomic
+``(version, snapshot)`` publication follow-on. Lazy streams
+(:meth:`random_order`, iteration) enumerate the snapshot pinned when
+they started — mutating the database while consuming one is safe; the
+stream simply keeps serving its pinned version.
 
 Doctest
 -------
@@ -67,9 +78,23 @@ stale
 from __future__ import annotations
 
 import random
+import time
+from contextlib import nullcontext
 from typing import Iterator, List, Optional, Sequence
 
 from repro.errors import ReproError
+
+#: The shared no-op guard returned by ``QueryService._read_view`` for
+#: wait-free views (published snapshots and immutable static indexes).
+#: Identity with this object is the cursor's "safe to pin" marker; any
+#: other guard means the view must not be pinned.
+UNGUARDED = nullcontext()
+
+#: No-op guard for a wait-free view that is immutable but must NOT be
+#: pinned: the pre-batch snapshot served while a writer is mid-``apply``.
+#: It is consistent for the single read that received it, but pinning it
+#: would freeze the cursor one version behind the one it reports.
+TRANSIENT = nullcontext()
 
 
 class StaleCursorError(ReproError, RuntimeError):
@@ -91,12 +116,12 @@ class Cursor:
 
     Build through :meth:`~repro.service.query_service.QueryService.cursor`.
     The query is resolved and canonicalized once, here; every read then
-    costs one O(1) cache probe plus the access itself, and takes the
-    entry's write lock exactly like the service's free methods. A cursor
-    also duck-types the index contract (``count`` / ``access`` /
-    ``batch`` / ``sample_many`` / ``inverted_access``), so index-shaped
-    consumers — paginators, enumeration harnesses, online aggregation —
-    run on a cursor unchanged.
+    serves wait-free from the read view pinned at the bound version (the
+    entry's published snapshot for dynamic entries). A cursor also
+    duck-types the index contract (``count`` / ``access`` / ``batch`` /
+    ``sample_many`` / ``inverted_access``), so index-shaped consumers —
+    paginators, enumeration harnesses, online aggregation — run on a
+    cursor unchanged.
     """
 
     def __init__(self, service, query, on_stale: str = "reresolve"):
@@ -111,10 +136,11 @@ class Cursor:
         self._query_key = canonical_query_key(self.query)
         self._on_stale = on_stale
         self._version = service.database.version
-        # The index itself resolves lazily on the first read: construction
-        # binds the *version*, and a read is one cache probe — exactly the
-        # probe the equivalent free service method would have made, so
-        # cursors leave the cache-effectiveness counters undistorted.
+        # The pinned read view resolves lazily on the first read:
+        # construction binds the *version*, the first read probes the
+        # cache once and pins the snapshot published for it, and every
+        # later read at the same version is probe-free.
+        self._pinned = None
 
     # ------------------------------------------------------------------ #
     # Binding                                                             #
@@ -133,22 +159,81 @@ class Cursor:
     def refresh(self) -> "Cursor":
         """Re-bind to the current database version (chainable)."""
         self._version = self._service.database.version
+        self._pinned = None
         return self
 
-    def _entry(self):
-        """``(index, guard)`` at the bound version, policing staleness."""
+    def _police_staleness(self) -> None:
+        """Apply the ``on_stale`` policy against the current version."""
         current = self._service.database.version
         if current != self._version:
             if self._on_stale == "raise":
                 raise StaleCursorError(self._version, current)
             self._version = current
-        return self._service._entry_resolved(self.query, self._query_key)
+            self._pinned = None
+
+    def _view(self):
+        """``(view, guard)`` at the bound version, policing staleness.
+
+        The view is pinned on first use and reused until the bound version
+        moves (reresolve policy) or :meth:`refresh` is called, so a read
+        session enumerates one published snapshot position-for-position.
+        ``guard`` is :data:`UNGUARDED` for pinned (wait-free) views,
+        :data:`TRANSIENT` for a one-read pre-batch snapshot served while a
+        writer is mid-``apply`` (wait-free, deliberately not pinned — the
+        next read picks up the newly published version), and a real lock
+        only for foreign update-capable entries that publish no snapshots.
+        """
+        service = self._service
+        self._police_staleness()
+        if self._pinned is not None:
+            service._snapshot_reads += 1
+            return self._pinned, UNGUARDED
+        view, guard = service._read_view(self.query, self._query_key)
+        if self._on_stale == "raise":
+            # The strict contract promises answers computed against
+            # exactly the bound version: a transient pre-batch view would
+            # silently shift the position space between two reads, so
+            # wait out the in-flight publication instead of serving it.
+            while guard is TRANSIENT:
+                time.sleep(0.0005)
+                current = service.database.version
+                if current != self._version:
+                    raise StaleCursorError(self._version, current)
+                view, guard = service._read_view(self.query, self._query_key)
+        if guard is UNGUARDED:
+            self._pinned = view
+        return view, guard
+
+    @property
+    def pinned(self):
+        """The wait-free read view pinned at the bound version.
+
+        For dynamic entries this is the published
+        :class:`~repro.core.dynamic.IndexSnapshot` /
+        :class:`~repro.core.union_access.UnionIndexSnapshot`; for static
+        entries the immutable index itself. Consumers that must stay on
+        one version across many reads (e.g. a whole online-aggregation
+        sample) can hold this object directly — it never changes under
+        them, whatever the writer does. (A transient mid-``apply`` view is
+        the immutable pre-batch snapshot, equally safe to hold.) Raises
+        ``TypeError`` for a foreign update-capable entry that publishes no
+        snapshots — no immutable view of it exists.
+        """
+        view, guard = self._view()
+        if guard is UNGUARDED or guard is TRANSIENT:
+            return view
+        raise TypeError(
+            "this entry publishes no snapshots; an immutable pinned view "
+            "is unavailable (read through the cursor's methods instead)"
+        )
 
     @property
     def index(self):
-        """The backing index (no lock — prefer the cursor's read methods,
-        which serialize with writers; use this for introspection)."""
-        return self._entry()[0]
+        """The live backing index (writer-side introspection only — reads
+        should go through the cursor's methods, which serve from the
+        pinned snapshot)."""
+        self._police_staleness()
+        return self._service._resolve_entry(self.query, self._query_key)
 
     # ------------------------------------------------------------------ #
     # Reads                                                               #
@@ -157,35 +242,36 @@ class Cursor:
     @property
     def count(self) -> int:
         """``|Q(D)|`` — O(1) after the (already cached) build."""
-        index, guard = self._entry()
+        view, guard = self._view()
         with guard:
-            return index.count
+            return view.count
 
     def __len__(self) -> int:
         return self.count
 
     def get(self, position: int) -> tuple:
         """The answer at ``position`` of the enumeration order."""
-        index, guard = self._entry()
+        view, guard = self._view()
         with guard:
-            return index.access(position)
+            return view.access(position)
 
     #: Index-contract alias for :meth:`get`.
     access = get
 
     def batch(self, positions: Sequence[int]) -> List[tuple]:
         """The answers at ``positions`` (unsorted, duplicates allowed)."""
-        index, guard = self._entry()
+        view, guard = self._view()
         with guard:
-            return index.batch(positions)
+            return view.batch(positions)
 
     def batch_range(self, start: int, stop: int) -> List[tuple]:
         """The answers at positions ``[start, min(stop, count))`` — the
-        count clamp happens inside the entry lock (see
-        :meth:`QueryService.batch_range`)."""
-        index, guard = self._entry()
+        count clamp and the batch read the same pinned view, so a
+        concurrent mutation cannot turn a just-valid range into an
+        out-of-bound request (see :meth:`QueryService.batch_range`)."""
+        view, guard = self._view()
         with guard:
-            return index.batch(range(max(start, 0), min(stop, index.count)))
+            return view.batch(range(max(start, 0), min(stop, view.count)))
 
     def page(self, number: int, page_size: int = 10) -> List[tuple]:
         """Page ``number`` (0-based); short or empty past the last page."""
@@ -196,9 +282,9 @@ class Cursor:
     def pages(self, page_size: int = 10) -> Iterator[List[tuple]]:
         """Every page of the enumeration order, in order.
 
-        Each page is one locked batch; a mutation between pages (under the
-        re-resolve policy) shifts later pages to the new contents, exactly
-        like a live paginator.
+        Each page is one batched snapshot read; a mutation between pages
+        (under the re-resolve policy) shifts later pages to the newly
+        published version, exactly like a live paginator.
         """
         number = 0
         while True:
@@ -212,18 +298,19 @@ class Cursor:
 
     def sample(self, k: int, rng: Optional[random.Random] = None) -> List[tuple]:
         """``min(k, count)`` uniform draws without replacement."""
-        index, guard = self._entry()
+        view, guard = self._view()
         with guard:
-            return index.sample_many(k, rng)
+            return view.sample_many(k, rng)
 
     #: Index-contract alias for :meth:`sample`.
     sample_many = sample
 
     def position_of(self, answer: tuple) -> Optional[int]:
-        """The enumeration position of ``answer``, or ``None`` (also
-        ``None`` for indexes without inverted support)."""
-        index, guard = self._entry()
-        inverted = getattr(index, "inverted_access", None)
+        """The enumeration position of ``answer``, or ``None`` (inverted
+        access, Algorithm 4); ``None`` also for indexes without inverted
+        support (the union index)."""
+        view, guard = self._view()
+        inverted = getattr(view, "inverted_access", None)
         if inverted is None:
             return None
         with guard:
@@ -236,32 +323,40 @@ class Cursor:
     def __contains__(self, answer: tuple) -> bool:
         """Membership test (the paper's ``Test``).
 
-        Served by inverted access where the index supports it; otherwise
-        (the union index) by the index's own membership fallback — never
+        Served by inverted access where the view supports it; otherwise
+        (the union surface) by the view's own membership fallback — never
         by conflating "no inverted support" with "absent".
         """
-        index, guard = self._entry()
-        inverted = getattr(index, "inverted_access", None)
+        view, guard = self._view()
+        inverted = getattr(view, "inverted_access", None)
         with guard:
             if inverted is None:
-                return tuple(answer) in index
+                return tuple(answer) in view
             return inverted(tuple(answer)) is not None
 
     def ensure_inverted_support(self) -> None:
-        """Build the backing index's inverted-access support if needed."""
-        index, guard = self._entry()
+        """Build the backing view's inverted-access support if needed
+        (published snapshots and dynamic indexes keep it implicitly)."""
+        view, guard = self._view()
         with guard:
-            index.ensure_inverted_support()
+            view.ensure_inverted_support()
 
     def random_order(self, rng: Optional[random.Random] = None) -> Iterator[tuple]:
-        """REnum: every answer in uniformly random order (lazy — takes no
-        lock; do not mutate the database while consuming)."""
-        return self.index.random_order(rng)
+        """REnum: every answer in uniformly random order.
+
+        The stream enumerates the snapshot pinned when it started, so
+        concurrent writes cannot corrupt an in-flight shuffle — mutate
+        freely while consuming; the draws stay a uniform permutation of
+        the pinned version.
+        """
+        view, __ = self._view()
+        return view.random_order(rng)
 
     def __iter__(self) -> Iterator[tuple]:
-        """Enumerate in index order (lazy — same caveat as
-        :meth:`random_order`)."""
-        return iter(self.index)
+        """Enumerate the pinned snapshot in index order (safe under
+        concurrent writes, like :meth:`random_order`)."""
+        view, __ = self._view()
+        return iter(view)
 
     def __repr__(self) -> str:
         name = getattr(self.query, "name", str(self.query))

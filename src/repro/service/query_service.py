@@ -24,7 +24,8 @@ routes every request through the shared :class:`~repro.service.cache.IndexCache`
   is a no-op that keeps the cache warm);
 * ``stats()`` — serving effectiveness counters (cache hits/misses,
   promotions, in-place updates vs. rebuilds — split single-fact vs.
-  batched — compactions).
+  batched — compactions, snapshot reads vs. locked reads, snapshot
+  publishes).
 
 Mutation path
 -------------
@@ -53,14 +54,23 @@ buckets maintain the canonical sort order under churn (see
 fresh static build at all times — promotion is invisible to readers, page
 for page.
 
-Write safety is minimal but real: every update-capable entry has a
-per-entry lock in the cache (:meth:`~repro.service.cache.IndexCache.lock_for`);
-mutations hold it while applying deltas, and the service's read methods
-hold it around accesses to dynamic entries, so a reader can never observe
-a half-propagated weight update. Static entries are immutable and take no
-lock. Lazy streams (``random_order``, ``online_mean``) cannot hold a lock
-across their lifetime — mutating the database while consuming one has
-undefined results, as before.
+Concurrency model: snapshot reads, single-writer writes
+-------------------------------------------------------
+Reads never block on writes. Every update-capable entry *publishes* an
+immutable snapshot of itself (:class:`~repro.core.dynamic.IndexSnapshot` /
+:class:`~repro.core.union_access.UnionIndexSnapshot`) with one atomic
+reference swap at the end of each mutation; the service's read surface —
+cursors and the free-method shims alike — resolves the entry and reads
+through the published snapshot, so a pagination or sampling read proceeds
+wait-free even while a writer holds the entry mid-burst, and always
+observes exactly one published version. The per-entry lock
+(:meth:`~repro.service.cache.IndexCache.lock_for`) is now purely a
+writer-writer lock: mutations hold it while applying deltas so two
+concurrent ``apply`` calls cannot interleave maintenance. Static entries
+are immutable and need neither. Lazy streams (``random_order``,
+iteration, ``online_mean``) are served from a pinned snapshot too, so
+consuming one across concurrent writes is safe — the stream simply keeps
+enumerating the version it pinned.
 
 Queries may be rule strings (parsed once per call — cheap next to any
 index work), :class:`~repro.query.cq.ConjunctiveQuery` objects, or
@@ -124,7 +134,7 @@ Delta(3 ops over R,S)
 from __future__ import annotations
 
 import random
-from contextlib import nullcontext
+import time
 from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Union
 
 from repro.apps.pagination import LivePaginator
@@ -139,7 +149,7 @@ from repro.query.parser import parse_cq, parse_ucq
 from repro.query.ucq import UnionOfConjunctiveQueries
 
 from repro.service.cache import CacheInfo, IndexCache, canonical_query_key
-from repro.service.cursor import Cursor
+from repro.service.cursor import Cursor, TRANSIENT, UNGUARDED
 
 Query = Union[str, ConjunctiveQuery, UnionOfConjunctiveQueries]
 
@@ -184,6 +194,18 @@ class ServiceStats(NamedTuple):
     #: batched_updates`` is the mean batch size a cost-based promotion
     #: tuner would weigh against the per-fact path).
     batched_update_ops: int = 0
+    #: Reads served wait-free — from a published snapshot of a dynamic
+    #: entry, or from an immutable static index. The healthy steady state:
+    #: every read should land here.
+    snapshot_reads: int = 0
+    #: Reads that had to fall back to acquiring the entry's write lock
+    #: (an update-capable index that publishes no snapshots). Zero for the
+    #: built-in indexes; a nonzero value flags a reader-stall regression.
+    locked_reads: int = 0
+    #: Snapshot versions published by this service's live update-capable
+    #: entries (members, intersections and union versions included) —
+    #: the writer-side half of the reader-stall observability.
+    snapshot_publishes: int = 0
 
 
 def _relations_in_key(query_key: tuple) -> frozenset:
@@ -216,9 +238,11 @@ class QueryService:
     cache_capacity:
         Capacity of the private cache when ``cache`` is not given.
     promote_after:
-        Promotion threshold K of the adaptive mutation path: once K
-        mutations have each invalidated the same canonical query key, the
-        next build of that query is update-in-place — a
+        Promotion threshold K of the adaptive mutation path: once K units
+        of churn credit have accumulated against the same canonical query
+        key — one unit per invalidating single-fact mutation, and one per
+        relevant effective op for an invalidating batch (delta-aware
+        credit) — the next build of that query is update-in-place — a
         :class:`~repro.core.dynamic.DynamicCQIndex` for a full acyclic CQ,
         an ``MCUCQIndex(dynamic=True)`` for an eligible union — after
         which writes update it in place instead of invalidating.
@@ -251,6 +275,12 @@ class QueryService:
         self._mutation_invalidations = 0
         self._batched_updates = 0
         self._batched_update_ops = 0
+        self._snapshot_reads = 0
+        self._locked_reads = 0
+        # True exactly while _absorb_delta carries entries to the new
+        # version: the window in which a read may serve the previous
+        # version's published snapshot instead of rebuilding.
+        self._absorbing = False
         # Canonical query key → {"single_fact", "batched", "batched_ops"}:
         # how each entry's in-place maintenance split between the per-fact
         # and the batched path (see update_profile()).
@@ -276,45 +306,115 @@ class QueryService:
         return query
 
     def index(self, query: Query):
-        """The (cached) random-access index for ``query``.
+        """The (cached) live random-access index for ``query``.
 
         The cache key includes ``database.version``; a mutation between two
         calls yields either the same dynamic index carried forward to the
         new version (update-in-place entries) or a fresh build. Identical
-        repeat calls are O(1) lookups plus an LRU touch.
-        """
-        return self._entry(query)[0]
-
-    def _entry(self, query: Query):
-        """``(index, guard)`` — the guard is the entry's write lock for
-        update-capable entries, a no-op context otherwise.
-
-        Read methods hold the guard around their access so they cannot
-        interleave with a writer patching the same dynamic entry (see the
-        module notes on write safety). The resolve loop re-validates that
-        the entry is still cached under the key after fetching its lock: a
-        concurrent mutation may have re-keyed the entry (moving its lock)
-        between the two steps, and a lock minted for the abandoned key
-        would synchronize with nobody.
+        repeat calls are O(1) lookups plus an LRU touch. This is the live
+        (writer-side) object — concurrent readers should go through
+        :meth:`cursor`, which reads the published snapshot.
         """
         query = self.resolve(query)
-        return self._entry_resolved(query, canonical_query_key(query))
+        return self._resolve_entry(query, canonical_query_key(query))
 
-    def _entry_resolved(self, query, query_key):
-        """:meth:`_entry` for an already resolved and canonicalized query
-        — the cursor's per-read path, which must not re-parse anything."""
+    def _resolve_entry(self, query, query_key):
+        """The cached entry for the already canonicalized query, built on
+        miss — one cache probe, no locking.
+
+        A miss builds *outside* the cache and re-validates around the
+        build: a build that overlaps a concurrent ``apply`` may read
+        relation states the key's version never equaled — either torn
+        across two version swaps, or post-swap data read in the sliver
+        where ``Database.apply`` has replaced relations but not yet
+        bumped the version (the ``_absorbing`` flag brackets that whole
+        window). Such a build is thrown away and retried rather than
+        cached, where the writer's next walk would patch it as if it
+        matched its version — double-applying the in-flight delta.
+        """
         while True:
             # The key holds the Database object itself (identity hash): a
             # live entry therefore pins its database, so — unlike an id()
             # token — the key can never be recycled by a later allocation.
-            key = (self._database, self._database.version, query_key)
-            entry = self._cache.get_or_build(
-                key, lambda: self._build(query, query_key)
-            )
+            version = self._database.version
+            key = (self._database, version, query_key)
+            entry = self._cache.peek(key)
+            if entry is not None:
+                # Present: route through get_or_build for the hit count
+                # and the LRU touch.
+                return self._cache.get_or_build(key, lambda: entry)
+            if self._absorbing:
+                # A writer is mid-apply (only observable from another
+                # thread): any index built now is doomed to the discard
+                # below — wait the write out instead of building it.
+                time.sleep(0.0005)
+                continue
+            built = self._build(query, query_key)
+            if not self._absorbing and self._database.version == version:
+                return self._cache.get_or_build(key, lambda: built)
+
+    def _read_view(self, query, query_key):
+        """``(view, guard)`` — the wait-free read surface for one request.
+
+        For static entries the view is the (immutable) index itself; for
+        update-capable entries it is the entry's published snapshot — both
+        guarded by the shared no-op :data:`~repro.service.cursor.UNGUARDED`
+        context, which doubles as the "safe to pin" marker for cursors
+        (mid-``apply`` behind-version reads come back with
+        :data:`~repro.service.cursor.TRANSIENT` instead: wait-free but
+        not pinnable). Readers never take the entry lock on these paths,
+        so they cannot stall behind a writer mid-burst.
+
+        While a writer is mid-``apply`` — the database version already
+        bumped, the entry not yet re-keyed to it — a read that finds no
+        entry at the current version serves the **previous version's
+        published snapshot** instead of paying a full rebuild inside the
+        read path: exactly the snapshot-isolation contract (readers
+        proceed on the last published version during a write burst), and
+        what keeps reader latency flat while the writer churns.
+
+        The lock-acquiring fallback survives only for duck-typed foreign
+        entries that claim ``supports_updates`` without publishing
+        snapshots; it re-validates the entry under the lock exactly like
+        the pre-snapshot read path did (a concurrent mutation may have
+        re-keyed the entry, moving its lock) and counts into
+        ``locked_reads`` so a regression is visible in :meth:`stats`.
+        """
+        while True:
+            database = self._database
+            version = database.version
+            if (self._absorbing
+                    and self._cache.peek((database, version, query_key)) is None):
+                # Miss at the current version while this service's writer
+                # is mid-walk. If the walk is still carrying the entry
+                # over (it sits at the pre-bump version with a published
+                # snapshot), read that version rather than rebuilding.
+                # Out-of-band version bumps never take this path: the
+                # flag is only set under apply, so a lingering stale
+                # entry is rebuilt, exactly as before.
+                behind = self._cache.peek((database, version - 1, query_key))
+                if getattr(behind, "supports_updates", False):
+                    snapshot = getattr(behind, "snapshot", None)
+                    if snapshot is not None:
+                        self._snapshot_reads += 1
+                        # TRANSIENT, not UNGUARDED: consistent for this
+                        # one read, but a cursor must not pin it — it
+                        # trails the version the cursor reports, and the
+                        # next read should pick up the post-batch
+                        # publication.
+                        return snapshot, TRANSIENT
+            entry = self._resolve_entry(query, query_key)
             if not getattr(entry, "supports_updates", False):
-                return entry, nullcontext()
+                self._snapshot_reads += 1
+                return entry, UNGUARDED
+            snapshot = getattr(entry, "snapshot", None)
+            if snapshot is not None:
+                self._snapshot_reads += 1
+                return snapshot, UNGUARDED
+            key = (self._database, self._database.version, query_key)
             lock = self._cache.lock_for(key)
             if self._cache.peek(key) is entry:
+                self._locked_reads += 1
                 return entry, lock
             # Lost the race with a concurrent re-key/eviction: resolve
             # again at the (new) current version.
@@ -368,9 +468,9 @@ class QueryService:
         """A :class:`~repro.service.cursor.Cursor` over ``query``.
 
         The read session object: the query is parsed and canonicalized
-        exactly once, the backing index is resolved (building it on first
-        use), and every subsequent read is an O(1) cache probe plus the
-        access — under the entry's write lock, like all service reads.
+        exactly once, the backing entry is resolved (building it on first
+        use), and every read serves wait-free from the snapshot pinned at
+        the bound version — concurrent writers never block it.
         ``on_stale`` picks the staleness policy: ``"reresolve"`` follows
         mutations transparently, ``"raise"`` raises
         :class:`~repro.service.cursor.StaleCursorError` once the database
@@ -394,12 +494,12 @@ class QueryService:
     def batch_range(self, query: Query, start: int, stop: int) -> List[tuple]:
         """The answers at positions ``[start, min(stop, count))``.
 
-        The count clamp happens *inside* the entry lock, so — unlike a
-        separate ``count`` call followed by ``batch`` — a concurrent
-        mutation between the two cannot turn a just-valid range into an
-        out-of-bound request. This is the pagination transport: a page
-        served during a write burst may come back shorter than the page
-        size, but it never raises.
+        The count clamp and the batch read the same pinned snapshot, so —
+        unlike a separate ``count`` call followed by ``batch`` — a
+        concurrent mutation between the two cannot turn a just-valid range
+        into an out-of-bound request. This is the pagination transport: a
+        page served across a write burst may reflect the pre-burst
+        version, but it never raises and never mixes versions.
         """
         return self.cursor(query).batch_range(start, stop)
 
@@ -436,10 +536,10 @@ class QueryService:
         :meth:`cursor`, so a long-held paginator keeps serving correct
         pages (and a correct ``total_pages``) across :meth:`insert` /
         :meth:`delete` / :meth:`apply` mutations instead of pinning a
-        pre-mutation snapshot. Between mutations each read is an O(1)
-        probe of the cached entry; across a mutation it is the
-        updated-in-place dynamic index or a rebuild. Cursor reads take the
-        entry lock like every other service read.
+        pre-mutation version forever. Between mutations each read serves
+        from the pinned snapshot; across a mutation the cursor re-pins the
+        newly published version. Reads are wait-free, like every service
+        read.
         """
         return LivePaginator(self, query, page_size=page_size)
 
@@ -458,15 +558,15 @@ class QueryService:
         :func:`~repro.apps.online_aggregation.estimate_mean` — the paper's
         online-aggregation application without a per-call index rebuild.
 
-        The result is a lazy stream served through a cursor: each block of
-        draws is one locked batch read, but no lock spans the consumer's
-        lifetime — so, like :meth:`random_order`, do not mutate the
-        database while consuming it if you need one consistent sample.
+        The result is a lazy stream served against the snapshot a fresh
+        cursor pins, so mutating the database while consuming it is safe —
+        the whole sample is drawn from that one pinned version (later
+        mutations are simply not reflected in it).
         """
         from repro.apps.online_aggregation import estimate_mean_via_index
 
         return estimate_mean_via_index(
-            self.cursor(query),
+            self.cursor(query).pinned,
             value_of,
             sample_size=sample_size,
             rng=rng,
@@ -514,18 +614,27 @@ class QueryService:
         (:class:`~repro.database.delta.DeltaError` on unknown relations or
         wrong arities) before anything mutates. A batch whose every op is
         a no-op changes nothing: no version bump, entries stay put. For
-        promotion accounting, one batch is one write-pressure event: a
-        dropped static entry's churn counter is bumped once per batch, not
-        once per fact.
+        promotion accounting, churn credit is *delta-aware*: a dropped
+        static entry's counter grows by the number of effective ops that
+        touch its query's relations (minimum one), so a single hot burst
+        can push a query past the promotion threshold that would otherwise
+        need ``promote_after`` separate mutations.
 
         Returns the :class:`~repro.database.delta.AppliedDelta` with the
         effective sub-delta and per-relation applied/no-op counts.
         """
         if not isinstance(delta, Delta):
             delta = Delta(delta, database=self._database)
-        result = self._database.apply(delta)
-        if result.changed:
-            self._absorb_delta(result.effective)
+        # The flag spans the whole write (version bump included), so a
+        # concurrent read that probes the bump-to-rekey window serves the
+        # previous published snapshot instead of paying a rebuild.
+        self._absorbing = True
+        try:
+            result = self._database.apply(delta)
+            if result.changed:
+                self._absorb_delta(result.effective)
+        finally:
+            self._absorbing = False
         return result
 
     def transaction(self) -> "Transaction":
@@ -588,7 +697,8 @@ class QueryService:
             if not current:
                 self._cache.discard(key)
                 continue
-            if touched.isdisjoint(_relations_in_key(query_key)):
+            referenced = _relations_in_key(query_key)
+            if touched.isdisjoint(referenced):
                 self._cache.rekey(key, (database, new_version, query_key))
                 self._carried_forward += 1
                 continue
@@ -615,7 +725,18 @@ class QueryService:
                     profile["batched_ops"] += len(effective)
             else:
                 self._cache.discard(key)
-                self._churn[query_key] = self._churn.get(query_key, 0) + 1
+                # Delta-aware promotion credit: churn pressure scales with
+                # how much of the batch actually hit this query's
+                # relations, so a write-burst-heavy query reaches the
+                # promotion threshold in one burst instead of needing
+                # `promote_after` separate mutations.
+                relevant = sum(
+                    1 for __, relation, __row in effective.ops()
+                    if relation in referenced
+                )
+                self._churn[query_key] = (
+                    self._churn.get(query_key, 0) + max(1, relevant)
+                )
                 self._mutation_invalidations += 1
 
     def update_profile(self) -> Dict[tuple, Dict[str, int]]:
@@ -637,15 +758,19 @@ class QueryService:
     def stats(self) -> ServiceStats:
         """Cache effectiveness plus the service's own serving counters.
 
-        ``compactions`` sums over *this service's* update-capable entries
-        currently in the cache (member and intersection structures
-        included for dynamic unions) — it reports the live dynamic working
-        set's self-maintenance, not an all-time total. A shared cache may
-        hold other services' entries; like the mutation walk, the sum only
-        touches keys bound to this database.
+        ``compactions`` and ``snapshot_publishes`` sum over *this
+        service's* update-capable entries currently in the cache (member
+        and intersection structures included for dynamic unions) — they
+        report the live dynamic working set's self-maintenance, not an
+        all-time total. A shared cache may hold other services' entries;
+        like the mutation walk, the sums only touch keys bound to this
+        database. ``snapshot_reads`` / ``locked_reads`` split the read
+        traffic into wait-free snapshot-backed reads and legacy
+        lock-acquiring reads — the latter should stay at zero.
         """
         info = self._cache.info()
         compactions = 0
+        publishes = 0
         for key in self._cache.keys():
             if not (isinstance(key, tuple) and len(key) == 3
                     and key[0] is self._database):
@@ -658,8 +783,14 @@ class QueryService:
                 compactions += sum(
                     f.compactions for f in entry.intersection_indexes.values()
                 )
+                publishes += entry.publishes
+                publishes += sum(m.publishes for m in entry.member_indexes)
+                publishes += sum(
+                    f.publishes for f in entry.intersection_indexes.values()
+                )
             else:
                 compactions += getattr(entry, "compactions", 0)
+                publishes += getattr(entry, "publishes", 0)
         return ServiceStats(
             hits=info.hits,
             misses=info.misses,
@@ -676,6 +807,9 @@ class QueryService:
             compactions=compactions,
             batched_updates=self._batched_updates,
             batched_update_ops=self._batched_update_ops,
+            snapshot_reads=self._snapshot_reads,
+            locked_reads=self._locked_reads,
+            snapshot_publishes=publishes,
         )
 
     def __repr__(self) -> str:

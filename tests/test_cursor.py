@@ -51,9 +51,17 @@ class TestCursorReads:
         cursor.count
         cursor.get(0)
         assert cursor.query is resolved  # same parsed object throughout
-        # One build, every read after it a hit.
+        # One build and one probe per pinned version: the second read
+        # serves from the pinned view without touching the cache again.
         info = service.cache_info()
-        assert info.misses == 1 and info.hits == 1
+        assert info.misses == 1 and info.hits == 0
+        assert service.stats().snapshot_reads == 2
+        # A mutation re-pins (one more probe), then reads are probe-free.
+        service.insert("R", (7, 10))
+        cursor.count
+        cursor.get(0)
+        assert service.cache_info().misses == 2  # static entry rebuilt
+        assert service.stats().locked_reads == 0
 
     def test_pages_cover_the_enumeration_in_order(self):
         service = QueryService(fresh_db())
