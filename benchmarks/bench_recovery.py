@@ -1,0 +1,211 @@
+"""Acceptance gate: checkpoint-plus-tail restart vs. cold CSV rebuild.
+
+The durability question (ISSUE 6): a serving process dies and restarts.
+How long until it serves its **first answer** again? Two restart paths
+over the same ~10⁵-fact database, measured to the first ``count``:
+
+* the **cold path** re-parses every relation's CSV text and rebuilds the
+  query's index from scratch — O(|D|) parse + O(|D|) preprocessing, the
+  paper's whole preprocessing phase paid again on every restart;
+* the **recovery path** loads the newest checkpoint (pickled relations
+  *and* the pickled serve-state index), replays the write-ahead log's
+  durable tail through the service — the carried-forward machinery the
+  live write path uses, so a tail that doesn't touch the query's
+  relations keeps the seeded index — and serves from the re-seeded cache.
+
+The gate asserts recovery reaches the first served answer ≥ 5× faster
+than the cold rebuild, verifies both paths agree on the answer count and
+land on the same database version, and writes the measured numbers to
+``BENCH_recovery.json``.
+
+Usage
+-----
+``PYTHONPATH=src python benchmarks/bench_recovery.py``          (full, asserts 5×)
+``PYTHONPATH=src python benchmarks/bench_recovery.py --smoke``  (small, CI-fast,
+asserts agreement and a modest ≥ 2× bar)
+
+Not a pytest file on purpose: like ``bench_batch.py`` and
+``bench_batch_update.py``, this is an acceptance gate that CI runs
+directly (in ``--smoke`` mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+from repro import Database, Delta, QueryService, Relation
+from repro.cli import load_csv_database
+from repro.storage import write_relation_csv
+
+QUERY_TEXT = "Q(a, b, c) :- R(a, b), S(b, c)"
+
+
+def build_database(left_rows: int, keys: int, partners: int) -> Database:
+    """R ⋈ S drives the served query; E is the event relation the
+    post-checkpoint write tail lands in (disjoint from the query, the
+    common restart shape: the hot query's inputs are stable while an
+    append-heavy relation takes the writes)."""
+    return Database([
+        Relation("R", ("a", "b"), [(i, i % keys) for i in range(left_rows)]),
+        Relation(
+            "S",
+            ("b", "c"),
+            [(j, k) for j in range(keys) for k in range(partners)],
+        ),
+        Relation("E", ("id", "payload"), [(0, "boot")]),
+    ])
+
+
+def timed(thunk):
+    """Time one call with the cyclic GC paused (see bench_batch.timed)."""
+    gc.collect()
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        result = thunk()
+        elapsed = time.perf_counter() - started
+    finally:
+        if enabled:
+            gc.enable()
+    return elapsed, result
+
+
+def cold_restart(csv_dir: pathlib.Path, query: str):
+    """Parse the CSVs, build the service, serve the first answer."""
+    service = QueryService(load_csv_database(str(csv_dir)))
+    return service.count(query), service
+
+
+def recovered_restart(store_dir: pathlib.Path, query: str):
+    """Checkpoint + WAL tail + seeded serve-state, then the first answer."""
+    service = QueryService.recover(store_dir)
+    return service.count(query), service
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small instance, modest bar (CI sanity run)")
+    parser.add_argument("--tail-batches", type=int, default=20,
+                        help="write batches applied after the checkpoint")
+    parser.add_argument("--json", default="BENCH_recovery.json",
+                        help="where to write the measured numbers")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        left_rows, keys, partners = 5_000, 200, 25
+        required_speedup = 2.0
+    else:
+        left_rows, keys, partners = 50_000, 1_000, 50
+        required_speedup = 5.0
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench_recovery_"))
+    csv_dir = workdir / "csv"
+    store_dir = workdir / "store"
+    csv_dir.mkdir()
+    try:
+        # ---- the life of the process before the crash ---------------- #
+        database = build_database(left_rows, keys, partners)
+        n_facts = database.size()
+        for relation in database:
+            write_relation_csv(csv_dir, relation)
+
+        service = QueryService(database, storage=store_dir)
+        build_seconds, expected = timed(lambda: service.count(QUERY_TEXT))
+        service.checkpoint()  # carries the built index as serve-state
+        for batch in range(args.tail_batches):
+            delta = Delta(database=database)
+            for i in range(5):
+                delta.insert("E", (1 + batch * 5 + i, f"event-{batch}-{i}"))
+            service.apply(delta)
+        # Export the tail into the CSVs too, so both restart paths see
+        # the same final state (the CSV view is kept in sync, as
+        # ``repro apply --wal`` does).
+        write_relation_csv(csv_dir, database.relation("E"))
+        final_version = database.version
+        database.log.close()  # the "crash": nothing further is written
+
+        print(f"|D| = {n_facts} facts (+{args.tail_batches * 5} tail), "
+              f"|Q(D)| = {expected}, index build {build_seconds:.3f}s")
+
+        # ---- the two restart paths ----------------------------------- #
+        cold_seconds, (cold_count, __) = timed(
+            lambda: cold_restart(csv_dir, QUERY_TEXT)
+        )
+        recovery_seconds, (recovered_count, recovered) = timed(
+            lambda: recovered_restart(store_dir, QUERY_TEXT)
+        )
+        report = recovered.storage.last_report
+
+        if cold_count != expected or recovered_count != expected:
+            print(f"FAIL: counts disagree (expected {expected}, "
+                  f"cold {cold_count}, recovered {recovered_count})")
+            return 1
+        if recovered.database.version != final_version:
+            print(f"FAIL: recovery landed on version "
+                  f"{recovered.database.version}, last durable was "
+                  f"{final_version}")
+            return 1
+        if report.serve_entries_seeded < 1:
+            print("FAIL: the checkpoint carried no serve-state "
+                  "(recovery rebuilt the index from scratch)")
+            return 1
+        if report.replayed_batches != args.tail_batches:
+            print(f"FAIL: replayed {report.replayed_batches} batches, "
+                  f"expected {args.tail_batches}")
+            return 1
+
+        speedup = cold_seconds / recovery_seconds
+        print(f"restart        : cold CSV rebuild {cold_seconds:.3f}s  "
+              f"checkpoint+tail {recovery_seconds:.3f}s  "
+              f"speedup {speedup:.1f}x")
+        print(f"recovery report: checkpoint v{report.checkpoint_version} "
+              f"+ {report.replayed_batches} batches "
+              f"({report.replayed_ops} ops), "
+              f"{report.serve_entries_seeded} serve entr(y/ies) seeded")
+
+        payload = {
+            "benchmark": "bench_recovery",
+            "query": QUERY_TEXT,
+            "facts": n_facts,
+            "answers": expected,
+            "tail_batches": args.tail_batches,
+            "tail_ops": args.tail_batches * 5,
+            "index_build_seconds": round(build_seconds, 6),
+            "cold_restart_seconds": round(cold_seconds, 6),
+            "recovery_restart_seconds": round(recovery_seconds, 6),
+            "speedup": round(speedup, 2),
+            "required_speedup": required_speedup,
+            "checkpoint_version": report.checkpoint_version,
+            "replayed_batches": report.replayed_batches,
+            "replayed_ops": report.replayed_ops,
+            "serve_entries_seeded": report.serve_entries_seeded,
+            "final_version": final_version,
+            "smoke": args.smoke,
+        }
+        path = pathlib.Path(args.json)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path}")
+
+        if speedup < required_speedup:
+            print(f"FAIL: recovery speedup {speedup:.1f}x below required "
+                  f"{required_speedup:.1f}x")
+            return 1
+        print(f"OK: recovery reaches the first served answer {speedup:.1f}x "
+              f"faster than the cold rebuild (required "
+              f"{required_speedup:.1f}x)")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,14 @@ from repro.database import (
 )
 from repro.errors import ReproError
 from repro.service import Cursor, IndexCache, QueryService, StaleCursorError, Transaction
+from repro.storage import (
+    CheckpointError,
+    DurableStore,
+    RecoveryReport,
+    StorageError,
+    WalError,
+    WriteAheadLog,
+)
 from repro.core import (
     CQIndex,
     DeletableAnswerSet,
@@ -84,6 +92,12 @@ __all__ = [
     "ReproError",
     "evaluate_cq",
     "evaluate_ucq",
+    "CheckpointError",
+    "DurableStore",
+    "RecoveryReport",
+    "StorageError",
+    "WalError",
+    "WriteAheadLog",
     "CQIndex",
     "Cursor",
     "IndexCache",

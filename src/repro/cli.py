@@ -29,15 +29,27 @@ Commands
     per line — applied as a single batch (one
     :class:`~repro.database.delta.Delta`, one version bump); reports
     per-relation applied/no-op counts and writes the touched ``.csv``
-    files back.
+    files back. With ``--wal DIR`` the batch is also made durable in a
+    :class:`~repro.storage.DurableStore` at ``DIR`` (created and seeded
+    from the CSVs on first use; thereafter ``DIR`` is the source of
+    truth and the CSVs are refreshed as an export).
+``recover`` / ``checkpoint``
+    Operate on a durable store directory: ``recover`` rebuilds the
+    database from the newest checkpoint plus the write-ahead log's
+    durable tail and prints the recovery report (``--csv OUT`` exports
+    the recovered relations); ``checkpoint`` recovers and then writes a
+    fresh checkpoint, pruning old ones and trimming the log.
 ``tpch``
     Generate the synthetic TPC-H instance and print table cardinalities.
 ``figures``
     Regenerate one of the paper's figures (prints the text rendering).
 
 Databases are directories of CSV files: each ``<name>.csv`` becomes the
-relation ``<name>``, the first line naming its columns. Values parse as
-int, then float, then string.
+relation ``<name>``, the first line naming its columns. Cells use the
+canonical scalar encoding of :mod:`repro.storage.values` — shared with
+the write-ahead log and checkpoints — so a persisted value always reads
+back equal to the in-memory value. Relation files are written via
+write-temp-then-rename, never truncated in place.
 
 All query-serving commands go through a
 :class:`~repro.service.QueryService` **cursor**, so a command that touches
@@ -58,6 +70,7 @@ from typing import List, Optional
 
 from repro import Database, Delta, DeltaError, QueryService, Relation, parse_cq
 from repro.query.render import describe_query
+from repro.storage import DurableStore, StorageError, decode_cell, write_relation_csv
 
 
 def load_csv_database(directory: str) -> Database:
@@ -73,7 +86,7 @@ def load_csv_database(directory: str) -> Database:
                 columns = next(reader)
             except StopIteration:
                 raise SystemExit(f"{file} is empty (needs a header row)")
-            rows = [tuple(_parse_value(v) for v in row) for row in reader]
+            rows = [tuple(decode_cell(v) for v in row) for row in reader]
         database.add(Relation(file.stem, [c.strip() for c in columns], rows))
     if not database.names():
         raise SystemExit(f"no .csv files found in {directory}")
@@ -81,15 +94,9 @@ def load_csv_database(directory: str) -> Database:
 
 
 def _parse_value(text: str):
-    text = text.strip()
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        return text
+    """Command-line value parsing: the canonical cell decoding, after
+    stripping the padding users type around ``,`` separators."""
+    return decode_cell(text.strip())
 
 
 def _format_answer(answer: tuple) -> str:
@@ -105,12 +112,9 @@ def _parse_fact(spec: str):
 
 
 def _write_relation_csv(directory: str, relation) -> pathlib.Path:
-    path = pathlib.Path(directory) / f"{relation.name}.csv"
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(relation.columns)
-        writer.writerows(relation.rows)
-    return path
+    """Persist one relation atomically (write temp + rename): a crash
+    mid-write leaves the previous file intact, never a truncated one."""
+    return write_relation_csv(directory, relation)
 
 
 def command_classify(args) -> int:
@@ -271,9 +275,30 @@ def _load_delta_jsonl(path: pathlib.Path, database: Database) -> Delta:
 
 
 def command_apply(args) -> int:
-    """Apply a JSONL delta as one batch and persist the touched CSVs."""
-    database = load_csv_database(args.database)
-    service = QueryService(database)
+    """Apply a JSONL delta as one batch and persist the touched CSVs.
+
+    With ``--wal DIR`` the batch goes through a durable store: on first
+    use the CSV database seeds a base checkpoint in ``DIR``; on every
+    later run the database is *recovered from* ``DIR`` (the durable
+    state, not the CSVs, is the source of truth) and the batch is
+    appended to the write-ahead log before it becomes observable. The
+    CSV files are still rewritten — as an export of the durable state.
+    """
+    store = DurableStore(args.wal) if getattr(args, "wal", None) else None
+    if store is not None and store.exists():
+        try:
+            database, report = store.recover()
+        except StorageError as error:
+            raise SystemExit(f"cannot recover {args.wal}: {error}")
+        print(
+            f"recovered {args.wal} at version {report.final_version} "
+            f"(checkpoint {report.checkpoint_version} "
+            f"+ {report.replayed_batches} replayed batch(es))"
+        )
+        service = QueryService(database, storage=store)
+    else:
+        database = load_csv_database(args.database)
+        service = QueryService(database, storage=store)
     delta = _load_delta_jsonl(pathlib.Path(args.delta), database)
     result = service.apply(delta)
     for name in sorted(result.by_relation):
@@ -290,6 +315,58 @@ def command_apply(args) -> int:
         f"applied {len(delta)} op(s) in one batch: {result.inserted} "
         f"inserted, {result.deleted} deleted, {result.noops} no-op"
     )
+    return 0
+
+
+def _open_store(directory: str) -> DurableStore:
+    store = DurableStore(directory)
+    if not store.exists():
+        raise SystemExit(f"no durable state in {directory} (no checkpoint, no log)")
+    return store
+
+
+def _print_report(report) -> None:
+    print(f"instance: {report.instance_id}")
+    print(f"checkpoint version: {report.checkpoint_version}")
+    print(
+        f"replayed: {report.replayed_batches} batch(es), "
+        f"{report.replayed_ops} op(s)"
+    )
+    if report.discarded_wal_records:
+        print(f"discarded torn log records: {report.discarded_wal_records}")
+    print(f"recovered version: {report.final_version}")
+
+
+def command_recover(args) -> int:
+    """Rebuild the database from a durable store and report what it took."""
+    store = _open_store(args.store)
+    try:
+        database, report = store.recover()
+    except StorageError as error:
+        raise SystemExit(f"cannot recover {args.store}: {error}")
+    _print_report(report)
+    for relation in database:
+        print(f"{relation.name}\t{len(relation)}")
+    if args.csv:
+        out = pathlib.Path(args.csv)
+        out.mkdir(parents=True, exist_ok=True)
+        for relation in database:
+            path = write_relation_csv(out, relation)
+            print(f"exported {path}")
+    return 0
+
+
+def command_checkpoint(args) -> int:
+    """Recover a durable store, then fold its log tail into a fresh
+    checkpoint (pruning old checkpoints, trimming the log)."""
+    store = _open_store(args.store)
+    try:
+        database, report = store.recover()
+        path = store.checkpoint(database, keep=args.keep)
+    except StorageError as error:
+        raise SystemExit(f"cannot checkpoint {args.store}: {error}")
+    _print_report(report)
+    print(f"checkpoint written: {path}")
     return 0
 
 
@@ -387,7 +464,32 @@ def build_parser() -> argparse.ArgumentParser:
         "delta",
         help='JSONL file: one {"op", "relation", "row"} object per line',
     )
+    apply_cmd.add_argument(
+        "--wal", metavar="DIR", default=None,
+        help="durable store directory: WAL-log the batch (seeded from the "
+        "CSVs on first use, recovered from DIR thereafter)",
+    )
     apply_cmd.set_defaults(run=command_apply)
+
+    recover_cmd = commands.add_parser(
+        "recover", help="rebuild a database from its durable store"
+    )
+    recover_cmd.add_argument("store", help="durable store directory (see apply --wal)")
+    recover_cmd.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also export the recovered relations as <DIR>/<name>.csv",
+    )
+    recover_cmd.set_defaults(run=command_recover)
+
+    checkpoint_cmd = commands.add_parser(
+        "checkpoint", help="fold a durable store's log tail into a fresh checkpoint"
+    )
+    checkpoint_cmd.add_argument("store", help="durable store directory")
+    checkpoint_cmd.add_argument(
+        "--keep", type=int, default=2,
+        help="checkpoints to retain after pruning (default 2)",
+    )
+    checkpoint_cmd.set_defaults(run=command_checkpoint)
 
     tpch = commands.add_parser("tpch", help="generate TPC-H and print sizes")
     tpch.add_argument("--scale-factor", type=float, default=0.01)

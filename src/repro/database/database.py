@@ -9,10 +9,12 @@ same initial relations)".
 
 from __future__ import annotations
 
+import uuid
 from typing import Callable, Dict, Iterable, List, Sequence
 
 from repro.database.delta import AppliedDelta, Delta
 from repro.database.relation import Relation, RelationError
+from repro.errors import ReproError
 
 
 class Database:
@@ -22,11 +24,30 @@ class Database:
     from a relation — bumps :attr:`version`, a monotone counter that lets
     derived structures (notably :class:`repro.service.IndexCache`) detect
     staleness in O(1) without fingerprinting the data.
+
+    Identity and durability
+    -----------------------
+    Each database carries a unique :attr:`instance_id`; :meth:`copy`
+    clones get a **fresh** one, because a clone diverges from the
+    original while reusing the same version numbers — version ``v`` of
+    the clone and version ``v`` of the original are different states, and
+    only the instance id tells them apart. Durable artifacts (the
+    write-ahead log, checkpoints — see :mod:`repro.storage`) are stamped
+    with the instance id and refuse to replay against any other database.
+
+    :meth:`bind_log` attaches a write-ahead log: every applied batch is
+    appended — durably — *before* the version bump becomes observable,
+    so any version a reader ever saw can be recovered. Fact operations
+    (:meth:`insert` / :meth:`delete` / :meth:`apply`) are logged; schema
+    operations (:meth:`add` / :meth:`replace` / :meth:`derive`) are not —
+    checkpoint after changing the schema.
     """
 
     def __init__(self, relations: Iterable[Relation] = ()):
         self._relations: Dict[str, Relation] = {}
         self.version = 0
+        self.instance_id = uuid.uuid4().hex
+        self._log = None
         for relation in relations:
             self.add(relation)
 
@@ -48,43 +69,31 @@ class Database:
         Returns ``True`` when the fact was new; re-inserting an existing
         fact is a no-op that leaves :attr:`version` untouched.
 
-        Copy-on-write: the relation object is never mutated — a fresh
-        ``Relation`` replaces it, so :meth:`copy` clones (which share
-        relation objects) are insulated from later mutations. The O(|R|)
-        per-call cost is inherent to that isolation; bulk loads should
-        construct relations directly instead of inserting fact by fact.
+        A thin one-fact :meth:`apply` — copy-on-write (:meth:`copy`
+        clones, which share relation objects, are insulated from later
+        mutations), validated up front, and covered by the bound
+        write-ahead log. The O(|R|) per-call cost is inherent to that
+        isolation; bulk loads should construct relations directly, and
+        write bursts should go through one :meth:`apply`.
         """
-        relation = self.relation(name)
-        row = tuple(row)
-        if len(row) != relation.arity:
-            raise RelationError(
-                f"row {row!r} has arity {len(row)}, expected {relation.arity} "
-                f"in relation {name}"
-            )
-        if row in relation.rows:
-            return False
-        rows = list(relation.rows)
-        rows.append(row)
-        self.replace(Relation.copy_from(relation.name, relation.columns, rows))
-        return True
+        return self.apply(
+            Delta(database=self).insert(name, tuple(row))
+        ).changed
 
     def delete(self, name: str, row: tuple) -> bool:
-        """Delete a fact from relation ``name`` (copy-on-write, see
-        :meth:`insert`).
+        """Delete a fact from relation ``name`` (a thin one-fact
+        :meth:`apply`, like :meth:`insert`).
 
-        Returns ``True`` when the fact was present; deleting an absent fact
-        is a no-op that leaves :attr:`version` untouched.
+        Returns ``True`` when the fact was present; deleting an absent
+        fact is a no-op that leaves :attr:`version` untouched. A row of
+        the wrong arity (which can never be present) raises
+        :class:`~repro.database.delta.DeltaError` — a
+        :class:`~repro.database.relation.RelationError` — exactly like
+        :meth:`insert`, instead of masquerading as a no-op.
         """
-        relation = self.relation(name)
-        row = tuple(row)
-        try:
-            position = relation.rows.index(row)
-        except ValueError:
-            return False
-        rows = list(relation.rows)
-        del rows[position]
-        self.replace(Relation.copy_from(relation.name, relation.columns, rows))
-        return True
+        return self.apply(
+            Delta(database=self).delete(name, tuple(row))
+        ).changed
 
     def apply(self, delta) -> AppliedDelta:
         """Apply a batch of fact operations with a **single** version bump.
@@ -153,12 +162,59 @@ class Database:
                 )
                 rows.extend(appended)
                 changed_relations[name] = rows
+        if changed_relations and self._log is not None:
+            # Write-ahead: the effective batch is durable (appended,
+            # flushed, fsynced) before any relation is swapped in or the
+            # version bump becomes observable. If the append raises, the
+            # database is untouched and the caller sees the error.
+            self._log.append(self.version + 1, effective)
         for name, rows in changed_relations.items():
             relation = self._relations[name]
             self._relations[name] = Relation.copy_from(name, relation.columns, rows)
         if changed_relations:
             self.version += 1
         return AppliedDelta(effective, by_relation)
+
+    # ------------------------------------------------------------------ #
+    # Durability                                                          #
+    # ------------------------------------------------------------------ #
+
+    def bind_log(self, log) -> None:
+        """Attach a write-ahead log (see :class:`repro.storage.WriteAheadLog`).
+
+        Every subsequent effective :meth:`apply` / :meth:`insert` /
+        :meth:`delete` appends its batch durably before bumping
+        :attr:`version`. Pass ``None`` to detach. A log stamped with a
+        different database instance is refused.
+        """
+        owner = getattr(log, "instance_id", None)
+        if log is not None and owner is not None and owner != self.instance_id:
+            raise ReproError(
+                f"log belongs to database instance {owner!r}, refusing to "
+                f"bind it to instance {self.instance_id!r}"
+            )
+        self._log = log
+
+    @property
+    def log(self):
+        """The bound write-ahead log, or ``None``."""
+        return self._log
+
+    @classmethod
+    def recover(cls, directory) -> "Database":
+        """Rebuild the database stored under ``directory``.
+
+        Loads the newest valid checkpoint and replays the write-ahead
+        log's durable tail, landing on exactly the last durable version;
+        the recovered database keeps its original :attr:`instance_id` and
+        stays bound to the log for continued durable writes. See
+        :meth:`repro.storage.DurableStore.recover` for the report (or
+        inspect ``database.log``).
+        """
+        from repro.storage.store import DurableStore
+
+        database, __report = DurableStore(directory).recover()
+        return database
 
     def relation(self, name: str) -> Relation:
         try:
@@ -200,7 +256,13 @@ class Database:
 
     def copy(self) -> "Database":
         """A shallow copy (relations are immutable in practice, so this is
-        enough to let callers add derived relations without aliasing)."""
+        enough to let callers add derived relations without aliasing).
+
+        The clone gets a **fresh** :attr:`instance_id` and no bound log:
+        it diverges from the original while reusing the same version
+        numbers, so it must not append to — or ever be replayed from —
+        the original's durable history.
+        """
         clone = Database()
         clone._relations = dict(self._relations)
         clone.version = self.version

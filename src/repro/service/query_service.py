@@ -206,6 +206,15 @@ class ServiceStats(NamedTuple):
     #: entries (members, intersections and union versions included) —
     #: the writer-side half of the reader-stall observability.
     snapshot_publishes: int = 0
+    #: Batches appended durably to the bound write-ahead log (zero for a
+    #: service constructed without ``storage``).
+    wal_appends: int = 0
+    #: Fact operations replayed from the WAL tail when this service was
+    #: built by :meth:`QueryService.recover` (zero otherwise).
+    wal_replayed_ops: int = 0
+    #: Checkpoints written through the bound store (the base checkpoint
+    #: taken when a fresh directory was bound included).
+    checkpoints: int = 0
 
 
 def _relations_in_key(query_key: tuple) -> frozenset:
@@ -250,6 +259,14 @@ class QueryService:
         ``None`` (default) — adaptive promotion as above; ``True`` — serve
         every eligible query dynamically from the first build; ``False`` —
         never promote, always invalidate-and-rebuild.
+    storage:
+        A directory path or :class:`~repro.storage.DurableStore` to make
+        the database durable: every applied batch is appended to the
+        write-ahead log before its version bump is observable, and
+        :meth:`checkpoint` serializes the database (plus cached
+        serve-state) atomically. A fresh directory gets a base checkpoint
+        immediately; to reopen a directory that already holds history,
+        use :meth:`QueryService.recover` instead.
     """
 
     def __init__(
@@ -259,6 +276,7 @@ class QueryService:
         cache_capacity: int = 32,
         promote_after: int = 3,
         dynamic: Optional[bool] = None,
+        storage=None,
     ):
         self._database = database
         self._cache = cache if cache is not None else IndexCache(cache_capacity)
@@ -285,10 +303,27 @@ class QueryService:
         # how each entry's in-place maintenance split between the per-fact
         # and the batched path (see update_profile()).
         self._entry_updates: Dict[tuple, Dict[str, int]] = {}
+        self._wal_replayed_ops = 0
+        self._storage = None
+        if storage is not None:
+            from repro.storage.store import DurableStore
+
+            store = (
+                storage
+                if isinstance(storage, DurableStore)
+                else DurableStore(storage)
+            )
+            store.bind(database)
+            self._storage = store
 
     @property
     def database(self) -> Database:
         return self._database
+
+    @property
+    def storage(self):
+        """The bound :class:`~repro.storage.DurableStore`, or ``None``."""
+        return self._storage
 
     # ------------------------------------------------------------------ #
     # Index resolution                                                    #
@@ -739,6 +774,100 @@ class QueryService:
                 )
                 self._mutation_invalidations += 1
 
+    # ------------------------------------------------------------------ #
+    # Durability                                                          #
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self, include_serve_state: bool = True):
+        """Write an atomic checkpoint through the bound store.
+
+        Serializes every relation plus the version (and instance id), and
+        — with ``include_serve_state`` — this service's cached indexes at
+        the current version, so a recovered service reaches its first
+        served answer without an O(|D|) rebuild. Old checkpoints are
+        pruned and the WAL trimmed to the records past the new
+        checkpoint. Raises :class:`~repro.storage.StorageError` when the
+        service was constructed without ``storage``.
+        """
+        from repro.storage.store import StorageError
+
+        if self._storage is None:
+            raise StorageError(
+                "this service has no bound storage; construct it with "
+                "storage=<directory> (or recover() one)"
+            )
+        serve_state = self._serve_state() if include_serve_state else None
+        return self._storage.checkpoint(self._database, serve_state)
+
+    def _serve_state(self) -> List[tuple]:
+        """``(query key, entry)`` pairs for this database at the current
+        version — what a checkpoint preserves of the warm cache."""
+        database = self._database
+        version = database.version
+        state = []
+        for key in self._cache.keys():
+            if (isinstance(key, tuple) and len(key) == 3
+                    and key[0] is database and key[1] == version):
+                state.append((key[2], self._cache.peek(key)))
+        return state
+
+    @classmethod
+    def recover(cls, directory, **kwargs) -> "QueryService":
+        """Rebuild a durable service: checkpoint + serve-state + WAL tail.
+
+        The recovery sequence mirrors the live write path exactly:
+
+        1. load the newest valid checkpoint — the database at the
+           checkpoint version, plus the serve-state indexes pickled with
+           it, which are seeded into the cache *at that version*;
+        2. replay each durable WAL batch through :meth:`apply`, so seeded
+           entries are carried forward, updated in place, or invalidated
+           by precisely the same rules that governed the original writes
+           (an update-capable entry absorbs the tail; a static entry over
+           a touched relation rebuilds lazily);
+        3. bind the log for continued durable writes.
+
+        The result lands on exactly the last durable version — every
+        batch whose version bump was ever observable was appended first.
+        ``kwargs`` pass through to the constructor (``dynamic=``,
+        ``promote_after=``, …).
+        """
+        from repro.storage.store import DurableStore, RecoveryReport
+
+        store = DurableStore(directory)
+        database, ckpt, wal = store.load_base()
+        service = cls(database, **kwargs)
+        seeded = 0
+        for query_key, entry in ckpt.serve_state:
+            service._cache.get_or_build(
+                (database, database.version, query_key),
+                lambda entry=entry: entry,
+            )
+            seeded += 1
+        batches = 0
+        ops = 0
+        for record in wal.records(after=ckpt.version):
+            service.apply(record.ops)
+            batches += 1
+            ops += len(record.ops)
+            if database.version != record.version:
+                # Out-of-band bumps (schema ops) are not logged; the
+                # recorded version is what readers observed and wins.
+                database.version = record.version
+        database.bind_log(wal)
+        service._storage = store
+        service._wal_replayed_ops = ops
+        store._last_report = RecoveryReport(
+            instance_id=ckpt.instance_id,
+            checkpoint_version=ckpt.version,
+            replayed_batches=batches,
+            replayed_ops=ops,
+            discarded_wal_records=wal.discarded_records,
+            final_version=database.version,
+            serve_entries_seeded=seeded,
+        )
+        return service
+
     def update_profile(self) -> Dict[tuple, Dict[str, int]]:
         """Per-entry in-place maintenance counts, keyed by canonical query
         key: ``{"single_fact", "batched", "batched_ops"}`` — the inputs a
@@ -810,6 +939,16 @@ class QueryService:
             snapshot_reads=self._snapshot_reads,
             locked_reads=self._locked_reads,
             snapshot_publishes=publishes,
+            wal_appends=(
+                self._storage.wal.appends
+                if self._storage is not None and self._storage.wal is not None
+                else 0
+            ),
+            wal_replayed_ops=self._wal_replayed_ops,
+            checkpoints=(
+                self._storage.checkpoints_written
+                if self._storage is not None else 0
+            ),
         )
 
     def __repr__(self) -> str:

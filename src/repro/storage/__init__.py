@@ -1,0 +1,73 @@
+"""repro.storage — crash-safe persistence for the serving engine.
+
+The database's whole value proposition is the index built by one
+expensive O(|D|) preprocessing pass; losing it on restart is the most
+expensive failure the system has. This package makes the serving state
+durable:
+
+* :mod:`~repro.storage.values` — one canonical scalar encoding shared by
+  CSV, WAL, and JSONL ingest, so a persisted fact always reads back
+  equal to the in-memory fact;
+* :mod:`~repro.storage.atomic` — write-temp-then-``os.replace`` file
+  publication (no truncate-in-place anywhere);
+* :mod:`~repro.storage.wal` — the append-only, checksummed ``Delta``
+  write-ahead log with torn-tail discard;
+* :mod:`~repro.storage.checkpoint` — atomic checkpoint directories
+  (relations + version + optional serve-state, manifest written last);
+* :mod:`~repro.storage.store` — :class:`DurableStore`, the façade that
+  binds a live database, checkpoints it, and implements
+  checkpoint-plus-WAL-tail recovery.
+
+See the README's "Durability & recovery" section for the on-disk layout
+and the recovery contract.
+"""
+
+from repro.storage.atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    relation_csv_text,
+    write_relation_csv,
+)
+from repro.storage.checkpoint import (
+    CheckpointData,
+    CheckpointError,
+    latest_checkpoint,
+    load_checkpoint,
+    prune_checkpoints,
+    valid_checkpoints,
+    write_checkpoint,
+)
+from repro.storage.store import DurableStore, RecoveryReport, StorageError
+from repro.storage.values import (
+    ValueEncodingError,
+    decode_cell,
+    decode_row,
+    encode_cell,
+    encode_row,
+)
+from repro.storage.wal import WalError, WalRecord, WriteAheadLog
+
+__all__ = [
+    "DurableStore",
+    "RecoveryReport",
+    "StorageError",
+    "WriteAheadLog",
+    "WalRecord",
+    "WalError",
+    "CheckpointData",
+    "CheckpointError",
+    "write_checkpoint",
+    "load_checkpoint",
+    "latest_checkpoint",
+    "valid_checkpoints",
+    "prune_checkpoints",
+    "ValueEncodingError",
+    "encode_cell",
+    "decode_cell",
+    "encode_row",
+    "decode_row",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "relation_csv_text",
+    "write_relation_csv",
+]

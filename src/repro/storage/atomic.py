@@ -1,0 +1,92 @@
+"""Atomic file publication: write-temp-then-``os.replace``.
+
+Every durable artifact in this package — WAL rewrites, checkpoint
+relation files, manifests, and the CLI's persisted CSVs — goes through
+these helpers, so a crash at any instant leaves either the old file or
+the new file on disk, never a truncated hybrid. (The historical CSV
+persistence opened the target with ``"w"``, truncating it before the
+first row was written: a crash mid-write destroyed the relation.)
+
+The temp file lives in the target's directory (``os.replace`` must not
+cross filesystems) under a ``.tmp`` suffix; recovery-side readers ignore
+``*.tmp`` remnants, so an interrupted write leaves at most harmless
+litter next to an intact original.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import pathlib
+from typing import Union
+
+from repro.storage.values import encode_cell
+
+PathLike = Union[str, os.PathLike]
+
+
+def fsync_directory(directory: PathLike) -> None:
+    """Flush a directory entry so a just-published rename is durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, payload: bytes) -> pathlib.Path:
+    """Publish ``payload`` at ``path`` atomically (temp + ``os.replace``).
+
+    The temp file is fsynced before the rename and the parent directory
+    after it, so once this returns the content is durable; if it raises,
+    the previous file (if any) is untouched.
+    """
+    path = pathlib.Path(path)
+    temp = path.with_name(path.name + ".tmp")
+    fd = os.open(temp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+    except BaseException:
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_text(path: PathLike, text: str) -> pathlib.Path:
+    """Text-mode :func:`atomic_write_bytes` (UTF-8)."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def relation_csv_text(relation) -> str:
+    """The canonical CSV serialization of one relation (header + rows,
+    cells through :func:`~repro.storage.values.encode_cell`)."""
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(relation.columns)
+    for row in relation.rows:
+        writer.writerow([encode_cell(value) for value in row])
+    return buffer.getvalue()
+
+
+def write_relation_csv(directory: PathLike, relation) -> pathlib.Path:
+    """Persist ``<relation.name>.csv`` under ``directory`` atomically.
+
+    Shared by the CLI's mutation commands and the checkpoint writer: the
+    whole file is staged and renamed in one step, so ``repro mutate`` /
+    ``repro apply`` can never tear a relation on crash.
+    """
+    path = pathlib.Path(directory) / f"{relation.name}.csv"
+    return atomic_write_text(path, relation_csv_text(relation))

@@ -1,0 +1,141 @@
+"""The canonical scalar encoding shared by CSV, WAL, and JSONL ingest.
+
+The durability tier must guarantee that a fact written to disk reads back
+**equal** to the in-memory fact — otherwise a persisted insert can no
+longer be deleted (the delete's row compares unequal to the reloaded row
+and silently no-ops). The historical CSV path broke this in three ways:
+
+* JSON booleans and ``null`` (accepted by ``repro apply``'s delta files)
+  were stringified — ``True`` persisted as ``"True"`` and read back as the
+  *string* ``"True"``;
+* the string ``"1"`` persisted as ``1`` and read back as the *int* ``1``;
+* ``None`` persisted as the empty string.
+
+This module defines one bijective encoding between Python scalars and CSV
+cell text, used by every persistence surface:
+
+* ``null`` / ``true`` / ``false`` are the JSON literals for ``None`` /
+  ``True`` / ``False``;
+* ints render in decimal, floats via ``repr`` (always distinguishable
+  from ints: a ``.``, an exponent, or ``inf`` / ``nan``);
+* a string renders as its raw text **iff** decoding that text yields the
+  string back unchanged; any string that would decode as something else
+  (``"1"``, ``"true"``, ``"1_000"``, ``" 1"`` — ``int()`` accepts
+  underscores and surrounding whitespace — or text starting with ``"``)
+  is JSON-quoted instead.
+
+``decode_cell`` is therefore a strict left inverse of ``encode_cell`` on
+the supported scalar domain (``None``, ``bool``, ``int``, ``float``,
+``str``), with the single caveat that ``nan`` round-trips to a ``nan``
+(equal by ``is``-ness of semantics, not ``==``). Legacy CSV files written
+by earlier versions keep loading with identical results wherever they were
+unambiguous (plain ints, floats, and ordinary strings).
+
+Doctest
+-------
+>>> decode_cell(encode_cell("1")), decode_cell(encode_cell(1))
+('1', 1)
+>>> [encode_cell(v) for v in (None, True, False, 2.0, "true")]
+['null', 'true', 'false', '2.0', '"true"']
+>>> [decode_cell(t) for t in ('null', 'true', 'false', '2.0', '"true"')]
+[None, True, False, 2.0, 'true']
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ReproError
+
+#: The scalar types the persistence tier can represent faithfully.
+SCALAR_TYPES = (type(None), bool, int, float, str)
+
+
+class ValueEncodingError(ReproError, TypeError):
+    """Raised when a row value falls outside the persistable scalar
+    domain (``None``, ``bool``, ``int``, ``float``, ``str``)."""
+
+
+def _decode_raw(text: str):
+    """Decode cell text without the JSON-quoted escape hatch."""
+    if text == "null":
+        return None
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def encode_cell(value) -> str:
+    """The canonical CSV cell text for one scalar value."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        # Raw iff decoding gives the string back; anything ambiguous
+        # (numeric-looking, a JSON literal, or leading-quote text) is
+        # JSON-quoted so decode_cell can tell it apart. Newlines are
+        # quoted too — JSON escapes them, keeping every persisted row on
+        # one physical line (a raw "\r" would otherwise split a CSV row:
+        # csv.writer only quotes characters in its own lineterminator).
+        if (
+            not value.startswith('"')
+            and "\r" not in value
+            and "\n" not in value
+            and _decode_raw(value) == value
+        ):
+            return value
+        return json.dumps(value, ensure_ascii=False)
+    raise ValueEncodingError(
+        f"cannot persist a {type(value).__name__} value ({value!r}): "
+        f"rows must hold None, bool, int, float, or str"
+    )
+
+
+def decode_cell(text: str):
+    """The scalar value a canonical CSV cell encodes (inverse of
+    :func:`encode_cell`; tolerant of legacy unquoted strings)."""
+    if text.startswith('"'):
+        try:
+            decoded = json.loads(text)
+        except ValueError:
+            return text  # legacy cell that merely starts with a quote
+        if isinstance(decoded, str):
+            return decoded
+        return text
+    return _decode_raw(text)
+
+
+def encode_row(row) -> list:
+    """A JSON-safe list for one fact row (validates the scalar domain).
+
+    WAL records and delta files carry rows as JSON arrays, where the
+    scalar types survive natively; this only rejects values the encoding
+    cannot represent (and normalizes nothing else).
+    """
+    for value in row:
+        if not isinstance(value, SCALAR_TYPES):
+            raise ValueEncodingError(
+                f"cannot persist a {type(value).__name__} value ({value!r}): "
+                f"rows must hold None, bool, int, float, or str"
+            )
+    return list(row)
+
+
+def decode_row(values) -> tuple:
+    """The in-memory row for a JSON array of scalars."""
+    return tuple(values)

@@ -1,0 +1,302 @@
+"""The append-only ``Delta`` write-ahead log.
+
+One JSONL file, one framed and checksummed record per line:
+
+.. code-block:: text
+
+    <8-hex crc32> <compact JSON payload>\\n
+
+The first record is a **header** naming the database instance the log
+belongs to (see :attr:`~repro.database.database.Database.instance_id`)
+and the version the log starts after; every subsequent record is a
+**batch**: the effective operations of one applied
+:class:`~repro.database.delta.Delta` plus the post-apply version. A
+batch is appended — flushed and fsynced — *before* the in-memory version
+bump becomes observable, so any version a reader ever saw is durable.
+
+Torn tails
+----------
+A crash mid-append can leave a final line that is short, missing its
+newline, or corrupt. :meth:`WriteAheadLog.open` scans the file and keeps
+the longest valid prefix: the first record that fails framing (bad hex,
+checksum mismatch, invalid JSON, wrong structure, or a version that does
+not increase) and everything after it are **discarded** — truncated away
+when the log is opened for appending — and reported via
+:attr:`WriteAheadLog.discarded_records`. Recovery therefore always lands
+on the last *durable* version, never on a half-written batch.
+
+Instance binding
+----------------
+Every record carries the owning database's instance id; replaying a log
+against a different database (e.g. a :meth:`Database.copy` clone that
+diverged while reusing the same version numbers) raises
+:class:`WalError` instead of silently corrupting it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import zlib
+from typing import Iterator, List, NamedTuple, Optional, Union
+
+from repro.errors import ReproError
+from repro.storage.values import decode_row, encode_row
+
+PathLike = Union[str, os.PathLike]
+
+_FORMAT = 1
+
+
+class WalError(ReproError):
+    """Raised on write-ahead-log misuse: appending out-of-order versions,
+    binding a log to the wrong database instance, or opening a file whose
+    header is unreadable."""
+
+
+class WalRecord(NamedTuple):
+    """One durable batch: the effective ops that produced ``version``."""
+
+    version: int
+    ops: List[tuple]  # [(op, relation, row), ...] with row a tuple
+
+
+def _frame(payload: dict) -> bytes:
+    body = json.dumps(payload, separators=(",", ":"), ensure_ascii=False)
+    encoded = body.encode("utf-8")
+    return b"%08x %s\n" % (zlib.crc32(encoded), encoded)
+
+
+def _unframe(line: bytes) -> Optional[dict]:
+    """The payload of one framed line, or ``None`` if torn/corrupt."""
+    if not line.endswith(b"\n"):
+        return None  # torn tail: the newline is the commit marker
+    body = line[:-1]
+    if len(body) < 10 or body[8:9] != b" ":
+        return None
+    try:
+        checksum = int(body[:8], 16)
+    except ValueError:
+        return None
+    encoded = body[9:]
+    if zlib.crc32(encoded) != checksum:
+        return None
+    try:
+        payload = json.loads(encoded.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return payload
+
+
+class WriteAheadLog:
+    """An open write-ahead log, positioned after its last durable record.
+
+    Use :meth:`open` — it scans the file, validates framing, discards any
+    torn tail, and (when ``instance_id`` is given) checks or stamps the
+    header. ``append`` frames, writes, flushes, and fsyncs one batch.
+    """
+
+    def __init__(
+        self,
+        path: pathlib.Path,
+        instance_id: str,
+        base_version: int,
+        last_version: int,
+        records: List[WalRecord],
+        discarded_records: int,
+    ):
+        self.path = path
+        self.instance_id = instance_id
+        #: The version the log starts after (its header's version).
+        self.base_version = base_version
+        #: The version of the last durable record (base_version if none).
+        self.last_version = last_version
+        #: Batches discarded as torn/corrupt when the file was opened.
+        self.discarded_records = discarded_records
+        #: Batches appended through this handle (the `wal_appends` stat).
+        self.appends = 0
+        self._records = records
+        self._handle = None
+
+    # ------------------------------------------------------------------ #
+    # Opening                                                             #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def open(
+        cls,
+        path: PathLike,
+        instance_id: Optional[str] = None,
+        base_version: int = 0,
+    ) -> "WriteAheadLog":
+        """Open (or create) the log at ``path``.
+
+        A missing file is created with a header carrying ``instance_id``
+        (required in that case) and ``base_version``. An existing file is
+        scanned: the valid record prefix is kept, anything after the
+        first torn or corrupt line is truncated away, and — when
+        ``instance_id`` is given — a header naming a *different* instance
+        raises :class:`WalError`.
+        """
+        path = pathlib.Path(path)
+        if not path.exists():
+            if instance_id is None:
+                raise WalError(f"creating {path} requires an instance id")
+            header = _frame({
+                "kind": "header", "format": _FORMAT,
+                "instance": instance_id, "version": base_version,
+            })
+            with open(path, "wb") as handle:
+                handle.write(header)
+                handle.flush()
+                os.fsync(handle.fileno())
+            return cls(path, instance_id, base_version, base_version, [], 0)
+
+        raw = path.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        if not lines:
+            raise WalError(f"{path} exists but is empty (no header record)")
+        header = _unframe(lines[0])
+        if header is None or header.get("kind") != "header":
+            raise WalError(f"{path} has no valid header record")
+        owner = header.get("instance")
+        if instance_id is not None and owner != instance_id:
+            raise WalError(
+                f"{path} belongs to database instance {owner!r}, "
+                f"refusing to bind it to instance {instance_id!r}"
+            )
+        base = int(header.get("version", 0))
+        records: List[WalRecord] = []
+        durable_bytes = len(lines[0])
+        last_version = base
+        discarded = 0
+        for line in lines[1:]:
+            payload = _unframe(line)
+            if (
+                payload is None
+                or payload.get("kind") != "batch"
+                or payload.get("instance") != owner
+                or not isinstance(payload.get("ops"), list)
+                or not isinstance(payload.get("version"), int)
+                or payload["version"] <= last_version
+            ):
+                # Torn or corrupt: nothing after it can be trusted either
+                # (appends are strictly ordered), so count the rest out.
+                discarded = sum(1 for l in lines[len(records) + 1:] if l.strip())
+                break
+            try:
+                ops = [
+                    (op, relation, decode_row(row))
+                    for op, relation, row in payload["ops"]
+                ]
+            except (TypeError, ValueError):
+                discarded = sum(1 for l in lines[len(records) + 1:] if l.strip())
+                break
+            records.append(WalRecord(payload["version"], ops))
+            last_version = payload["version"]
+            durable_bytes += len(line)
+        if durable_bytes < len(raw):
+            # Drop the torn tail so the next append starts on a clean
+            # record boundary (appending after garbage would hide every
+            # later record behind the corrupt line on the next open).
+            with open(path, "rb+") as handle:
+                handle.truncate(durable_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return cls(path, owner, base, last_version, records, discarded)
+
+    # ------------------------------------------------------------------ #
+    # Appending                                                           #
+    # ------------------------------------------------------------------ #
+
+    def append(self, version: int, ops) -> None:
+        """Durably append one batch that produced ``version``.
+
+        ``ops`` is an iterable of ``(op, relation, row)`` triples (a
+        :class:`~repro.database.delta.Delta` iterates exactly so). The
+        record is flushed and fsynced before this returns: once the
+        caller publishes ``version``, the batch is already on disk.
+        """
+        if version <= self.last_version:
+            raise WalError(
+                f"out-of-order append: version {version} after "
+                f"{self.last_version}"
+            )
+        encoded_ops = [
+            [op, relation, encode_row(row)] for op, relation, row in ops
+        ]
+        record = _frame({
+            "kind": "batch", "instance": self.instance_id,
+            "version": version, "ops": encoded_ops,
+        })
+        if self._handle is None:
+            self._handle = open(self.path, "ab")
+        self._handle.write(record)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._records.append(WalRecord(
+            version,
+            [(op, relation, tuple(row)) for op, relation, row in ops],
+        ))
+        self.last_version = version
+        self.appends += 1
+
+    # ------------------------------------------------------------------ #
+    # Reading / maintenance                                               #
+    # ------------------------------------------------------------------ #
+
+    def records(self, after: int = 0) -> Iterator[WalRecord]:
+        """The durable batches with ``version > after``, in order."""
+        for record in self._records:
+            if record.version > after:
+                yield record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def truncate_through(self, version: int) -> int:
+        """Drop records with ``version <= version`` (checkpoint pruning).
+
+        Rewrites the log atomically with a fresh header based at the
+        highest dropped version. Returns how many records were dropped.
+        """
+        from repro.storage.atomic import atomic_write_bytes
+
+        keep = [r for r in self._records if r.version > version]
+        dropped = len(self._records) - len(keep)
+        if dropped == 0:
+            return 0
+        new_base = max(self.base_version, version)
+        body = _frame({
+            "kind": "header", "format": _FORMAT,
+            "instance": self.instance_id, "version": new_base,
+        })
+        for record in keep:
+            body += _frame({
+                "kind": "batch", "instance": self.instance_id,
+                "version": record.version,
+                "ops": [
+                    [op, relation, encode_row(row)]
+                    for op, relation, row in record.ops
+                ],
+            })
+        self.close()
+        atomic_write_bytes(self.path, body)
+        self._records = keep
+        self.base_version = new_base
+        self.last_version = keep[-1].version if keep else new_base
+        return dropped
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({str(self.path)!r}, records={len(self._records)}, "
+            f"last_version={self.last_version})"
+        )

@@ -44,6 +44,42 @@ class TestDatabase:
         clone.derive("R", "D", lambda t: True)
         assert "D" in clone and "D" not in db
 
+    def test_copy_gets_fresh_instance_id(self):
+        db = Database([Relation("R", ("a",), [(1,)])])
+        clone = db.copy()
+        assert clone.version == db.version
+        assert clone.instance_id != db.instance_id
+
+    def test_delete_wrong_arity_raises(self):
+        # Regression: delete() used to silently no-op on a row of the
+        # wrong arity (which can never be present) while insert() raised.
+        db = Database([Relation("R", ("a", "b"), [(1, 10)])])
+        version = db.version
+        with pytest.raises(RelationError):
+            db.delete("R", (1,))
+        with pytest.raises(RelationError):
+            db.delete("R", (1, 10, 99))
+        with pytest.raises(RelationError):
+            db.insert("R", (1,))
+        assert db.version == version
+        assert db.relation("R").rows == [(1, 10)]
+
+    def test_delete_missing_relation_raises(self):
+        db = Database([Relation("R", ("a",), [(1,)])])
+        with pytest.raises(RelationError):
+            db.delete("missing", (1,))
+
+    def test_insert_delete_version_semantics(self):
+        db = Database([Relation("R", ("a",), [(1,)])])
+        version = db.version
+        assert db.insert("R", (2,)) is True
+        assert db.version == version + 1
+        assert db.insert("R", (2,)) is False  # duplicate: no-op
+        assert db.version == version + 1
+        assert db.delete("R", (2,)) is True
+        assert db.delete("R", (2,)) is False  # absent: no-op
+        assert db.version == version + 2
+
 
 class TestHashIndex:
     def test_groups(self):

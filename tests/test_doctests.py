@@ -16,6 +16,7 @@ import repro.service
 import repro.service.cache
 import repro.service.cursor
 import repro.service.query_service
+import repro.storage.values
 
 
 @pytest.mark.parametrize(
@@ -29,6 +30,7 @@ import repro.service.query_service
         repro.service.cache,
         repro.service.cursor,
         repro.service.query_service,
+        repro.storage.values,
     ],
     ids=lambda m: m.__name__,
 )

@@ -1,0 +1,220 @@
+"""Crash-injection tests for the durability tier.
+
+Each test simulates what a crash at a specific instant leaves on disk —
+a torn WAL tail, a half-staged checkpoint, a vanished manifest, a
+corrupted payload — and asserts that recovery lands on **exactly the
+last durable version**: every batch whose fsync completed survives,
+every batch whose fsync did not is discarded whole, and no torn artifact
+is ever mistaken for state.
+"""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro import Database, QueryService, Relation, StorageError
+from repro.storage import DurableStore, latest_checkpoint, valid_checkpoints
+from repro.storage.checkpoint import checkpoint_root
+
+QUERY = "Q(a, b, c) :- R(a, b), S(b, c)"
+
+
+def make_store(tmp_path):
+    """A durable store with a base checkpoint and a three-batch WAL tail."""
+    db = Database([
+        Relation("R", ("a", "b"), [(1, 10), (2, 20)]),
+        Relation("S", ("b", "c"), [(10, "x"), (10, "y"), (20, "z")]),
+    ])
+    store = DurableStore(tmp_path).bind(db)
+    db.insert("R", (3, 30))          # version base+1
+    db.insert("S", (30, "w"))        # version base+2
+    db.delete("S", (10, "x"))        # version base+3
+    db.log.close()
+    return db, store
+
+
+class TestTornWalTail:
+    def test_truncated_tail_record_discarded(self, tmp_path):
+        db, store = make_store(tmp_path)
+        wal_path = store.wal_path
+        raw = wal_path.read_bytes()
+        # Crash mid-append: the final record lost its last 5 bytes
+        # (including the newline commit marker).
+        wal_path.write_bytes(raw[:-5])
+
+        recovered, report = DurableStore(tmp_path).recover()
+        assert recovered.version == db.version - 1
+        assert report.discarded_wal_records == 1
+        assert report.final_version == db.version - 1
+        # The discarded delete never happened in the recovered state.
+        assert (10, "x") in set(recovered.relation("S").rows)
+        assert (30, "w") in set(recovered.relation("S").rows)
+
+    def test_corrupt_checksum_discards_record_and_rest(self, tmp_path):
+        db, store = make_store(tmp_path)
+        wal_path = store.wal_path
+        lines = wal_path.read_bytes().splitlines(keepends=True)
+        # Flip one payload byte of the *second* batch (line index 2:
+        # header, batch1, batch2, batch3) without touching its checksum.
+        target = bytearray(lines[2])
+        target[-10] ^= 0x01
+        lines[2] = bytes(target)
+        wal_path.write_bytes(b"".join(lines))
+
+        recovered, report = DurableStore(tmp_path).recover()
+        # Batch 2 is corrupt, so batch 3 — though intact — is untrusted
+        # too: appends are strictly ordered and recovery must not leave
+        # a hole in the history.
+        assert recovered.version == db.version - 2
+        assert report.discarded_wal_records == 2
+        assert (3, 30) in set(recovered.relation("R").rows)   # batch 1
+        assert (30, "w") not in set(recovered.relation("S").rows)  # batch 2
+
+    def test_garbage_appended_to_log(self, tmp_path):
+        db, store = make_store(tmp_path)
+        with open(store.wal_path, "ab") as handle:
+            handle.write(b"\x00\xffgarbage not even a frame")
+
+        recovered, report = DurableStore(tmp_path).recover()
+        assert recovered.version == db.version
+        assert report.discarded_wal_records == 1
+
+    def test_recovery_truncates_tail_so_appends_resume(self, tmp_path):
+        db, store = make_store(tmp_path)
+        raw = store.wal_path.read_bytes()
+        store.wal_path.write_bytes(raw[:-5])
+
+        recovered, __ = DurableStore(tmp_path).recover()
+        recovered.insert("R", (4, 40))  # append lands on a clean boundary
+        again, report = DurableStore(tmp_path).recover()
+        assert again.version == recovered.version
+        assert report.discarded_wal_records == 0
+        assert (4, 40) in set(again.relation("R").rows)
+
+    def test_wal_only_header_recovers_checkpoint_state(self, tmp_path):
+        db, store = make_store(tmp_path)
+        lines = store.wal_path.read_bytes().splitlines(keepends=True)
+        store.wal_path.write_bytes(lines[0])  # every batch lost
+
+        recovered, report = DurableStore(tmp_path).recover()
+        assert recovered.version == latest_checkpoint(tmp_path).version
+        assert report.replayed_batches == 0
+
+
+class TestTornCheckpoints:
+    def test_missing_manifest_invalidates_checkpoint(self, tmp_path):
+        db, store = make_store(tmp_path)
+        store2 = DurableStore(tmp_path)
+        recovered, __ = store2.recover()
+        store2.checkpoint(recovered)  # newer checkpoint, WAL trimmed to it
+        newest = valid_checkpoints(tmp_path)[-1]
+        # Crash between payload writes and the manifest: the directory
+        # exists but was never published as a checkpoint.
+        os.unlink(newest / "manifest.json")
+
+        with_manifest = valid_checkpoints(tmp_path)
+        assert newest not in with_manifest
+
+    def test_partial_staging_directory_ignored(self, tmp_path):
+        db, store = make_store(tmp_path)
+        root = checkpoint_root(tmp_path)
+        litter = root / "ckpt-000000099999.tmp-4242"
+        litter.mkdir()
+        (litter / "relations.pkl").write_bytes(b"half written")
+
+        recovered, report = DurableStore(tmp_path).recover()
+        assert recovered.version == db.version
+        # And checkpointing afterwards sweeps the litter away.
+        store3 = DurableStore(tmp_path)
+        db3, __ = store3.recover()
+        store3.checkpoint(db3)
+        assert not litter.exists()
+
+    def test_corrupted_payload_fails_checksum(self, tmp_path):
+        db, store = make_store(tmp_path)
+        newest = valid_checkpoints(tmp_path)[-1]
+        blob = (newest / "relations.pkl").read_bytes()
+        (newest / "relations.pkl").write_bytes(blob[:-3] + b"zzz")
+
+        assert valid_checkpoints(tmp_path) == []
+        with pytest.raises(StorageError):
+            DurableStore(tmp_path).recover()
+
+    def test_recovery_uses_previous_checkpoint_when_newest_torn(self, tmp_path):
+        db, store = make_store(tmp_path)
+        base_version = latest_checkpoint(tmp_path).version
+        store2 = DurableStore(tmp_path)
+        recovered, __ = store2.recover()
+        recovered.insert("R", (4, 40))
+        store2.checkpoint(recovered, keep=2)
+        newest = valid_checkpoints(tmp_path)[-1]
+        os.unlink(newest / "manifest.json")  # newest checkpoint torn
+
+        # The WAL was trimmed at the (now torn) newest checkpoint, so the
+        # replayable history no longer reaches back to the older one:
+        # recovery must refuse a gap rather than resurrect stale state.
+        ckpt = latest_checkpoint(tmp_path)
+        assert ckpt.version == base_version
+        third = DurableStore(tmp_path)
+        database, report = third.recover()
+        # Every record still in the log is newer than the old checkpoint,
+        # and versions are authoritative: the recovered state is the old
+        # checkpoint plus the surviving tail.
+        assert database.version == report.final_version
+        assert report.checkpoint_version == base_version
+
+
+class TestWrongDatabaseReplay:
+    def test_clone_cannot_recover_into_original_store(self, tmp_path):
+        db, store = make_store(tmp_path)
+        clone = db.copy()
+        with pytest.raises(Exception):
+            clone.bind_log(DurableStore(tmp_path).recover()[0].log)
+
+    def test_foreign_wal_next_to_checkpoint_refused(self, tmp_path):
+        db, store = make_store(tmp_path)
+        # Overwrite the WAL with one owned by a different database.
+        other_dir = tmp_path / "other"
+        other = Database([Relation("R", ("a", "b"), [])])
+        DurableStore(other_dir).bind(other)
+        other.insert("R", (1, 1))
+        other.log.close()
+        shutil.copyfile(other_dir / "wal.jsonl", store.wal_path)
+
+        with pytest.raises(StorageError):
+            DurableStore(tmp_path).recover()
+
+
+class TestServiceRecoveryUnderCrash:
+    def test_service_recovers_to_durable_answers(self, tmp_path):
+        service = QueryService(
+            Database([
+                Relation("R", ("a", "b"), [(1, 10), (2, 20)]),
+                Relation("S", ("b", "c"), [(10, "x"), (20, "z")]),
+            ]),
+            storage=tmp_path,
+            dynamic=True,
+        )
+        service.count(QUERY)
+        service.checkpoint()
+        service.insert("S", (10, "y"))      # durable batch
+        durable_count = service.count(QUERY)
+        service.insert("S", (20, "late"))   # this batch will be torn
+        service.database.log.close()
+
+        wal_path = tmp_path / "wal.jsonl"
+        raw = wal_path.read_bytes()
+        wal_path.write_bytes(raw[:-4])      # tear the last record
+
+        recovered = QueryService.recover(tmp_path, dynamic=True)
+        assert recovered.count(QUERY) == durable_count
+        report = recovered.storage.last_report
+        assert report.discarded_wal_records == 1
+        assert report.serve_entries_seeded >= 1
+
+    def test_empty_wal_and_checkpoint_dir_raises(self, tmp_path):
+        (tmp_path / "checkpoints").mkdir()
+        with pytest.raises(StorageError):
+            QueryService.recover(tmp_path)
