@@ -78,6 +78,8 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="small instance, no 5x assertion (CI sanity run)")
     parser.add_argument("--seed", type=int, default=20200614)
+    parser.add_argument("--json", default="BENCH_batch.json",
+                        help="where to write the measured numbers")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -149,6 +151,27 @@ def main(argv=None) -> int:
     print(f"{len(pages)} pages       : rebuild-per-page {rebuild_seconds:.3f}s  "
           f"cached service {cached_seconds:.3f}s  "
           f"speedup {rebuild_seconds / cached_seconds:.1f}x")
+
+    from conftest import emit_bench
+
+    emit_bench(
+        "bench_batch", speedup, required_speedup, args.json,
+        params={
+            "query": "Q(x0, x1, x2) :- R1(x0, x1), R2(x1, x2)",
+            "answers": n,
+            "batch_size": k,
+            "preprocessing_seconds": round(built, 6),
+            "scalar_seconds": round(scalar_seconds, 6),
+            "batch_seconds": round(batch_seconds, 6),
+            "sorted_scalar_seconds": round(sorted_scalar_s, 6),
+            "sorted_batch_seconds": round(sorted_batch_s, 6),
+            "sample_sequential_seconds": round(sequential_seconds, 6),
+            "sample_batched_seconds": round(sample_seconds, 6),
+            "page_rebuild_seconds": round(rebuild_seconds, 6),
+            "page_cached_seconds": round(cached_seconds, 6),
+        },
+        smoke=args.smoke,
+    )
 
     if speedup < required_speedup:
         print(f"FAIL: random-batch speedup {speedup:.1f}x "

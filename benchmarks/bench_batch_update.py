@@ -36,8 +36,6 @@ from __future__ import annotations
 
 import argparse
 import gc
-import json
-import pathlib
 import random
 import sys
 import time
@@ -197,26 +195,25 @@ def main(argv=None) -> int:
     print(f"write burst    : single-fact loop {loop_seconds:.3f}s  "
           f"batched apply {batch_seconds:.3f}s  speedup {speedup:.1f}x")
 
-    payload = {
-        "benchmark": "bench_batch_update",
-        "query": QUERY_TEXT,
-        "facts": n_facts,
-        "answers": n_loop,
-        "delta_ops": len(delta),
-        "updates": len(updates),
-        "warm_build_loop_seconds": round(warm_loop, 6),
-        "warm_build_batch_seconds": round(warm_batch, 6),
-        "single_fact_seconds": round(loop_seconds, 6),
-        "batched_seconds": round(batch_seconds, 6),
-        "speedup": round(speedup, 2),
-        "required_speedup": required_speedup,
-        "single_fact_in_place_updates": loop_stats.in_place_updates,
-        "batched_update_ops": batch_stats.batched_update_ops,
-        "smoke": args.smoke,
-    }
-    path = pathlib.Path(args.json)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {path}")
+    from conftest import emit_bench
+
+    emit_bench(
+        "bench_batch_update", speedup, required_speedup, args.json,
+        params={
+            "query": QUERY_TEXT,
+            "facts": n_facts,
+            "answers": n_loop,
+            "delta_ops": len(delta),
+            "updates": len(updates),
+            "warm_build_loop_seconds": round(warm_loop, 6),
+            "warm_build_batch_seconds": round(warm_batch, 6),
+            "single_fact_seconds": round(loop_seconds, 6),
+            "batched_seconds": round(batch_seconds, 6),
+            "single_fact_in_place_updates": loop_stats.in_place_updates,
+            "batched_update_ops": batch_stats.batched_update_ops,
+        },
+        smoke=args.smoke,
+    )
 
     if speedup < required_speedup:
         print(f"FAIL: batched apply speedup {speedup:.1f}x "

@@ -41,8 +41,6 @@ Not a pytest file on purpose: like the other gates, CI runs it directly
 from __future__ import annotations
 
 import argparse
-import json
-import pathlib
 import random
 import statistics
 import sys
@@ -274,27 +272,30 @@ def main(argv=None) -> int:
     print(f"reader throughput speedup {throughput_speedup:.1f}x, "
           f"p99 latency improvement {p99_speedup:.1f}x")
 
-    payload = {
-        "benchmark": "bench_concurrent_reads",
-        "query": QUERY_TEXT,
-        "facts": database.size(),
-        "answers": service.count(query),
-        "readers": args.readers,
-        "bursts": len(bursts),
-        "burst_size": burst_size,
-        "locked": {k: round(v, 6) for k, v in locked.items()},
-        "snapshot": {k: round(v, 6) for k, v in snapshot.items()},
-        "locked_window_seconds": round(locked_window, 6),
-        "snapshot_window_seconds": round(snapshot_window, 6),
-        "throughput_speedup": round(throughput_speedup, 2),
-        "p99_speedup": round(p99_speedup, 2),
-        "required_speedup": required_speedup,
-        "snapshot_publishes": service_stats.snapshot_publishes,
-        "smoke": args.smoke,
-    }
-    path = pathlib.Path(args.json)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {path}")
+    from conftest import emit_bench
+
+    emit_bench(
+        "bench_concurrent_reads",
+        min(throughput_speedup, p99_speedup),
+        required_speedup,
+        args.json,
+        params={
+            "query": QUERY_TEXT,
+            "facts": database.size(),
+            "answers": service.count(query),
+            "readers": args.readers,
+            "bursts": len(bursts),
+            "burst_size": burst_size,
+            "locked": {k: round(v, 6) for k, v in locked.items()},
+            "snapshot": {k: round(v, 6) for k, v in snapshot.items()},
+            "locked_window_seconds": round(locked_window, 6),
+            "snapshot_window_seconds": round(snapshot_window, 6),
+            "throughput_speedup": round(throughput_speedup, 2),
+            "p99_speedup": round(p99_speedup, 2),
+            "snapshot_publishes": service_stats.snapshot_publishes,
+        },
+        smoke=args.smoke,
+    )
 
     failed = []
     if throughput_speedup < required_speedup:

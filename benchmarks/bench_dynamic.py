@@ -31,8 +31,6 @@ from __future__ import annotations
 
 import argparse
 import gc
-import json
-import pathlib
 import random
 import sys
 import time
@@ -162,23 +160,22 @@ def main(argv=None) -> int:
     print(f"mutate+requery : rebuild {rebuild_seconds:.3f}s  "
           f"dynamic {dynamic_seconds:.3f}s  speedup {speedup:.1f}x")
 
-    payload = {
-        "benchmark": "bench_dynamic",
-        "query": QUERY_TEXT,
-        "facts": n_facts,
-        "answers": n,
-        "updates": n_updates,
-        "warm_build_dynamic_seconds": round(warm_dynamic, 6),
-        "warm_build_static_seconds": round(warm_rebuild, 6),
-        "dynamic_seconds": round(dynamic_seconds, 6),
-        "rebuild_seconds": round(rebuild_seconds, 6),
-        "speedup": round(speedup, 2),
-        "required_speedup": required_speedup,
-        "smoke": args.smoke,
-    }
-    path = pathlib.Path(args.json)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {path}")
+    from conftest import emit_bench
+
+    emit_bench(
+        "bench_dynamic", speedup, required_speedup, args.json,
+        params={
+            "query": QUERY_TEXT,
+            "facts": n_facts,
+            "answers": n,
+            "updates": n_updates,
+            "warm_build_dynamic_seconds": round(warm_dynamic, 6),
+            "warm_build_static_seconds": round(warm_rebuild, 6),
+            "dynamic_seconds": round(dynamic_seconds, 6),
+            "rebuild_seconds": round(rebuild_seconds, 6),
+        },
+        smoke=args.smoke,
+    )
 
     if speedup < required_speedup:
         print(f"FAIL: mutate+requery speedup {speedup:.1f}x "

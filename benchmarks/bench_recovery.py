@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import argparse
 import gc
-import json
 import pathlib
 import shutil
 import sys
@@ -172,28 +171,27 @@ def main(argv=None) -> int:
               f"({report.replayed_ops} ops), "
               f"{report.serve_entries_seeded} serve entr(y/ies) seeded")
 
-        payload = {
-            "benchmark": "bench_recovery",
-            "query": QUERY_TEXT,
-            "facts": n_facts,
-            "answers": expected,
-            "tail_batches": args.tail_batches,
-            "tail_ops": args.tail_batches * 5,
-            "index_build_seconds": round(build_seconds, 6),
-            "cold_restart_seconds": round(cold_seconds, 6),
-            "recovery_restart_seconds": round(recovery_seconds, 6),
-            "speedup": round(speedup, 2),
-            "required_speedup": required_speedup,
-            "checkpoint_version": report.checkpoint_version,
-            "replayed_batches": report.replayed_batches,
-            "replayed_ops": report.replayed_ops,
-            "serve_entries_seeded": report.serve_entries_seeded,
-            "final_version": final_version,
-            "smoke": args.smoke,
-        }
-        path = pathlib.Path(args.json)
-        path.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"wrote {path}")
+        from conftest import emit_bench
+
+        emit_bench(
+            "bench_recovery", speedup, required_speedup, args.json,
+            params={
+                "query": QUERY_TEXT,
+                "facts": n_facts,
+                "answers": expected,
+                "tail_batches": args.tail_batches,
+                "tail_ops": args.tail_batches * 5,
+                "index_build_seconds": round(build_seconds, 6),
+                "cold_restart_seconds": round(cold_seconds, 6),
+                "recovery_restart_seconds": round(recovery_seconds, 6),
+                "checkpoint_version": report.checkpoint_version,
+                "replayed_batches": report.replayed_batches,
+                "replayed_ops": report.replayed_ops,
+                "serve_entries_seeded": report.serve_entries_seeded,
+                "final_version": final_version,
+            },
+            smoke=args.smoke,
+        )
 
         if speedup < required_speedup:
             print(f"FAIL: recovery speedup {speedup:.1f}x below required "

@@ -12,11 +12,43 @@ wall-clock is not.
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import platform
 
 import pytest
 
 from repro.experiments.figures import ExperimentConfig
+
+
+def emit_bench(name, measured, required, json_path, params=None, smoke=False):
+    """Write one acceptance-gate artifact in the shared ``BENCH_*.json``
+    schema.
+
+    Every gate script emits through this helper so the artifacts stay
+    machine-comparable across PRs: the gate's single headline ratio
+    (``measured_speedup`` vs. ``required_speedup``), its workload
+    parameters and per-arm timings under ``params``, and a host
+    fingerprint so numbers from different machines are never naively
+    compared. Returns the path written.
+    """
+    payload = {
+        "benchmark": name,
+        "measured_speedup": round(float(measured), 2),
+        "required_speedup": required,
+        "params": params or {},
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "smoke": bool(smoke),
+    }
+    path = pathlib.Path(json_path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+    return path
 
 
 @pytest.fixture(scope="session")

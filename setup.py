@@ -1,5 +1,25 @@
-"""Legacy setup shim (the environment's setuptools lacks bdist_wheel)."""
+"""Legacy setup shim (the environment's setuptools lacks bdist_wheel).
 
-from setuptools import setup
+The core package is dependency-free on purpose — the paper's algorithms
+run on the pure-python tuple stores everywhere. The ``fast`` extra pulls
+in numpy for the columnar flat-store backend (``store="flat"`` /
+``REPRO_STORE=flat``), which the package degrades away from gracefully
+when numpy is absent.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.7.0",
+    description=(
+        "Random access and random-order enumeration for free-connex CQs "
+        "and mc-UCQs (Carmeli et al., PODS 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    extras_require={
+        "fast": ["numpy"],
+    },
+)

@@ -124,7 +124,11 @@ def command_classify(args) -> int:
 
 def _build_service(args) -> QueryService:
     dynamic = True if getattr(args, "dynamic", False) else None
-    return QueryService(load_csv_database(args.database), dynamic=dynamic)
+    return QueryService(
+        load_csv_database(args.database),
+        dynamic=dynamic,
+        store=getattr(args, "store", None),
+    )
 
 
 def _apply_mutations(service: QueryService, args) -> None:
@@ -424,6 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub = commands.add_parser(name, help=help_text)
         sub.add_argument("query", help="datalog rule over the CSV relations")
         sub.add_argument("database", help="directory of <relation>.csv files")
+        sub.add_argument("--store", choices=("tuple", "flat"), default=None,
+                         help="bucket backend (default: REPRO_STORE or tuple); "
+                              "flat needs numpy")
         if name == "access":
             sub.add_argument("positions", nargs="+", type=int,
                              help="0-based answer positions")

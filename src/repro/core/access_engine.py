@@ -43,6 +43,7 @@ from typing import (
 )
 
 from repro.database.relation import row_sort_key as _row_sort_key
+from repro.core import flat_store as _flat_store
 
 try:  # numpy ships with this environment (scipy depends on it); the sort
     import numpy as _np  # of a large batch is ~10× faster through argsort.
@@ -178,6 +179,32 @@ class SnapshotBucketStore:
             node = stack.pop()
             yield node.row, node.weight
             node = node.right
+
+
+# ---------------------------------------------------------------------- #
+# Vectorized batched access (the columnar fast path)                      #
+# ---------------------------------------------------------------------- #
+
+
+def vector_batch(
+    roots: Sequence, indices: Sequence[int], project: Optional[Sequence[str]]
+) -> Optional[List[object]]:
+    """The columnar batch walk, or ``None`` when it does not apply.
+
+    When every root carries flat arrays (``store="flat"``), the whole
+    batch resolves through :func:`repro.core.flat_store.flat_batch` — one
+    ``searchsorted`` + one gather per node level for the entire offset
+    array instead of a python loop per answer. Any store that only speaks
+    the scalar protocol (tuple buckets, dynamic trees, snapshots, or a
+    flat build that fell back on overflow) returns ``None`` and the caller
+    proceeds with :func:`batch_walk` — dispatch is transparent. Small
+    batches also fall back: numpy's fixed per-call overhead beats the
+    vector win under :data:`repro.core.flat_store.VECTOR_MIN` positions.
+    Bounds are the caller's responsibility, as in :func:`batch_walk`.
+    """
+    if _np is None or not roots or len(indices) < _flat_store.VECTOR_MIN:
+        return None
+    return _flat_store.flat_batch(roots, indices, project)
 
 
 # ---------------------------------------------------------------------- #

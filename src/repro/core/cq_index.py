@@ -42,6 +42,12 @@ class CQIndex:
         Run the Yannakakis full reducer (default). Disabling is possible
         for full queries only; see
         :func:`~repro.core.reduction.reduce_to_full_acyclic`.
+    store:
+        Bucket backend: ``"tuple"`` (prefix-sum lists + bisect) or
+        ``"flat"`` (columnar arrays with the vectorized batch walk —
+        see :mod:`repro.core.flat_store`). ``None`` resolves via
+        :func:`repro.core.flat_store.resolve_store` (the ``REPRO_STORE``
+        environment variable, defaulting to ``"tuple"``).
     """
 
     def __init__(
@@ -51,16 +57,21 @@ class CQIndex:
         sort_buckets: bool = True,
         reduce: bool = True,
         root_atom: int = None,
+        store: Optional[str] = None,
     ):
         self.query = query
         self.head_variables: Tuple[str, ...] = tuple(v.name for v in query.head)
         self._reduced = reduce_to_full_acyclic(
             query, database, reduce=reduce, root_atom=root_atom
         )
-        self._forest = JoinForestIndex(self._reduced, sort_buckets=sort_buckets)
+        self._forest = JoinForestIndex(
+            self._reduced, sort_buckets=sort_buckets, store=store
+        )
 
     @classmethod
-    def from_reduced(cls, reduced, sort_buckets: bool = True) -> "CQIndex":
+    def from_reduced(
+        cls, reduced, sort_buckets: bool = True, store: Optional[str] = None
+    ) -> "CQIndex":
         """Build an index over an already-reduced full acyclic join.
 
         Used by the mc-UCQ machinery, which reduces each member once and
@@ -70,8 +81,16 @@ class CQIndex:
         instance.query = reduced.query
         instance.head_variables = reduced.head_variables
         instance._reduced = reduced
-        instance._forest = JoinForestIndex(reduced, sort_buckets=sort_buckets)
+        instance._forest = JoinForestIndex(
+            reduced, sort_buckets=sort_buckets, store=store
+        )
         return instance
+
+    @property
+    def store(self) -> str:
+        """The backend actually serving (``"tuple"`` after an int64
+        overflow fallback even when ``"flat"`` was requested)."""
+        return self._forest.store
 
     # ------------------------------------------------------------------ #
     # Counting                                                            #
@@ -118,14 +137,14 @@ class CQIndex:
         Exactly equal — element for element, and in randomness consumed —
         to ``k`` sequential draws from a
         :class:`~repro.core.permutation.RandomPermutationEnumerator` seeded
-        with the same ``rng``: the positions come from one vectorized
-        :meth:`~repro.core.shuffle.LazyShuffle.take`, then a single batched
+        with the same ``rng``: the positions come from one
+        :func:`~repro.core.shuffle.sample_positions` draw (the lazy
+        Fisher–Yates stream, replayed vectorized), then a single batched
         access serves them all. Draws are without replacement.
         """
-        from repro.core.shuffle import LazyShuffle
+        from repro.core.shuffle import sample_positions
 
-        positions = LazyShuffle(self.count, rng).take(k)
-        return self.batch(positions)
+        return self.batch(sample_positions(self.count, k, rng))
 
     def inverted_access(self, answer: tuple) -> Optional[int]:
         """The position of ``answer``, or ``None`` when not an answer."""

@@ -74,7 +74,7 @@ from repro.database.relation import row_sort_key
 from repro.query.cq import ConjunctiveQuery
 from repro.query.free_connex import free_connex_report
 
-from repro.core import access_engine
+from repro.core import access_engine, flat_store
 from repro.core.errors import NotFreeConnexError, OutOfBoundError
 from repro.core.order_tree import OrderedWeightTree, TreeRow
 from repro.core.reduction import ReducedJoin, ReducedNode, reduce_to_full_acyclic
@@ -165,12 +165,49 @@ class _DynamicBucket:
     def iter_rows(self) -> Iterator[Tuple[tuple, int]]:
         return ((node.row, node.weight) for node in self.tree)
 
-    def set_weight(self, node: TreeRow, weight: int) -> TreeRow:
-        """Point weight update; returns the (possibly re-pointed) handle."""
-        if node.weight == weight:
-            return node
+    # -- Row-keyed maintenance API ------------------------------------- #
+    # The forest's write paths address rows by value, never by handle, so
+    # the flat backend (whose handles are slab row ids, not TreeRow
+    # objects) plugs in behind the identical call sites — see
+    # :class:`repro.core.flat_store.FlatDynamicBucket`.
+
+    def has_row(self, row: tuple) -> bool:
+        """Is the row materialized here (tombstones included)?"""
+        return row in self.rank
+
+    def is_present(self, row: tuple) -> bool:
+        """Does the row currently participate (multiplicity > 0)?"""
+        handle = self.rank.get(row)
+        return handle is not None and handle.multiplicity > 0
+
+    def multiplicity_of(self, row: tuple) -> Optional[int]:
+        """The row's multiplicity, or ``None`` when not materialized."""
+        handle = self.rank.get(row)
+        return None if handle is None else handle.multiplicity
+
+    def set_multiplicity(self, row: tuple, multiplicity: int) -> None:
+        """In-place multiplicity write (writer bookkeeping, invisible to
+        snapshot readers — see the order-tree notes), with tombstone
+        accounting."""
+        handle = self.rank[row]
+        was = handle.multiplicity > 0
+        now = multiplicity > 0
+        handle.multiplicity = multiplicity
+        if was and not now:
+            self.tombstones += 1
+        elif now and not was:
+            self.tombstones -= 1
+
+    def weight_of(self, row: tuple) -> int:
+        return self.rank[row].weight
+
+    def set_row_weight(self, row: tuple, weight: int) -> None:
+        """Point weight update (no-op, and no re-freeze, when equal)."""
+        handle = self.rank[row]
+        if handle.weight == weight:
+            return
         self._frozen = None
-        return self.tree.set_weight(node, weight)
+        self.tree.set_weight(handle, weight)
 
     def add_row(self, row: tuple, weight: int, multiplicity: int) -> TreeRow:
         self._frozen = None
@@ -318,6 +355,10 @@ class EngineServingMixin:
         :class:`~repro.core.errors.OutOfBoundError` if any position is
         outside ``[0, count)``, before resolving anything.
         """
+        if hasattr(indices, "tolist"):
+            # sample_positions may hand over an int64 ndarray; the scalar
+            # walk wants plain ints (comparisons, dict keys), so unbox once.
+            indices = indices.tolist()
         # Every slot is overwritten before returning (the bound check below
         # is all-or-nothing), so placeholder empty tuples keep the element
         # type honest.
@@ -342,14 +383,13 @@ class EngineServingMixin:
         Element-for-element (and randomness-for-randomness) equal to ``k``
         sequential draws from a seeded
         :class:`~repro.core.permutation.RandomPermutationEnumerator`; the
-        positions come from one vectorized
-        :meth:`~repro.core.shuffle.LazyShuffle.take`, then a single batched
-        access serves them all. Draws are without replacement.
+        positions come from one
+        :func:`~repro.core.shuffle.sample_positions` draw, then a single
+        batched access serves them all. Draws are without replacement.
         """
-        from repro.core.shuffle import LazyShuffle
+        from repro.core.shuffle import sample_positions
 
-        positions = LazyShuffle(self.count, rng).take(k)
-        return self.batch(positions)
+        return self.batch(sample_positions(self.count, k, rng))
 
     def random_order(self, rng: Optional[random.Random] = None):
         """REnum over this version's contents: answers in uniform random
@@ -422,10 +462,19 @@ class IndexSnapshot(EngineServingMixin):
     #: Snapshots are read-only; the service must never route writes here.
     supports_updates = False
 
-    def __init__(self, roots, head_variables: Tuple[str, ...], version: int):
+    def __init__(
+        self,
+        roots,
+        head_variables: Tuple[str, ...],
+        version: int,
+        store: str = "tuple",
+    ):
         self.roots = roots
         self.head_variables = head_variables
         self.version = version
+        #: The publishing forest's bucket backend — carried on the
+        #: snapshot so per-backend read accounting works on pinned views.
+        self.store = store
 
     def __repr__(self) -> str:
         return (f"IndexSnapshot(version={self.version}, "
@@ -455,6 +504,11 @@ class DynamicJoinForest(EngineServingMixin):
     compact_fraction:
         Tombstone fraction above which a bucket compacts
         (:data:`DEFAULT_COMPACT_FRACTION` by default).
+    store:
+        Bucket backend: ``"tuple"`` (object treaps) or ``"flat"`` (slab
+        treaps over preallocated arrays —
+        :class:`~repro.core.flat_store.FlatDynamicBucket`). ``None``
+        resolves via :func:`repro.core.flat_store.resolve_store`.
     """
 
     def __init__(
@@ -462,8 +516,13 @@ class DynamicJoinForest(EngineServingMixin):
         reduced: ReducedJoin,
         on_presence_change: Optional[PresenceHook] = None,
         compact_fraction: float = DEFAULT_COMPACT_FRACTION,
+        store: Optional[str] = None,
     ):
         self.reduced = reduced
+        self.store = flat_store.resolve_store(store)
+        self._bucket_factory = (
+            flat_store.FlatDynamicBucket if self.store == "flat" else _DynamicBucket
+        )
         self.head_variables: Tuple[str, ...] = tuple(reduced.head_variables)
         self.on_presence_change = on_presence_change
         self.compact_fraction = compact_fraction
@@ -516,7 +575,7 @@ class DynamicJoinForest(EngineServingMixin):
             # and repeated-variable positions are determined by the
             # normalized row), and base relations are sets — so every
             # loaded row is one base fact: multiplicity 1.
-            node.buckets[key] = _DynamicBucket.from_sorted_rows(
+            node.buckets[key] = self._bucket_factory.from_sorted_rows(
                 [(row, node.own_weight(row), 1) for row in rows]
             )
             for row in rows:
@@ -531,10 +590,7 @@ class DynamicJoinForest(EngineServingMixin):
         """Is ``row`` present (multiplicity > 0) at the given node?"""
         node = self.nodes[shape_position]
         bucket = node.buckets.get(node.bucket_key_of_row(row))
-        if bucket is None:
-            return False
-        handle = bucket.rank.get(row)
-        return handle is not None and handle.multiplicity > 0
+        return bucket is not None and bucket.is_present(row)
 
     def set_row_presence(self, shape_position: int, row: tuple, present: bool) -> None:
         """Set-semantics presence update for one node row (idempotent).
@@ -606,7 +662,7 @@ class DynamicJoinForest(EngineServingMixin):
                     dead = []
                     for parent_key, row in affected:
                         bucket = node.buckets.get(parent_key)
-                        if bucket is None or row not in bucket.rank:
+                        if bucket is None or not bucket.has_row(row):
                             dead.append((parent_key, row))  # compacted away
                             continue
                         recompute.setdefault(parent_key, set()).add(row)
@@ -652,36 +708,30 @@ class DynamicJoinForest(EngineServingMixin):
             if not any(delta > 0 for __, delta in direct):
                 # Pure no-op deletes: like _apply, never allocate a bucket.
                 return False
-            bucket = node.buckets[key] = _DynamicBucket()
+            bucket = node.buckets[key] = self._bucket_factory()
         self._mark_dirty(node, key)
         old_total = bucket.total
         touched = set(recompute)
         fresh: List[Tuple[tuple, int]] = []
         for row, delta in direct:
-            handle = bucket.rank.get(row)
-            if handle is None:
+            multiplicity = bucket.multiplicity_of(row)
+            if multiplicity is None:
                 if delta > 0:
                     fresh.append((row, delta))
                 continue  # deleting a row that was never inserted: no-op
-            multiplicity = handle.multiplicity + delta
-            if multiplicity < 0:
+            updated = multiplicity + delta
+            if updated < 0:
                 continue  # deleting a fact that was never inserted
-            was_present = handle.multiplicity > 0
-            now_present = multiplicity > 0
-            handle.multiplicity = multiplicity
-            if was_present and not now_present:
-                bucket.tombstones += 1
-            elif now_present and not was_present:
-                bucket.tombstones -= 1
-            if was_present != now_present:
-                transitions.append((node.shape_position, row, now_present))
+            bucket.set_multiplicity(row, updated)
+            if (multiplicity > 0) != (updated > 0):
+                transitions.append((node.shape_position, row, updated > 0))
             touched.add(row)
         for row in touched:
-            handle = bucket.rank.get(row)
-            if handle is None:
+            multiplicity = bucket.multiplicity_of(row)
+            if multiplicity is None:
                 continue  # compacted away between collection and now
-            weight = node.own_weight(row) if handle.multiplicity > 0 else 0
-            bucket.set_weight(handle, weight)
+            weight = node.own_weight(row) if multiplicity > 0 else 0
+            bucket.set_row_weight(row, weight)
         if fresh:
             fresh.sort(key=lambda entry: row_sort_key(entry[0]))
             bucket.bulk_insert(
@@ -697,16 +747,16 @@ class DynamicJoinForest(EngineServingMixin):
     def _apply(self, node: _DynamicNode, row: tuple, delta: int) -> None:
         key = node.bucket_key_of_row(row)
         bucket = node.buckets.get(key)
-        handle = bucket.rank.get(row) if bucket is not None else None
+        multiplicity = bucket.multiplicity_of(row) if bucket is not None else None
 
-        if handle is None:
+        if multiplicity is None:
             if delta <= 0:
                 # Deleting a non-member: a pure no-op. Checked before any
                 # bucket is allocated, so delete-misses cannot grow
                 # node.buckets.
                 return
             if bucket is None:
-                bucket = node.buckets[key] = _DynamicBucket()
+                bucket = node.buckets[key] = self._bucket_factory()
             old_total = bucket.total
             self._mark_dirty(node, key)
             bucket.add_row(row, node.own_weight(row), delta)
@@ -716,20 +766,16 @@ class DynamicJoinForest(EngineServingMixin):
                 self._propagate(node, key)
             return
 
-        multiplicity = handle.multiplicity + delta
-        if multiplicity < 0:
+        updated = multiplicity + delta
+        if updated < 0:
             return  # deleting a fact that was never inserted
-        was_present = handle.multiplicity > 0
-        now_present = multiplicity > 0
-        handle.multiplicity = multiplicity
-        if was_present and not now_present:
-            bucket.tombstones += 1
-        elif now_present and not was_present:
-            bucket.tombstones -= 1
+        was_present = multiplicity > 0
+        now_present = updated > 0
+        bucket.set_multiplicity(row, updated)
 
         old_total = bucket.total
         self._mark_dirty(node, key)
-        bucket.set_weight(handle, node.own_weight(row) if now_present else 0)
+        bucket.set_row_weight(row, node.own_weight(row) if now_present else 0)
         changed = bucket.total != old_total
         if was_present != now_present:
             self._notify(node, row, now_present)
@@ -774,15 +820,15 @@ class DynamicJoinForest(EngineServingMixin):
         dead = []
         for parent_key, row in affected:
             bucket = parent.buckets[parent_key]
-            handle = bucket.rank.get(row)
-            if handle is None:
+            multiplicity = bucket.multiplicity_of(row)
+            if multiplicity is None:
                 dead.append((parent_key, row))  # compacted away
                 continue
-            new_weight = parent.own_weight(row) if handle.multiplicity > 0 else 0
-            if new_weight != handle.weight:
+            new_weight = parent.own_weight(row) if multiplicity > 0 else 0
+            if new_weight != bucket.weight_of(row):
                 before = bucket.total
                 self._mark_dirty(parent, parent_key)
-                bucket.set_weight(handle, new_weight)
+                bucket.set_row_weight(row, new_weight)
                 if bucket.total != before:
                     changed_parent_keys.add(parent_key)
         if dead:
@@ -866,7 +912,9 @@ class DynamicJoinForest(EngineServingMixin):
         roots = [rebuild(root) for root in self.roots]
         self._snapshot_nodes = new_nodes
         self.publishes += 1
-        snapshot = IndexSnapshot(roots, self.head_variables, self.publishes)
+        snapshot = IndexSnapshot(
+            roots, self.head_variables, self.publishes, store=self.store
+        )
         self._snapshot = snapshot  # the atomic publication point
         return snapshot
 
@@ -889,7 +937,7 @@ class DynamicCQIndex(DynamicJoinForest):
     database:
         The initial database (may be empty; relations must exist with the
         right arities).
-    on_presence_change, compact_fraction:
+    on_presence_change, compact_fraction, store:
         Forwarded to :class:`DynamicJoinForest`.
     """
 
@@ -903,6 +951,7 @@ class DynamicCQIndex(DynamicJoinForest):
         database: Database,
         on_presence_change: Optional[PresenceHook] = None,
         compact_fraction: float = DEFAULT_COMPACT_FRACTION,
+        store: Optional[str] = None,
     ):
         report = free_connex_report(query)
         if not report.tractable:
@@ -924,6 +973,7 @@ class DynamicCQIndex(DynamicJoinForest):
             reduced,
             on_presence_change=on_presence_change,
             compact_fraction=compact_fraction,
+            store=store,
         )
         # Which atom occurrences does a base relation feed?
         self._routes: Dict[str, List[int]] = {}

@@ -1,0 +1,1248 @@
+"""Columnar (flat-array) bucket stores: the third ``BucketStore`` family.
+
+The tuple-based stores pay ~1µs of interpreter overhead per tuple hop —
+one :class:`~repro.core.index._Bucket` bisect or one
+:class:`~repro.core.order_tree.TreeRow` descent per answer per level. This
+module moves the static data plane onto contiguous numpy arrays:
+
+* :class:`FlatBucketStore` — a static bucket as a *view* over its node's
+  concatenated columns: interned value ids plus a parallel prefix-sum
+  weight array, with ``locate_run``/``rank_start`` resolved by
+  ``searchsorted`` and rows materialized lazily (the scalar protocol, so
+  every existing engine walk runs unchanged);
+* :class:`FlatNode` — the per-node concatenation those views share, which
+  is what the **vectorized** batch walk (:func:`flat_batch`) operates on:
+  one ``searchsorted`` + one gather per level for a whole offset array,
+  instead of a python loop per answer;
+* :class:`FlatOrderTree` — a slab-allocated treap (index-based: ``left``/
+  ``right``/``weight``/``subtotal`` columns over preallocated int arrays
+  instead of ``TreeRow`` objects) implementing the same snapshot/path-copy
+  contract as :class:`~repro.core.order_tree.OrderedWeightTree`, and
+  :class:`FlatDynamicBucket`, the dynamic bucket over it.
+
+Backend selection
+-----------------
+``resolve_store`` maps a ``store=`` argument (or the ``REPRO_STORE``
+environment variable when the argument is ``None``) to one of
+:data:`VALID_STORES`. Requesting ``"flat"`` without numpy raises an
+``ImportError`` pointing at the packaging extra (``pip install
+repro[fast]``).
+
+Value interning
+---------------
+Column values are interned per node column into ``id → value`` tables
+keyed by ``(type, value)`` — so ``1``, ``1.0`` and ``True`` (equal, and
+hash-equal, as dict keys) keep distinct ids and round-trip exactly, like
+they do through the tuple stores.
+
+Slab-treap snapshot contract
+----------------------------
+:meth:`FlatOrderTree.snapshot` bumps the epoch and captures the current
+array references; a mutation may only edit slots stamped with the current
+epoch, so frozen slots (reachable from any snapshot root) are never
+written again — clones land in fresh slots. Growth reallocates the slabs
+by copy, leaving a snapshot's captured arrays intact. Handles are *row
+ids* (stable integers into append-only ``rows``/``keys`` lists), so —
+unlike ``TreeRow`` handles — they survive path copies and rebuilds with
+no ``on_clone`` plumbing. The two writer-bookkeeping exceptions of the
+object treap carry over unchanged: ``parent`` links describe the live
+tree only, and ``multiplicity`` (a python list indexed by row id) may be
+adjusted in place, both invisible to root-down snapshot readers.
+
+All flat weights live in int64: a forest whose count (or any per-node
+cumulative weight) reaches 2⁶² falls back to the tuple store at build
+time rather than risking overflow.
+"""
+
+from __future__ import annotations
+
+import os
+from itertools import repeat as _repeat
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.database.relation import row_sort_key
+from repro.core.order_tree import _PRIORITIES, _descending_priorities
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    _np = None
+
+#: The recognized ``store=`` backend names.
+VALID_STORES = ("tuple", "flat")
+
+#: Environment variable supplying the default backend (CI forces ``flat``
+#: through it to catch contract drift across the whole suite).
+STORE_ENV = "REPRO_STORE"
+
+#: Weights/counts at or above this never enter int64 arrays.
+_WEIGHT_LIMIT = 2 ** 62
+
+#: Batches smaller than this stay on the tuple walk — numpy's fixed
+#: per-call overhead beats the vector win under a few dozen positions.
+VECTOR_MIN = 32
+
+_NIL = -1
+
+
+def _require_numpy():
+    if _np is None:
+        raise ImportError(
+            "the 'flat' store backend requires numpy, which is packaged as "
+            "an optional extra — install it with: pip install repro[fast]"
+        )
+    return _np
+
+
+def resolve_store(store: Optional[str]) -> str:
+    """Normalize a ``store=`` argument to a validated backend name.
+
+    ``None`` consults the :data:`STORE_ENV` environment variable, then
+    defaults to ``"tuple"``. ``"flat"`` verifies numpy is importable and
+    raises an ``ImportError`` naming the ``repro[fast]`` extra otherwise.
+    """
+    if store is None:
+        store = os.environ.get(STORE_ENV) or "tuple"
+    if store not in VALID_STORES:
+        raise ValueError(
+            f"unknown store backend {store!r}; expected one of {VALID_STORES}"
+        )
+    if store == "flat":
+        _require_numpy()
+    return store
+
+
+# ---------------------------------------------------------------------- #
+# Static columnar store                                                   #
+# ---------------------------------------------------------------------- #
+
+
+class _ColumnInterner:
+    """Per-column value interning keyed by ``(type, value)``."""
+
+    __slots__ = ("ids", "table")
+
+    def __init__(self):
+        self.ids: Dict[tuple, int] = {}
+        self.table: List[object] = []
+
+    def id_of(self, value) -> int:
+        key = (value.__class__, value)
+        got = self.ids.get(key)
+        if got is None:
+            got = self.ids[key] = len(self.table)
+            self.table.append(value)
+        return got
+
+
+class FlatNode:
+    """One node's buckets concatenated into columnar arrays.
+
+    ``row_start`` holds *global* start offsets (bucket weight base plus
+    the row's local ``startIndex``), monotone across the concatenation, so
+    one ``searchsorted`` resolves offsets for every bucket of the node at
+    once. ``child_base[i]``/``child_suffix[i]`` precompute, per row, the
+    absolute base of the row's child-``i`` bucket in the child's arrays
+    and the mixed-radix divisor (product of the later children's bucket
+    totals), so the vectorized walk needs no per-row dict lookups.
+
+    ``uniform_stride`` is the common row weight when every row of the node
+    weighs the same (and nonzero), else 0. With a uniform stride the
+    prefix sums are ``stride · arange``, so locating a batch degenerates
+    to one ``divmod`` — no binary search at all. Constant fan-out is the
+    common benign shape (key/foreign-key joins, generated benchmarks), so
+    the flag pays for itself far beyond this repo's gates.
+    """
+
+    __slots__ = (
+        "columns",
+        "children",
+        "tables",
+        "ids",
+        "row_start",
+        "weights",
+        "child_suffix",
+        "child_base",
+        "bucket_base",
+        "uniform_stride",
+        "values",
+    )
+
+    def __init__(self, columns, children, tables, ids, row_start, weights,
+                 child_suffix, child_base, bucket_base):
+        self.columns = columns
+        self.children = children
+        self.tables = tables            # per column: object ndarray id → value
+        self.ids = ids                  # per column: int64 ndarray of value ids
+        self.row_start = row_start      # int64 ndarray, global start per row
+        self.weights = weights          # int64 ndarray
+        self.child_suffix = child_suffix
+        self.child_base = child_base
+        self.bucket_base = bucket_base  # bucket key → (weight base, row lo)
+        stride = int(weights[0]) if len(weights) else 0
+        self.uniform_stride = (
+            stride if stride > 0 and bool((weights == stride).all()) else 0
+        )
+        # Interned ids composed with their tables once, so the batch walk
+        # pays one object gather per column instead of two.
+        self.values = [table[ids_] for table, ids_ in zip(tables, ids)]
+
+    def row_at(self, position: int) -> tuple:
+        return tuple(
+            table[ids[position]] for table, ids in zip(self.tables, self.ids)
+        )
+
+
+class FlatBucketStore:
+    """The static columnar :class:`~repro.core.access_engine.BucketStore`.
+
+    A view over one bucket's row range ``[lo, hi)`` of its node's
+    :class:`FlatNode` arrays. Satisfies the same scalar protocol as
+    :class:`~repro.core.index._Bucket` (``unit_leaf`` included: static
+    leaf rows all carry weight 1), so the engine's tuple walks run over it
+    unchanged; ``rows`` materializes lazily for the leaf fast path and
+    never at all on the vectorized path.
+    """
+
+    __slots__ = ("flat", "lo", "hi", "base", "total", "rank", "_rows")
+
+    #: Same guarantee as the tuple static bucket: childless-node rows all
+    #: weigh 1, so a bucket-local offset is a row position.
+    unit_leaf = True
+
+    def __init__(self, flat: FlatNode, lo: int, hi: int, base: int, total: int):
+        self.flat = flat
+        self.lo = lo
+        self.hi = hi
+        self.base = base
+        self.total = total
+        self.rank: Optional[Dict[tuple, int]] = None
+        self._rows: Optional[List[tuple]] = None
+
+    @property
+    def rows(self) -> List[tuple]:
+        rows = self._rows
+        if rows is None:
+            flat = self.flat
+            rows = self._rows = [
+                flat.row_at(position) for position in range(self.lo, self.hi)
+            ]
+        return rows
+
+    @property
+    def weights(self) -> List[int]:
+        return self.flat.weights[self.lo:self.hi].tolist()
+
+    @property
+    def start(self) -> List[int]:
+        base = self.base
+        return [s - base for s in self.flat.row_start[self.lo:self.hi].tolist()]
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    def locate_run(self, offset: int) -> Tuple[tuple, int, int]:
+        flat = self.flat
+        position = int(
+            _np.searchsorted(flat.row_start, self.base + offset, side="right")
+        ) - 1
+        return (
+            flat.row_at(position),
+            int(flat.row_start[position]) - self.base,
+            int(flat.weights[position]),
+        )
+
+    def rank_start(self, row: tuple) -> Optional[int]:
+        position = self.rank.get(row)
+        if position is None:
+            return None
+        flat = self.flat
+        if not flat.weights[self.lo + position]:
+            return None
+        return int(flat.row_start[self.lo + position]) - self.base
+
+    def iter_rows(self) -> Iterator[Tuple[tuple, int]]:
+        return zip(self.rows, self.flat.weights[self.lo:self.hi].tolist())
+
+    def build_rank(self) -> None:
+        if self.rank is None:
+            self.rank = {row: position for position, row in enumerate(self.rows)}
+
+
+class FlatOverflowError(OverflowError):
+    """A weight would not fit int64 arrays; caller falls back to tuple."""
+
+
+def validate_forest_fits(roots: Sequence) -> bool:
+    """Can every node's cumulative bucket weight live in int64 arrays?"""
+    def node_fits(node) -> bool:
+        total = sum(bucket.total for bucket in node.buckets.values())
+        if total >= _WEIGHT_LIMIT:
+            return False
+        return all(node_fits(child) for child in node.children)
+
+    return all(node_fits(root) for root in roots)
+
+
+def columnarize_forest(roots: Sequence) -> None:
+    """Convert a built tuple forest to columnar storage, in place.
+
+    Children first (parents need the children's flat bucket bases):
+    every node gains a ``flat`` :class:`FlatNode` and its bucket dict's
+    values become :class:`FlatBucketStore` views. Raises
+    :class:`FlatOverflowError` *before touching anything* when any
+    cumulative weight would not fit int64.
+    """
+    _require_numpy()
+    if not validate_forest_fits(roots):
+        raise FlatOverflowError("forest weights exceed the int64 flat limit")
+    for root in roots:
+        _columnarize_node(root)
+
+
+def _columnarize_node(node) -> None:
+    for child in node.children:
+        _columnarize_node(child)
+
+    columns = node.columns
+    items = list(node.buckets.items())
+    n_rows = sum(len(bucket.rows) for __, bucket in items)
+    n_children = len(node.children)
+
+    interners = [_ColumnInterner() for __ in columns]
+    ids: List[List[int]] = [[] for __ in columns]
+    row_start: List[int] = []
+    weights: List[int] = []
+    child_suffix: List[List[int]] = [[] for __ in range(n_children)]
+    child_base: List[List[int]] = [[] for __ in range(n_children)]
+    bucket_base: Dict[tuple, Tuple[int, int]] = {}
+    spans: List[Tuple[tuple, int, int, int, int]] = []
+
+    base = 0
+    lo = 0
+    for key, bucket in items:
+        bucket_base[key] = (base, lo)
+        for row, weight, start in zip(bucket.rows, bucket.weights, bucket.start):
+            for c, value in enumerate(row):
+                ids[c].append(interners[c].id_of(value))
+            row_start.append(base + start)
+            weights.append(weight)
+            if weight == 0:
+                # Dangling: never located, the walk never reads these.
+                for i in range(n_children):
+                    child_suffix[i].append(1)
+                    child_base[i].append(0)
+            else:
+                totals = []
+                for i, child in enumerate(node.children):
+                    child_key = node.child_bucket_key(row, i)
+                    child_bucket = child.buckets[child_key]
+                    totals.append(child_bucket.total)
+                    child_base[i].append(child.flat.bucket_base[child_key][0])
+                suffix = 1
+                suffixes = [1] * n_children
+                for i in range(n_children - 1, -1, -1):
+                    suffixes[i] = suffix
+                    suffix *= totals[i]
+                for i in range(n_children):
+                    child_suffix[i].append(suffixes[i])
+        hi = lo + len(bucket.rows)
+        spans.append((key, lo, hi, base, bucket.total))
+        base += bucket.total
+        lo = hi
+
+    flat = FlatNode(
+        columns=columns,
+        children=[child.flat for child in node.children],
+        tables=[_object_array(interner.table) for interner in interners],
+        ids=[_np.array(column, dtype=_np.int64) for column in ids],
+        row_start=_np.array(row_start, dtype=_np.int64),
+        weights=_np.array(weights, dtype=_np.int64),
+        child_suffix=[
+            _np.array(column, dtype=_np.int64) for column in child_suffix
+        ],
+        child_base=[_np.array(column, dtype=_np.int64) for column in child_base],
+        bucket_base=bucket_base,
+    )
+    node.flat = flat
+    node.buckets = {
+        key: FlatBucketStore(flat, lo, hi, b, total)
+        for key, lo, hi, b, total in spans
+    }
+    assert n_rows == len(row_start)
+
+
+def _object_array(values: List[object]):
+    array = _np.empty(len(values), dtype=object)
+    for position, value in enumerate(values):
+        array[position] = value
+    return array
+
+
+# ---------------------------------------------------------------------- #
+# Vectorized batched access                                               #
+# ---------------------------------------------------------------------- #
+
+
+def flat_batch(
+    roots: Sequence, indices: Sequence[int], project: Optional[Sequence[str]]
+) -> Optional[List[object]]:
+    """Resolve a whole batch through the columnar arrays, or ``None``.
+
+    The array analog of the engine's ``batch_walk``: per level, one
+    ``searchsorted`` locates the containing row for every pending offset
+    at once, one subtraction yields the in-row remainders, and the
+    mixed-radix SplitIndex digits come from elementwise ``divmod`` against
+    the precomputed per-row suffix arrays. Results align with the request
+    (which may be unsorted and contain duplicates — ``searchsorted`` needs
+    no sorted queries). Bounds are the caller's responsibility.
+
+    Returns ``None`` when any root lacks columnar arrays (overflow
+    fallback, or a store that only speaks the scalar protocol).
+    """
+    if _np is None or not roots:
+        return None
+    flats = [getattr(root, "flat", None) for root in roots]
+    if any(flat is None for flat in flats):
+        return None
+    out: Dict[str, object] = {}
+    if isinstance(indices, _np.ndarray):
+        remaining = indices.astype(_np.int64, copy=False)
+    elif isinstance(indices, range):
+        if indices.step == 1 and len(roots) == 1:
+            # Pagination's shape: one root, one contiguous offset run —
+            # the walk can slice-and-repeat instead of gathering.
+            if project:
+                fast = _contiguous_tuples(
+                    flats[0], indices.start, indices.stop, project
+                )
+                if fast is not None:
+                    return fast
+            _contiguous_walk(flats[0], indices.start, indices.stop, out)
+            return _materialize(out, project, len(indices))
+        remaining = _np.arange(
+            indices.start, indices.stop, indices.step, dtype=_np.int64
+        )
+    else:
+        remaining = _np.fromiter(indices, dtype=_np.int64, count=len(indices))
+    last = len(roots) - 1
+    for position, root in enumerate(roots):
+        if position < last:
+            suffix = 1
+            for later in roots[position + 1:]:
+                suffix *= later.buckets[()].total
+            digit, remaining = _np.divmod(remaining, suffix)
+            _flat_walk(flats[position], digit, out)
+        else:
+            _flat_walk(flats[position], remaining, out)
+    return _materialize(out, project, len(indices))
+
+
+def _materialize(
+    out: Dict[str, object], project: Optional[Sequence[str]], count: int
+) -> List[object]:
+    """Column arrays → the python objects ``batch_access`` promises."""
+    if project is None:
+        names = sorted(out)
+        columns = [out[name].tolist() for name in names]
+        return [dict(zip(names, values)) for values in zip(*columns)]
+    if len(project) == 0:
+        return [()] * count
+    columns = [out[name].tolist() for name in project]
+    if len(columns) == 1:
+        return [(value,) for value in columns[0]]
+    return list(zip(*columns))
+
+
+#: Above this batch size an unsorted ``searchsorted`` goes cache-bound
+#: (random probes of the prefix array), and paying one ``argsort`` to
+#: binary-search in ascending order wins ~3× on the lookup.
+_SORT_MIN = 4096
+
+
+def _locate(flat: FlatNode, offsets):
+    """Per-offset ``(row position, in-row remainder)`` for one node.
+
+    Three regimes, fastest first: a uniform-stride node is one ``divmod``
+    (the prefix sums are ``stride · arange``); already-ascending offsets
+    (pagination) binary-search directly; large unsorted batches sort
+    first — ``searchsorted`` with ascending needles walks the prefix
+    array coherently instead of cache-missing per probe — and scatter the
+    hits back into request order.
+    """
+    stride = flat.uniform_stride
+    if stride == 1:
+        # Offsets ARE row positions and every remainder is 0 — the
+        # ``None`` sentinel lets the walk skip the dead divmods.
+        return offsets, None
+    if stride:
+        positions, remainders = _np.divmod(offsets, stride)
+        return positions, remainders
+    row_start = flat.row_start
+    if offsets.size >= _SORT_MIN and (offsets[1:] < offsets[:-1]).any():
+        order = _np.argsort(offsets)
+        hits = _np.searchsorted(row_start, offsets[order], side="right") - 1
+        positions = _np.empty_like(hits)
+        positions[order] = hits
+    else:
+        positions = _np.searchsorted(row_start, offsets, side="right") - 1
+    return positions, offsets - row_start[positions]
+
+
+def _flat_walk(flat: FlatNode, offsets, out: Dict[str, object]) -> None:
+    """One node level of the vectorized walk (absolute offsets in)."""
+    positions, remainders = _locate(flat, offsets)
+    for name, column in zip(flat.columns, flat.values):
+        out[name] = column[positions]
+    _descend(flat, positions, remainders, out)
+
+
+def _descend(flat: FlatNode, positions, remainders, out) -> None:
+    """Recurse into the children given this level's located rows."""
+    last = len(flat.children) - 1
+    for i, child in enumerate(flat.children):
+        if remainders is None:
+            # Unit-stride node: every SplitIndex digit is 0.
+            _flat_walk(child, flat.child_base[i][positions], out)
+            continue
+        if i < last:
+            digits, remainders = _np.divmod(
+                remainders, flat.child_suffix[i][positions]
+            )
+        else:
+            digits = remainders
+        _flat_walk(child, flat.child_base[i][positions] + digits, out)
+
+
+def _contiguous_tuples(
+    flat: FlatNode, start: int, stop: int, project: Sequence[str]
+) -> Optional[List[tuple]]:
+    """Projected tuples for a contiguous run on a two-level chain, or ``None``.
+
+    The most common pagination shape — a uniform-stride root over one
+    unit-leaf child — admits a result-direct construction: within one
+    root row the projected root values are constants and the leaf values
+    are one contiguous slice of the leaf's column (offset ``base + r`` for
+    remainders ``0 … stride``), so each row's answers come out of a single
+    ``zip(leaf_slice, repeat(const), …)``. That builds the final tuples
+    with no offset arrays, no gathers, and no per-column ``tolist`` over
+    the full run — the page costs O(rows touched) python iterations plus
+    the unavoidable tuple construction both backends share.
+    """
+    stride = flat.uniform_stride
+    if stride <= 1 or len(flat.children) != 1:
+        return None
+    child = flat.children[0]
+    if child.children or child.uniform_stride != 1:
+        return None
+    sources = []
+    for name in project:
+        if name in flat.columns:
+            sources.append((True, flat.columns.index(name)))
+        elif name in child.columns:
+            sources.append((False, child.columns.index(name)))
+        else:  # pragma: no cover - projections are head variables
+            return None
+    lo = start // stride
+    hi = (stop - 1) // stride + 1
+    shift = start - lo * stride
+    bases = flat.child_base[0][lo:hi].tolist()
+    row_values = [
+        flat.values[position][lo:hi].tolist() if is_root else None
+        for is_root, position in sources
+    ]
+    leaf_values = [
+        None if is_root else child.values[position]
+        for is_root, position in sources
+    ]
+    out: List[tuple] = []
+    extend = out.extend
+    for row, base in enumerate(bases):
+        extend(zip(*[
+            _repeat(row_values[slot][row], stride)
+            if leaf_values[slot] is None
+            else leaf_values[slot][base:base + stride].tolist()
+            for slot in range(len(sources))
+        ]))
+    if shift or len(out) != stop - start:
+        out = out[shift:shift + (stop - start)]
+    return out
+
+
+def _contiguous_walk(flat: FlatNode, start: int, stop: int, out) -> None:
+    """:func:`_flat_walk` for one contiguous ``[start, stop)`` offset run.
+
+    On a uniform-stride node the run touches rows ``start//s ..
+    (stop-1)//s``; every per-offset array is a repeat (or, at stride 1, a
+    plain slice) of that tiny row window, so the level costs a few
+    O(rows-touched) ops instead of O(offsets) gathers — the difference
+    between a pagination sweep being gather-bound or memcpy-bound.
+    """
+    stride = flat.uniform_stride
+    if not stride:
+        _flat_walk(flat, _np.arange(start, stop, dtype=_np.int64), out)
+        return
+    if stride == 1:
+        for name, column in zip(flat.columns, flat.values):
+            out[name] = column[start:stop]
+        if flat.children:
+            _descend(flat, slice(start, stop), None, out)
+        return
+    lo = start // stride
+    hi = (stop - 1) // stride + 1
+    shift = start - lo * stride
+    n = stop - start
+    for name, column in zip(flat.columns, flat.values):
+        out[name] = column[lo:hi].repeat(stride)[shift:shift + n]
+    if flat.children:
+        positions = _np.arange(lo, hi, dtype=_np.int64) \
+            .repeat(stride)[shift:shift + n]
+        remainders = _np.tile(
+            _np.arange(stride, dtype=_np.int64), hi - lo
+        )[shift:shift + n]
+        _descend(flat, positions, remainders, out)
+
+
+# ---------------------------------------------------------------------- #
+# Slab-allocated order tree (the dynamic flat backend)                    #
+# ---------------------------------------------------------------------- #
+
+
+class FrozenFlatTree:
+    """One immutable version of a :class:`FlatOrderTree`.
+
+    Captures the root slot and the slab references at snapshot time:
+    every slot reachable from ``root`` is frozen (the live tree clones
+    into fresh slots before mutating), and growth reallocates the slabs
+    by copy, so these arrays never change under a reader.
+    """
+
+    __slots__ = ("root", "left", "right", "weight", "subtotal",
+                 "row_of", "rows", "keys")
+
+    def __init__(self, tree: "FlatOrderTree"):
+        self.root = tree.root
+        self.left = tree.left
+        self.right = tree.right
+        self.weight = tree.weight
+        self.subtotal = tree.subtotal
+        self.row_of = tree.row_of
+        self.rows = tree.rows
+        self.keys = tree.keys
+
+
+class FlatOrderTree:
+    """A slab-allocated treap over canonically sorted weighted rows.
+
+    The index-based sibling of
+    :class:`~repro.core.order_tree.OrderedWeightTree`: node state lives in
+    parallel int64/float64 columns (``left``/``right``/``parent``/
+    ``weight``/``subtotal``/``priority``/``stamp``/``row_of``) instead of
+    per-row objects, and handles are stable integer *row ids* — indexes
+    into the append-only ``rows``/``keys``/``multiplicity`` lists, mapped
+    to the row's current live slot by ``node_of``. Same operations, same
+    costs, same snapshot/path-copy contract (see the module notes);
+    priorities draw from the shared module PRNG, so shapes stay
+    reproducible.
+    """
+
+    __slots__ = ("rows", "keys", "multiplicity", "node_of",
+                 "left", "right", "parent", "weight", "subtotal",
+                 "priority", "stamp", "row_of", "slots_used",
+                 "root", "size", "epoch")
+
+    def __init__(self, capacity: int = 16):
+        _require_numpy()
+        self.rows: List[tuple] = []
+        self.keys: List[tuple] = []
+        self.multiplicity: List[int] = []
+        self.node_of: List[int] = []
+        self._alloc(max(capacity, 4))
+        self.slots_used = 0
+        self.root = _NIL
+        self.size = 0
+        self.epoch = 0
+
+    def _alloc(self, capacity: int) -> None:
+        self.left = _np.full(capacity, _NIL, dtype=_np.int64)
+        self.right = _np.full(capacity, _NIL, dtype=_np.int64)
+        self.parent = _np.full(capacity, _NIL, dtype=_np.int64)
+        self.weight = _np.zeros(capacity, dtype=_np.int64)
+        self.subtotal = _np.zeros(capacity, dtype=_np.int64)
+        self.priority = _np.zeros(capacity, dtype=_np.float64)
+        self.stamp = _np.zeros(capacity, dtype=_np.int64)
+        self.row_of = _np.full(capacity, _NIL, dtype=_np.int64)
+
+    def _grow(self) -> None:
+        """Double the slabs by copy — captured snapshots keep the old
+        arrays, whose frozen slots are complete and never written again."""
+        used = self.slots_used
+        capacity = max(16, 2 * len(self.left))
+        for name in ("left", "right", "parent", "weight", "subtotal",
+                     "priority", "stamp", "row_of"):
+            old = getattr(self, name)
+            new = _np.full(capacity, _NIL, dtype=old.dtype) \
+                if old.dtype == _np.int64 else _np.zeros(capacity, old.dtype)
+            new[:used] = old[:used]
+            setattr(self, name, new)
+
+    def _new_row(self, row: tuple, multiplicity: int) -> int:
+        row_id = len(self.rows)
+        self.rows.append(row)
+        self.keys.append(row_sort_key(row))
+        self.multiplicity.append(multiplicity)
+        self.node_of.append(_NIL)
+        return row_id
+
+    def _new_slot(self, row_id: int, weight: int, priority: float) -> int:
+        if weight >= _WEIGHT_LIMIT:
+            raise FlatOverflowError("row weight exceeds the int64 flat limit")
+        if self.slots_used == len(self.left):
+            self._grow()
+        slot = self.slots_used
+        self.slots_used = slot + 1
+        self.left[slot] = _NIL
+        self.right[slot] = _NIL
+        self.parent[slot] = _NIL
+        self.weight[slot] = weight
+        self.subtotal[slot] = weight
+        self.priority[slot] = priority
+        self.stamp[slot] = self.epoch
+        self.row_of[slot] = row_id
+        self.node_of[row_id] = slot
+        return slot
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                        #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_sorted(
+        cls, entries: Sequence[Tuple[tuple, int, int]]
+    ) -> Tuple["FlatOrderTree", List[int]]:
+        """Bulk-build from canonically sorted ``(row, weight, mult)``;
+        returns the tree and the row ids in input order."""
+        tree = cls(capacity=max(len(entries), 4))
+        slots = []
+        for row, weight, multiplicity in entries:
+            row_id = tree._new_row(row, multiplicity)
+            slots.append(tree._new_slot(row_id, weight, 0.0))
+        tree._over_slots(slots)
+        return tree, list(range(len(entries)))
+
+    def _over_slots(self, slots: List[int]) -> None:
+        """A balanced treap over existing, key-sorted slots (reused in
+        place — the slab analog of ``OrderedWeightTree._over_nodes``)."""
+        n = len(slots)
+        self.size = n
+        if n == 0:
+            self.root = _NIL
+            return
+        left, right, parent = self.left, self.right, self.parent
+        weight, subtotal = self.weight, self.subtotal
+
+        def build(lo: int, hi: int) -> int:
+            if lo >= hi:
+                return _NIL
+            mid = (lo + hi) // 2
+            slot = slots[mid]
+            a = build(lo, mid)
+            b = build(mid + 1, hi)
+            left[slot] = a
+            right[slot] = b
+            total = weight[slot]
+            if a != _NIL:
+                parent[a] = slot
+                total += subtotal[a]
+            if b != _NIL:
+                parent[b] = slot
+                total += subtotal[b]
+            subtotal[slot] = total
+            return slot
+
+        self.root = build(0, n)
+        parent[self.root] = _NIL
+        priorities = _descending_priorities(n)
+        order = [self.root]
+        cursor = 0
+        while cursor < len(order):
+            slot = order[cursor]
+            cursor += 1
+            if left[slot] != _NIL:
+                order.append(int(left[slot]))
+            if right[slot] != _NIL:
+                order.append(int(right[slot]))
+        for slot, priority in zip(order, priorities):
+            self.priority[slot] = priority
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total(self) -> int:
+        return int(self.subtotal[self.root]) if self.root != _NIL else 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[int]:
+        """Row ids (tombstones included) in canonical order."""
+        stack: List[int] = []
+        slot = self.root
+        left, right, row_of = self.left, self.right, self.row_of
+        while stack or slot != _NIL:
+            while slot != _NIL:
+                stack.append(slot)
+                slot = int(left[slot])
+            slot = stack.pop()
+            yield int(row_of[slot])
+            slot = int(right[slot])
+
+    def row_weight(self, row_id: int) -> int:
+        return int(self.weight[self.node_of[row_id]])
+
+    def locate(self, offset: int) -> Tuple[int, int]:
+        """``(row_id, start)`` of the row whose range contains ``offset``."""
+        if not 0 <= offset < self.total:
+            raise IndexError(f"offset {offset} outside [0, {self.total})")
+        left, right, weight, subtotal = (
+            self.left, self.right, self.weight, self.subtotal,
+        )
+        slot = self.root
+        start = 0
+        remaining = offset
+        while True:
+            a = left[slot]
+            left_total = subtotal[a] if a != _NIL else 0
+            if remaining < left_total:
+                slot = a
+                continue
+            remaining -= left_total
+            start += left_total
+            w = weight[slot]
+            if remaining < w:
+                return int(self.row_of[slot]), int(start)
+            remaining -= w
+            start += w
+            slot = right[slot]
+
+    def prefix_of(self, row_id: int) -> int:
+        """``startIndex`` of the row: total weight canonically before it."""
+        left, right, weight, subtotal, parent = (
+            self.left, self.right, self.weight, self.subtotal, self.parent,
+        )
+        slot = self.node_of[row_id]
+        a = left[slot]
+        total = subtotal[a] if a != _NIL else 0
+        while parent[slot] != _NIL:
+            up = parent[slot]
+            if right[up] == slot:
+                a = left[up]
+                total += weight[up] + (subtotal[a] if a != _NIL else 0)
+            slot = up
+        return int(total)
+
+    # ------------------------------------------------------------------ #
+    # Snapshots (persistence)                                             #
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> FrozenFlatTree:
+        """Freeze the current version in O(1) (see the module notes)."""
+        self.epoch += 1
+        return FrozenFlatTree(self)
+
+    def _clone(self, slot: int) -> int:
+        fresh = self._new_slot(
+            int(self.row_of[slot]), int(self.weight[slot]),
+            float(self.priority[slot]),
+        )
+        self.left[fresh] = self.left[slot]
+        self.right[fresh] = self.right[slot]
+        self.parent[fresh] = self.parent[slot]
+        self.subtotal[fresh] = self.subtotal[slot]
+        return fresh
+
+    def _own_child(self, parent_slot: int, slot: int) -> int:
+        """``slot``, made safe to mutate in the current epoch (the parent
+        must already be owned, or ``_NIL`` for the root)."""
+        if self.stamp[slot] == self.epoch:
+            return slot
+        fresh = self._clone(slot)
+        if parent_slot == _NIL:
+            self.root = fresh
+        elif self.left[parent_slot] == slot:
+            self.left[parent_slot] = fresh
+        else:
+            self.right[parent_slot] = fresh
+        self.parent[fresh] = parent_slot
+        if self.left[fresh] != _NIL:
+            self.parent[int(self.left[fresh])] = fresh
+        if self.right[fresh] != _NIL:
+            self.parent[int(self.right[fresh])] = fresh
+        return fresh
+
+    def _owned(self, slot: int) -> int:
+        """An owned version of ``slot``, path-copying its frozen spine."""
+        if self.stamp[slot] == self.epoch:
+            return slot
+        chain = [slot]
+        current = int(self.parent[slot])
+        while current != _NIL:
+            chain.append(current)
+            current = int(self.parent[current])
+        owned = _NIL
+        for current in reversed(chain):
+            owned = self._own_child(owned, current)
+        return owned
+
+    # ------------------------------------------------------------------ #
+    # Updates                                                             #
+    # ------------------------------------------------------------------ #
+
+    def set_weight(self, row_id: int, weight: int) -> None:
+        """Point weight update; ancestor subtotals fix up live-tree-up."""
+        slot = self.node_of[row_id]
+        delta = weight - int(self.weight[slot])
+        if delta == 0:
+            return
+        if weight >= _WEIGHT_LIMIT:
+            raise FlatOverflowError("row weight exceeds the int64 flat limit")
+        slot = self._owned(slot)
+        self.weight[slot] = weight
+        parent, subtotal = self.parent, self.subtotal
+        current = slot
+        while current != _NIL:
+            subtotal[current] += delta
+            current = int(parent[current])
+
+    def insert_row(self, row: tuple, weight: int, multiplicity: int) -> int:
+        """Insert a new row at its canonical position; returns its row id."""
+        row_id = self._new_row(row, multiplicity)
+        slot = self._new_slot(row_id, weight, _PRIORITIES.random())
+        self.size += 1
+        if self.root == _NIL:
+            self.root = slot
+            return row_id
+        key = self.keys[row_id]
+        keys = self.keys
+        # No slab locals here: _own_child clones may _grow() the arrays,
+        # which rebinds self.left & co. mid-descent.
+        current = self._own_child(_NIL, self.root)
+        while True:
+            self.subtotal[current] += weight
+            if key < keys[int(self.row_of[current])]:
+                nxt = int(self.left[current])
+                if nxt == _NIL:
+                    self.left[current] = slot
+                    break
+                current = self._own_child(current, nxt)
+            else:
+                nxt = int(self.right[current])
+                if nxt == _NIL:
+                    self.right[current] = slot
+                    break
+                current = self._own_child(current, nxt)
+        self.parent[slot] = current
+        priority = self.priority
+        while (self.parent[slot] != _NIL
+               and priority[slot] > priority[int(self.parent[slot])]):
+            self._rotate_up(slot)
+        return row_id
+
+    def _rotate_up(self, slot: int) -> None:
+        left, right, parent = self.left, self.right, self.parent
+        weight, subtotal = self.weight, self.subtotal
+        up = int(parent[slot])
+        grand = int(parent[up])
+        if left[up] == slot:
+            left[up] = right[slot]
+            if right[slot] != _NIL:
+                parent[int(right[slot])] = up
+            right[slot] = up
+        else:
+            right[up] = left[slot]
+            if left[slot] != _NIL:
+                parent[int(left[slot])] = up
+            left[slot] = up
+        parent[up] = slot
+        parent[slot] = grand
+        if grand == _NIL:
+            self.root = slot
+        elif left[grand] == up:
+            left[grand] = slot
+        else:
+            right[grand] = slot
+        a, b = int(left[up]), int(right[up])
+        subtotal[up] = (weight[up] + (subtotal[a] if a != _NIL else 0)
+                        + (subtotal[b] if b != _NIL else 0))
+        a, b = int(left[slot]), int(right[slot])
+        subtotal[slot] = (weight[slot] + (subtotal[a] if a != _NIL else 0)
+                          + (subtotal[b] if b != _NIL else 0))
+
+    def insert_sorted(
+        self, entries: Sequence[Tuple[tuple, int, int]]
+    ) -> List[int]:
+        """Bulk-insert canonically sorted new rows; returns their row ids.
+
+        Same split as the object treap: small batches insert one by one,
+        large ones merge with the in-order slot sequence and rebuild —
+        frozen slots are cloned first, so captured snapshots stay intact,
+        while row-id handles are untouched by construction.
+        """
+        k = len(entries)
+        if k == 0:
+            return []
+        n = self.size
+        if n and k * (n + k).bit_length() <= n + k:
+            return [
+                self.insert_row(row, weight, multiplicity)
+                for row, weight, multiplicity in entries
+            ]
+        epoch = self.epoch
+        row_ids = []
+        new_slots = []
+        for row, weight, multiplicity in entries:
+            row_id = self._new_row(row, multiplicity)
+            row_ids.append(row_id)
+            new_slots.append(self._new_slot(row_id, weight, 0.0))
+        in_order = []
+        stack: List[int] = []
+        slot = self.root
+        while stack or slot != _NIL:
+            while slot != _NIL:
+                stack.append(slot)
+                slot = int(self.left[slot])
+            slot = stack.pop()
+            in_order.append(slot)
+            slot = int(self.right[slot])
+        merged: List[int] = []
+        fresh = iter(new_slots)
+        pending = next(fresh)
+        keys, row_of = self.keys, self.row_of
+        for slot in in_order:
+            slot_key = keys[int(row_of[slot])]
+            while pending is not None and keys[int(row_of[pending])] < slot_key:
+                merged.append(pending)
+                pending = next(fresh, None)
+            if self.stamp[slot] != epoch:
+                slot = self._clone(slot)
+            merged.append(slot)
+        if pending is not None:
+            merged.append(pending)
+            merged.extend(fresh)
+        self._over_slots(merged)
+        return row_ids
+
+    def compacted(self) -> Tuple["FlatOrderTree", List[Tuple[tuple, int]]]:
+        """A fresh tree without tombstones; the old one stays intact for
+        any snapshot still holding its slabs. Returns the new tree and
+        ``(row, row_id)`` pairs for re-pointing a rank map."""
+        live = [
+            (self.rows[row_id], self.row_weight(row_id),
+             self.multiplicity[row_id])
+            for row_id in self
+            if self.multiplicity[row_id] > 0
+        ]
+        tree, row_ids = FlatOrderTree.from_sorted(live)
+        return tree, [(entry[0], row_id) for entry, row_id in zip(live, row_ids)]
+
+
+class FlatSnapshotStore:
+    """A read-only :class:`~repro.core.access_engine.BucketStore` over one
+    :class:`FrozenFlatTree` version — the slab analog of
+    :class:`~repro.core.access_engine.SnapshotBucketStore` (root-down
+    descents only; ``parent`` and ``multiplicity`` are never read)."""
+
+    __slots__ = ("frozen", "total")
+
+    #: Frozen dynamic buckets hold zero-weight tombstones.
+    unit_leaf = False
+
+    def __init__(self, frozen: FrozenFlatTree):
+        self.frozen = frozen
+        self.total = (
+            int(frozen.subtotal[frozen.root]) if frozen.root != _NIL else 0
+        )
+
+    def __len__(self) -> int:
+        count = 0
+        for __ in self.iter_rows():
+            count += 1
+        return count
+
+    def locate_run(self, offset: int) -> Tuple[tuple, int, int]:
+        if not 0 <= offset < self.total:
+            raise IndexError(f"offset {offset} outside [0, {self.total})")
+        f = self.frozen
+        left, right, weight, subtotal = f.left, f.right, f.weight, f.subtotal
+        slot = f.root
+        start = 0
+        remaining = offset
+        while True:
+            a = left[slot]
+            left_total = subtotal[a] if a != _NIL else 0
+            if remaining < left_total:
+                slot = a
+                continue
+            remaining -= left_total
+            start += left_total
+            w = weight[slot]
+            if remaining < w:
+                return f.rows[int(f.row_of[slot])], int(start), int(w)
+            remaining -= w
+            start += w
+            slot = right[slot]
+
+    def rank_start(self, row: tuple) -> Optional[int]:
+        key = row_sort_key(row)
+        f = self.frozen
+        left, right, weight, subtotal = f.left, f.right, f.weight, f.subtotal
+        slot = f.root
+        start = 0
+        while slot != _NIL:
+            row_id = int(f.row_of[slot])
+            slot_key = f.keys[row_id]
+            a = left[slot]
+            if key < slot_key:
+                slot = a
+            elif slot_key < key:
+                start += (subtotal[a] if a != _NIL else 0) + weight[slot]
+                slot = right[slot]
+            else:
+                if weight[slot] == 0 or f.rows[row_id] != row:
+                    return None  # dangling/tombstone (or defensively absent)
+                return int(start + (subtotal[a] if a != _NIL else 0))
+        return None
+
+    def iter_rows(self) -> Iterator[Tuple[tuple, int]]:
+        f = self.frozen
+        stack: List[int] = []
+        slot = f.root
+        while stack or slot != _NIL:
+            while slot != _NIL:
+                stack.append(slot)
+                slot = int(f.left[slot])
+            slot = stack.pop()
+            yield f.rows[int(f.row_of[slot])], int(f.weight[slot])
+            slot = int(f.right[slot])
+
+
+class FlatDynamicBucket:
+    """The dynamic columnar bucket: a :class:`FlatOrderTree` plus a
+    row → row-id rank map. Implements both the engine's
+    :class:`~repro.core.access_engine.BucketStore` protocol and the
+    row-keyed maintenance API of
+    :class:`~repro.core.dynamic._DynamicBucket`, so
+    :class:`~repro.core.dynamic.DynamicJoinForest` drives either backend
+    through identical call sites. Row-id handles are stable, so no
+    ``on_clone`` re-pointing is ever needed."""
+
+    __slots__ = ("tree", "rank", "tombstones", "_frozen")
+
+    unit_leaf = False
+
+    def __init__(self):
+        self.tree = FlatOrderTree()
+        self.rank: Dict[tuple, int] = {}
+        self.tombstones = 0
+        self._frozen: Optional[FlatSnapshotStore] = None
+
+    @classmethod
+    def from_sorted_rows(
+        cls, entries: Sequence[Tuple[tuple, int, int]]
+    ) -> "FlatDynamicBucket":
+        bucket = cls.__new__(cls)
+        bucket.tree, row_ids = FlatOrderTree.from_sorted(entries)
+        bucket.rank = {
+            entry[0]: row_id for entry, row_id in zip(entries, row_ids)
+        }
+        bucket.tombstones = sum(1 for entry in entries if entry[2] == 0)
+        bucket._frozen = None
+        return bucket
+
+    def freeze(self) -> FlatSnapshotStore:
+        if self._frozen is None:
+            self._frozen = FlatSnapshotStore(self.tree.snapshot())
+        return self._frozen
+
+    # -- BucketStore protocol ------------------------------------------ #
+
+    @property
+    def total(self) -> int:
+        return self.tree.total
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def locate_run(self, offset: int) -> Tuple[tuple, int, int]:
+        row_id, start = self.tree.locate(offset)
+        return self.tree.rows[row_id], start, self.tree.row_weight(row_id)
+
+    def rank_start(self, row: tuple) -> Optional[int]:
+        row_id = self.rank.get(row)
+        if row_id is None or self.tree.row_weight(row_id) == 0:
+            return None
+        return self.tree.prefix_of(row_id)
+
+    def iter_rows(self) -> Iterator[Tuple[tuple, int]]:
+        tree = self.tree
+        return (
+            (tree.rows[row_id], tree.row_weight(row_id)) for row_id in tree
+        )
+
+    # -- Row-keyed maintenance API ------------------------------------- #
+
+    def has_row(self, row: tuple) -> bool:
+        return row in self.rank
+
+    def is_present(self, row: tuple) -> bool:
+        row_id = self.rank.get(row)
+        return row_id is not None and self.tree.multiplicity[row_id] > 0
+
+    def multiplicity_of(self, row: tuple) -> Optional[int]:
+        row_id = self.rank.get(row)
+        return None if row_id is None else self.tree.multiplicity[row_id]
+
+    def set_multiplicity(self, row: tuple, multiplicity: int) -> None:
+        """In-place multiplicity write (writer bookkeeping — invisible to
+        snapshot readers), with tombstone accounting."""
+        row_id = self.rank[row]
+        was = self.tree.multiplicity[row_id] > 0
+        now = multiplicity > 0
+        self.tree.multiplicity[row_id] = multiplicity
+        if was and not now:
+            self.tombstones += 1
+        elif now and not was:
+            self.tombstones -= 1
+
+    def weight_of(self, row: tuple) -> int:
+        return self.tree.row_weight(self.rank[row])
+
+    def set_row_weight(self, row: tuple, weight: int) -> None:
+        row_id = self.rank[row]
+        if self.tree.row_weight(row_id) == weight:
+            return
+        self._frozen = None
+        self.tree.set_weight(row_id, weight)
+
+    def add_row(self, row: tuple, weight: int, multiplicity: int) -> None:
+        self._frozen = None
+        self.rank[row] = self.tree.insert_row(row, weight, multiplicity)
+        if multiplicity == 0:
+            self.tombstones += 1
+
+    def bulk_insert(self, entries: Sequence[Tuple[tuple, int, int]]) -> None:
+        if not entries:
+            return
+        self._frozen = None
+        for entry, row_id in zip(entries, self.tree.insert_sorted(entries)):
+            self.rank[entry[0]] = row_id
+            if entry[2] == 0:
+                self.tombstones += 1
+
+    def compact(self) -> None:
+        self._frozen = None
+        self.tree, pairs = self.tree.compacted()
+        self.rank = dict(pairs)
+        self.tombstones = 0

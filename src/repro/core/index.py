@@ -40,7 +40,12 @@ from bisect import bisect_right
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.database.relation import Relation, row_sort_key
-from repro.core import access_engine
+from repro.core import access_engine, flat_store
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - optional acceleration
+    _np = None
 from repro.core.errors import OutOfBoundError
 from repro.core.reduction import ReducedJoin, ReducedNode
 
@@ -118,6 +123,7 @@ class _IndexNode:
         "buckets",
         "parent_key_positions",
         "child_key_positions",
+        "flat",
     )
 
     def __init__(self, reduced: ReducedNode, parent_columns: Optional[Tuple[str, ...]]):
@@ -144,6 +150,9 @@ class _IndexNode:
                 tuple(self.columns.index(c) for c in child_shared)
             )
         self.buckets: Dict[tuple, _Bucket] = {}
+        # Columnar arrays (repro.core.flat_store.FlatNode) when this node
+        # was converted to the flat store; None on the tuple backend.
+        self.flat = None
 
     def bucket_key_of_row(self, row: tuple) -> tuple:
         return tuple(row[p] for p in self.parent_key_positions)
@@ -167,12 +176,25 @@ class JoinForestIndex:
     the head-tuple packaging lives in :class:`repro.core.cq_index.CQIndex`.
     """
 
-    def __init__(self, reduced: ReducedJoin, sort_buckets: bool = True):
+    def __init__(
+        self,
+        reduced: ReducedJoin,
+        sort_buckets: bool = True,
+        store: Optional[str] = None,
+    ):
         self.reduced = reduced
         self.sort_buckets = sort_buckets
+        self.store = flat_store.resolve_store(store)
         self.roots: List[_IndexNode] = [_IndexNode(r, None) for r in reduced.roots]
         for root in self.roots:
             self._build(root)
+        if self.store == "flat":
+            try:
+                flat_store.columnarize_forest(self.roots)
+            except flat_store.FlatOverflowError:
+                # Weights too large for int64 arrays — the tuple buckets
+                # built above keep serving (python ints are unbounded).
+                self.store = "tuple"
         self.count = access_engine.forest_count(self.roots)
         self._inverted_ready = False
 
@@ -245,14 +267,30 @@ class JoinForestIndex:
         requested position is outside ``[0, count)`` — the batch is
         all-or-nothing, checked before any position is resolved.
         """
-        out: List[object] = [None] * len(indices)
-        if not indices:
-            return out
+        if not len(indices):
+            return []
         count = self.count
-        if min(indices) < 0 or max(indices) >= count:
+        if isinstance(indices, range):
+            # O(1) bounds for pagination sweeps: builtins.min would walk
+            # the whole range in the interpreter.
+            low, high = ((indices[0], indices[-1]) if indices.step > 0
+                         else (indices[-1], indices[0]))
+        elif _np is not None and isinstance(indices, _np.ndarray):
+            low, high = int(indices.min()), int(indices.max())
+        else:
+            low, high = min(indices), max(indices)
+        if low < 0 or high >= count:
             for index in indices:
                 if index < 0 or index >= count:
                     raise OutOfBoundError(index, count)
+        vectorized = access_engine.vector_batch(self.roots, indices, project)
+        if vectorized is not None:
+            return vectorized
+        if _np is not None and isinstance(indices, _np.ndarray):
+            # The scalar walk compares and hashes positions tuple-by-tuple;
+            # unbox once so it never touches numpy integers.
+            indices = indices.tolist()
+        out: List[object] = [None] * len(indices)
         acc: Dict[str, object] = {}
         finish = access_engine.make_batch_finish(out, acc, project)
         access_engine.batch_walk(

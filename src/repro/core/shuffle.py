@@ -17,6 +17,11 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterator, List, Optional
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    _np = None
+
 
 class LazyShuffle:
     """A constant-delay random permutation of ``0 … n−1``.
@@ -100,6 +105,168 @@ class LazyShuffle:
             i += 1
         self._i = i
         return out
+
+
+#: Below this many draws the pure-python ``take`` loop beats the fixed
+#: cost of the vectorized path (state transfer + a few full-array passes).
+_VECTOR_MIN_DRAWS = 1024
+
+
+def sample_positions(n: int, k: int, rng: Optional[random.Random] = None):
+    """``LazyShuffle(n, rng).take(k)`` without the resumable object.
+
+    Bit-for-bit the same positions, consuming bit-for-bit the same
+    randomness from ``rng`` (its state afterwards is exactly as if
+    ``take`` had run) — but, for large draws, computed vectorized:
+    ``random.Random`` is MT19937, and numpy ships the same generator with
+    an assignable state, so the word stream behind the per-draw
+    ``randrange(i, n)`` calls can be produced as one array and the
+    rejection sampling + lazy Fisher–Yates swap chain replayed over it in
+    bulk (see :func:`_vector_take`). ``sample_many`` draws positions
+    through this instead of ``take`` because a throwaway shuffle needs no
+    lookup-table maintenance — the dominant cost of the scalar loop.
+
+    Returns a python list on the scalar path and an int64 ndarray on the
+    vectorized one — the batch entry points accept either, and the flat
+    backend consumes the array with no per-position boxing at all.
+    """
+    if (
+        _np is None
+        or k < _VECTOR_MIN_DRAWS
+        or n < 2
+        or n.bit_length() > 32
+    ):
+        return LazyShuffle(n, rng).take(k)
+    if rng is None:
+        rng = random.Random()
+    positions = _vector_take(n, min(k, n), rng)
+    if positions is None:  # pragma: no cover - safety valve
+        return LazyShuffle(n, rng).take(k)
+    return positions
+
+
+def _vector_take(n: int, m: int, rng: random.Random):
+    """The vectorized lazy Fisher–Yates draw (``m ≥ 1`` positions).
+
+    CPython's ``randrange(i, n)`` is ``i + _randbelow(n - i)``:
+    ``getrandbits(k)`` takes the **top** ``k = (n-i).bit_length()`` bits
+    of one 32-bit Mersenne word, rejecting values ``≥ n - i``. Stages:
+
+    1. *State transfer* — seed a numpy ``MT19937`` with ``rng``'s 624-word
+       key and position and pull the upcoming raw words as one array.
+    2. *Rejection replay* — which draw consumes which word depends on the
+       earlier rejections, so solve for the assignment by fixpoint: guess
+       "no rejections", recompute each word's draw index from the accept
+       flags, repeat. Any fixpoint equals the sequential assignment (first
+       divergent word would have the same draw index and hence the same
+       accept flag — induction), and convergence is fast because a flag
+       only flips when the draw index shifts across a width boundary.
+    3. *Swap-chain patch-up* — draw ``t`` emits slot ``j_t``'s current
+       occupant, which is just ``j_t`` unless some other draw touched that
+       slot. Only duplicated ``j`` values and ``j < m`` (slots a later
+       draw reads as its ``i``) can collide — a scalar replay over that
+       sparse subset fixes them.
+    4. *State sync* — replay the consumed word count onto a fresh copy of
+       the transferred state and hand the result back to ``rng``.
+
+    Returns ``None`` (caller falls back to the scalar loop) if the
+    fixpoint has not settled after 48 rounds.
+    """
+    version, internal, gauss_next = rng.getstate()
+    if version != 3 or len(internal) != 625:  # pragma: no cover
+        return None
+    key, pos = internal[:-1], internal[-1]
+    mt = _np.random.MT19937()
+    mt.state = {
+        "bit_generator": "MT19937",
+        "state": {"key": _np.array(key, dtype=_np.uint64), "pos": pos},
+    }
+
+    widths = n - _np.arange(m, dtype=_np.int64)
+    # Vectorized bit_length: index of the first power of two > width.
+    powers = 2 ** _np.arange(1, 34, dtype=_np.int64)
+    shifts = 32 - (_np.searchsorted(powers, widths, side="right") + 1)
+
+    # Enough words for the expected rejection overhead, topped up if an
+    # unlucky stream runs short. When every draw shares one bit width
+    # (the overwhelmingly common case — widths only span m), the per-word
+    # candidate values don't depend on the fixpoint and hoist out of it,
+    # and the expected acceptance rate seeds the draw-index guess.
+    flat_shift = int(shifts[0]) if shifts[0] == shifts[-1] else None
+    rate = float(widths[0] + widths[-1]) / 2.0 / float(
+        1 << (32 - (flat_shift if flat_shift is not None else int(shifts[0])))
+    )
+    words = mt.random_raw(int(m / rate) + (m >> 4) + 64).astype(_np.int64)
+    while True:
+        total = len(words)
+        lanes = _np.arange(total, dtype=_np.int64)
+        if flat_shift is not None:
+            candidates = words >> flat_shift
+            draw = _np.minimum((lanes * rate).astype(_np.int64), m - 1)
+        else:
+            candidates = None
+            draw = _np.minimum(lanes, m - 1)
+        for __ in range(48):
+            if candidates is not None:
+                accept = candidates < widths[draw]
+            else:
+                accept = (words >> shifts[draw]) < widths[draw]
+            accepted = _np.cumsum(accept)
+            shifted = _np.empty_like(draw)
+            shifted[0] = 0
+            _np.minimum(accepted[:-1], m - 1, out=shifted[1:])
+            if _np.array_equal(shifted, draw):
+                break
+            draw = shifted
+        else:  # pragma: no cover - never observed; scalar loop is exact
+            return None
+        if accepted[-1] >= m:
+            break
+        missing = m - int(accepted[-1])
+        words = _np.concatenate(
+            [words, mt.random_raw(missing * 2 + 64).astype(_np.int64)]
+        )
+
+    hits = _np.flatnonzero(accept)[:m]
+    consumed = int(hits[-1]) + 1
+    emitted = _np.arange(m, dtype=_np.int64) + (words[hits] >> shifts)
+
+    # Swap-chain patch-up: resolve the sparse set of colliding draws.
+    order = _np.argsort(emitted)
+    ranked = emitted[order]
+    tied = ranked[1:] == ranked[:-1]
+    collide_sorted = _np.zeros(m, dtype=bool)
+    collide_sorted[1:] |= tied
+    collide_sorted[:-1] |= tied
+    collide = _np.empty(m, dtype=bool)
+    collide[order] = collide_sorted
+    collide |= emitted < m
+    special = _np.flatnonzero(collide)
+    if special.size:
+        cells: Dict[int, int] = {}
+        patched = []
+        for t, j in zip(special.tolist(), emitted[special].tolist()):
+            value_j = cells.get(j, j)
+            value_i = cells.get(t, t)
+            cells[t] = value_j
+            cells[j] = value_i
+            patched.append(value_j)
+        emitted[special] = patched
+
+    # Advance rng past exactly the words the scalar loop would have used.
+    sync = _np.random.MT19937()
+    sync.state = {
+        "bit_generator": "MT19937",
+        "state": {"key": _np.array(key, dtype=_np.uint64), "pos": pos},
+    }
+    sync.random_raw(consumed)
+    state = sync.state["state"]
+    rng.setstate((
+        3,
+        tuple(int(word) for word in state["key"]) + (int(state["pos"]),),
+        gauss_next,
+    ))
+    return emitted
 
 
 def random_permutation_indices(n: int, rng: Optional[random.Random] = None) -> Iterator[int]:

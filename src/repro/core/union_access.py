@@ -42,7 +42,7 @@ from repro.core.cq_index import CQIndex
 from repro.core.errors import IncompatibleUnionError, OutOfBoundError
 from repro.core.index import JoinForestIndex
 from repro.core.reduction import ReducedJoin, ReducedNode, reduce_to_full_acyclic
-from repro.core.shuffle import LazyShuffle
+from repro.core.shuffle import LazyShuffle, sample_positions
 
 #: Guard against the 2^m intersection-index blow-up of Lemma A.2.
 MAX_UNION_MEMBERS = 12
@@ -317,6 +317,10 @@ def _batch_union(union: UnionRandomAccess, count: int, indices: Sequence[int]) -
     :class:`~repro.core.errors.OutOfBoundError` on any position outside
     ``[0, count)`` before resolving anything.
     """
+    if hasattr(indices, "tolist"):
+        # sample_positions may hand over an int64 ndarray; the union walk is
+        # scalar (dict keys, sorted slots), so unbox once at the boundary.
+        indices = indices.tolist()
     # Every slot is overwritten before returning (the bound check below is
     # all-or-nothing), so placeholder empty tuples keep the element type
     # honest without a List[Optional[tuple]] false positive.
@@ -363,11 +367,15 @@ class UnionIndexSnapshot:
         head_variables: Tuple[str, ...],
         version: int,
         tables: Optional[Tuple[List[int], List[int]]] = None,
+        store: str = "tuple",
     ):
         self.member_snapshots = list(members)
         self.intersection_snapshots = dict(intersections)
         self.head_variables = head_variables
         self.version = version
+        #: The publishing union's bucket backend — carried on the
+        #: snapshot so per-backend read accounting works on pinned views.
+        self.store = store
         self._union = UnionRandomAccess(
             self.member_snapshots, self.intersection_snapshots, tables=tables
         )
@@ -386,7 +394,7 @@ class UnionIndexSnapshot:
         return _batch_union(self._union, self.count, indices)
 
     def sample_many(self, k: int, rng: Optional[random.Random] = None) -> List[tuple]:
-        return self.batch(LazyShuffle(self.count, rng).take(k))
+        return self.batch(sample_positions(self.count, k, rng))
 
     def __iter__(self) -> Iterator[tuple]:
         return enumerate_union(self.member_snapshots)
@@ -444,7 +452,10 @@ class MCUCQIndex:
         ucq: UnionOfConjunctiveQueries,
         database: Database,
         dynamic: bool = False,
+        store: Optional[str] = None,
     ):
+        from repro.core import flat_store
+
         if len(ucq) > MAX_UNION_MEMBERS:
             raise IncompatibleUnionError(
                 f"union has {len(ucq)} members; the 2^m intersection indexes of "
@@ -453,6 +464,10 @@ class MCUCQIndex:
         self.ucq = ucq
         self.head_variables: Tuple[str, ...] = tuple(v.name for v in ucq.head)
         self.dynamic = dynamic
+        #: Backend for every member and intersection index (one family, one
+        #: store — the compatibility machinery needs no further agreement,
+        #: since all backends enumerate identically).
+        self.store = flat_store.resolve_store(store)
         #: The service's capability marker: a dynamic union absorbs
         #: mutations in place instead of invalidating.
         self.supports_updates = dynamic
@@ -483,7 +498,8 @@ class MCUCQIndex:
                 "(Theorem 5.4's UnionRandomEnumerator still applies)"
             )
         self.member_indexes: List[CQIndex] = [
-            CQIndex.from_reduced(r, sort_buckets=True) for r in reduced
+            CQIndex.from_reduced(r, sort_buckets=True, store=self.store)
+            for r in reduced
         ]
         m = len(ucq)
         self.intersection_indexes: Dict[Tuple[int, FrozenSet[int]], CQIndex] = {}
@@ -495,7 +511,7 @@ class MCUCQIndex:
                     name=label,
                 )
                 self.intersection_indexes[(position, subset)] = CQIndex.from_reduced(
-                    joined, sort_buckets=True
+                    joined, sort_buckets=True, store=self.store
                 )
 
     def _build_dynamic(self, database: Database) -> None:
@@ -516,6 +532,7 @@ class MCUCQIndex:
                 query,
                 database,
                 on_presence_change=self._member_hook(position),
+                store=self.store,
             )
             for position, query in enumerate(ucq.queries)
         ]
@@ -540,7 +557,7 @@ class MCUCQIndex:
                     [reduced[position]] + [reduced[i] for i in sorted(subset)],
                     name=label,
                 )
-                forest = DynamicJoinForest(joined)
+                forest = DynamicJoinForest(joined, store=self.store)
                 self.intersection_indexes[(position, subset)] = forest
                 group = frozenset({position}) | subset
                 for i in group:
@@ -692,6 +709,7 @@ class MCUCQIndex:
             self.head_variables,
             self.publishes,
             tables=(self._union._overlap, self._union._suffix_count),
+            store=self.store,
         )
         self._snapshot = snapshot  # the atomic publication point
         return snapshot
@@ -727,7 +745,7 @@ class MCUCQIndex:
         :meth:`random_order` under the same seeded ``rng``; served by one
         vectorized shuffle plus one deduplicated batch.
         """
-        return self.batch(LazyShuffle(self.count, rng).take(k))
+        return self.batch(sample_positions(self.count, k, rng))
 
     def __iter__(self) -> Iterator[tuple]:
         """Enumerate in the union's order (Algorithm 6)."""

@@ -186,7 +186,7 @@ class Cursor:
         service = self._service
         self._police_staleness()
         if self._pinned is not None:
-            service._snapshot_reads += 1
+            service._count_snapshot_read(self._pinned)
             return self._pinned, UNGUARDED
         view, guard = service._read_view(self.query, self._query_key)
         if self._on_stale == "raise":

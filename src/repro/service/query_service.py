@@ -148,6 +148,7 @@ from repro.query.free_connex import free_connex_report
 from repro.query.parser import parse_cq, parse_ucq
 from repro.query.ucq import UnionOfConjunctiveQueries
 
+from repro.core import flat_store
 from repro.service.cache import CacheInfo, IndexCache, canonical_query_key
 from repro.service.cursor import Cursor, TRANSIENT, UNGUARDED
 
@@ -215,6 +216,17 @@ class ServiceStats(NamedTuple):
     #: Checkpoints written through the bound store (the base checkpoint
     #: taken when a fresh directory was bound included).
     checkpoints: int = 0
+    #: Per-backend splits of the build and snapshot-read counters above —
+    #: the backend-mix signal a cost-based store tuner needs. A build
+    #: counts under the backend that actually serves it (``tuple`` when a
+    #: flat build fell back on int64 overflow); a snapshot read counts
+    #: under its entry's backend.
+    tuple_static_builds: int = 0
+    tuple_dynamic_builds: int = 0
+    tuple_snapshot_reads: int = 0
+    flat_static_builds: int = 0
+    flat_dynamic_builds: int = 0
+    flat_snapshot_reads: int = 0
 
 
 def _relations_in_key(query_key: tuple) -> frozenset:
@@ -267,6 +279,13 @@ class QueryService:
         serve-state) atomically. A fresh directory gets a base checkpoint
         immediately; to reopen a directory that already holds history,
         use :meth:`QueryService.recover` instead.
+    store:
+        Default bucket backend for every index this service builds:
+        ``"tuple"`` or ``"flat"`` (the columnar backend, see
+        :mod:`repro.core.flat_store`). ``None`` resolves via the
+        ``REPRO_STORE`` environment variable, defaulting to ``"tuple"``.
+        :meth:`set_store_override` pins a different backend for
+        individual queries.
     """
 
     def __init__(
@@ -277,6 +296,7 @@ class QueryService:
         promote_after: int = 3,
         dynamic: Optional[bool] = None,
         storage=None,
+        store: Optional[str] = None,
     ):
         self._database = database
         self._cache = cache if cache is not None else IndexCache(cache_capacity)
@@ -295,6 +315,16 @@ class QueryService:
         self._batched_update_ops = 0
         self._snapshot_reads = 0
         self._locked_reads = 0
+        self._store = flat_store.resolve_store(store)
+        # Canonical query key → backend name: per-query overrides of the
+        # service default (set_store_override).
+        self._store_overrides: Dict[tuple, str] = {}
+        # Backend name → build/read counters: the per-backend split of
+        # static_builds / dynamic_builds / snapshot_reads.
+        self._backend_counters = {
+            name: {"static_builds": 0, "dynamic_builds": 0, "snapshot_reads": 0}
+            for name in flat_store.VALID_STORES
+        }
         # True exactly while _absorb_delta carries entries to the new
         # version: the window in which a read may serve the previous
         # version's published snapshot instead of rebuilding.
@@ -339,6 +369,22 @@ class QueryService:
         if isinstance(query, str):
             return parse_ucq(query) if ";" in query else parse_cq(query)
         return query
+
+    def set_store_override(self, query: Query, store: Optional[str]) -> None:
+        """Pin a bucket backend for one query (``None`` removes the pin).
+
+        Overrides the service default for every *future* build of
+        ``query`` (keyed canonically, so string and object forms of the
+        same query share the pin). An already-cached entry is not
+        rebuilt — drop it with a mutation or let the cache evict it, and
+        the next build picks the pinned backend. ``store`` is validated
+        eagerly (:func:`repro.core.flat_store.resolve_store`).
+        """
+        query_key = canonical_query_key(self.resolve(query))
+        if store is None:
+            self._store_overrides.pop(query_key, None)
+        else:
+            self._store_overrides[query_key] = flat_store.resolve_store(store)
 
     def index(self, query: Query):
         """The (cached) live random-access index for ``query``.
@@ -431,7 +477,7 @@ class QueryService:
                 if getattr(behind, "supports_updates", False):
                     snapshot = getattr(behind, "snapshot", None)
                     if snapshot is not None:
-                        self._snapshot_reads += 1
+                        self._count_snapshot_read(behind)
                         # TRANSIENT, not UNGUARDED: consistent for this
                         # one read, but a cursor must not pin it — it
                         # trails the version the cursor reports, and the
@@ -440,11 +486,11 @@ class QueryService:
                         return snapshot, TRANSIENT
             entry = self._resolve_entry(query, query_key)
             if not getattr(entry, "supports_updates", False):
-                self._snapshot_reads += 1
+                self._count_snapshot_read(entry)
                 return entry, UNGUARDED
             snapshot = getattr(entry, "snapshot", None)
             if snapshot is not None:
-                self._snapshot_reads += 1
+                self._count_snapshot_read(entry)
                 return snapshot, UNGUARDED
             key = (self._database, self._database.version, query_key)
             lock = self._cache.lock_for(key)
@@ -454,22 +500,35 @@ class QueryService:
             # Lost the race with a concurrent re-key/eviction: resolve
             # again at the (new) current version.
 
+    def _count_snapshot_read(self, entry) -> None:
+        """One wait-free read served by ``entry`` (global + per-backend)."""
+        self._snapshot_reads += 1
+        self._backend_counters[getattr(entry, "store", "tuple")][
+            "snapshot_reads"
+        ] += 1
+
     def _build(self, query, query_key):
         dynamic = self._serve_dynamically(query, query_key)
+        store = self._store_overrides.get(query_key, self._store)
         if isinstance(query, UnionOfConjunctiveQueries):
-            built = MCUCQIndex(query, self._database, dynamic=dynamic)
+            built = MCUCQIndex(query, self._database, dynamic=dynamic, store=store)
         elif dynamic:
-            built = DynamicCQIndex(query, self._database)
+            built = DynamicCQIndex(query, self._database, store=store)
         else:
-            built = CQIndex(query, self._database)
+            built = CQIndex(query, self._database, store=store)
         # Count only builds that actually completed — a constructor that
         # raises (e.g. a shape-misaligned union) must not inflate stats.
+        # The backend split reads the index's own ``store``: a flat build
+        # that overflowed int64 and fell back counts as tuple.
+        backend = self._backend_counters[getattr(built, "store", "tuple")]
         if dynamic:
             if self._dynamic is None:
                 self._promotions += 1
             self._dynamic_builds += 1
+            backend["dynamic_builds"] += 1
         else:
             self._static_builds += 1
+            backend["static_builds"] += 1
         return built
 
     def _serve_dynamically(self, query, query_key) -> bool:
@@ -949,6 +1008,12 @@ class QueryService:
                 self._storage.checkpoints_written
                 if self._storage is not None else 0
             ),
+            tuple_static_builds=self._backend_counters["tuple"]["static_builds"],
+            tuple_dynamic_builds=self._backend_counters["tuple"]["dynamic_builds"],
+            tuple_snapshot_reads=self._backend_counters["tuple"]["snapshot_reads"],
+            flat_static_builds=self._backend_counters["flat"]["static_builds"],
+            flat_dynamic_builds=self._backend_counters["flat"]["dynamic_builds"],
+            flat_snapshot_reads=self._backend_counters["flat"]["snapshot_reads"],
         )
 
     def __repr__(self) -> str:

@@ -66,29 +66,29 @@ def positions_for(draw, count, max_size=30):
 
 @given(database_and_query(), st.data())
 @settings(max_examples=120, deadline=None)
-def test_batch_equals_scalar_loop(case, data):
+def test_batch_equals_scalar_loop(store, case, data):
     query, db = case
-    index = CQIndex(query, db)
+    index = CQIndex(query, db, store=store)
     positions = data.draw(positions_for(index.count))
     assert index.batch(positions) == [index.access(i) for i in positions]
 
 
 @given(st.integers(0, 2**32 - 1), st.integers(1, 4), st.booleans(), st.data())
 @settings(max_examples=60, deadline=None)
-def test_batch_on_random_acyclic_queries(seed, atoms, full, data):
+def test_batch_on_random_acyclic_queries(store, seed, atoms, full, data):
     rng = random.Random(seed)
     query = random_acyclic_query(atoms, rng, full=full)
     db = random_database(query, rng, rows_per_relation=12, domain=4)
-    index = CQIndex(query, db)
+    index = CQIndex(query, db, store=store)
     positions = data.draw(positions_for(index.count, max_size=40))
     assert index.batch(positions) == [index.access(i) for i in positions]
 
 
 @given(database_and_query())
 @settings(max_examples=40, deadline=None)
-def test_batch_covers_full_range_shuffled(case):
+def test_batch_covers_full_range_shuffled(store, case):
     query, db = case
-    index = CQIndex(query, db)
+    index = CQIndex(query, db, store=store)
     positions = list(range(index.count)) * 2
     random.Random(0).shuffle(positions)
     assert index.batch(positions) == [index.access(i) for i in positions]
@@ -96,9 +96,9 @@ def test_batch_covers_full_range_shuffled(case):
 
 @given(database_and_query(), st.integers(0, 2**32 - 1), st.integers(0, 40))
 @settings(max_examples=80, deadline=None)
-def test_sample_many_matches_sequential_renum_draws(case, seed, k):
+def test_sample_many_matches_sequential_renum_draws(store, case, seed, k):
     query, db = case
-    index = CQIndex(query, db)
+    index = CQIndex(query, db, store=store)
     sequential = list(itertools.islice(
         RandomPermutationEnumerator(index, rng=random.Random(seed)), k))
     assert index.sample_many(k, random.Random(seed)) == sequential
@@ -106,9 +106,9 @@ def test_sample_many_matches_sequential_renum_draws(case, seed, k):
 
 @given(database_and_query(), st.integers(-5, 5))
 @settings(max_examples=30, deadline=None)
-def test_batch_out_of_bounds_is_all_or_nothing(case, offset):
+def test_batch_out_of_bounds_is_all_or_nothing(store, case, offset):
     query, db = case
-    index = CQIndex(query, db)
+    index = CQIndex(query, db, store=store)
     bad = index.count + max(offset, 0) if offset >= 0 else offset
     with pytest.raises(OutOfBoundError):
         index.batch([0] * min(index.count, 1) + [bad])
@@ -124,9 +124,9 @@ UNION_TEXT = "Q(x, y) :- R(x, y) ; Q(x, y) :- T(x, y)"
     st.integers(0, 2**32 - 1),
 )
 @settings(max_examples=60, deadline=None)
-def test_union_batch_and_sample_match_scalars(r, t, seed):
+def test_union_batch_and_sample_match_scalars(store, r, t, seed):
     db = Database([r, t])
-    index = MCUCQIndex(parse_ucq(UNION_TEXT), db)
+    index = MCUCQIndex(parse_ucq(UNION_TEXT), db, store=store)
     rng = random.Random(seed)
     positions = [rng.randrange(index.count) for __ in range(10)] if index.count else []
     assert index.batch(positions) == [index.access(i) for i in positions]

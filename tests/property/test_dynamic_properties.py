@@ -1,5 +1,8 @@
 """Property-based testing of the dynamic index: arbitrary update sequences
-must leave it agreeing with naive evaluation of the resulting database."""
+must leave it agreeing with naive evaluation of the resulting database.
+
+Every test takes the ``store`` fixture, so the whole contract runs once
+per bucket backend (tuple object treaps, flat slab treaps)."""
 
 from hypothesis import given, settings, strategies as st
 
@@ -16,9 +19,9 @@ operation = st.tuples(
 
 @given(st.lists(operation, max_size=60))
 @settings(max_examples=100, deadline=None)
-def test_update_sequences_match_naive_evaluation(operations):
+def test_update_sequences_match_naive_evaluation(store, operations):
     db = Database([Relation("R", ("a", "b"), []), Relation("S", ("b", "c"), [])])
-    index = DynamicCQIndex(QUERY, db)
+    index = DynamicCQIndex(QUERY, db, store=store)
     live = {"R": set(), "S": set()}
 
     for use_r, is_insert, v1, v2 in operations:
@@ -59,14 +62,16 @@ def _bucket_footprint(index: DynamicCQIndex):
 
 @given(st.lists(operation, max_size=25))
 @settings(max_examples=60, deadline=None)
-def test_interleaved_ops_agree_with_fresh_static_index_every_step(operations):
+def test_interleaved_ops_agree_with_fresh_static_index_every_step(
+    store, operations
+):
     """After *every* step — including no-op deletes, which are applied to
     the index on purpose — the dynamic index must agree with a freshly
     built CQIndex on count, the answer set (its batched enumeration), and
     the access/inverted-access bijection; and no-op deletes must not grow
     the bucket tables."""
     db = Database([Relation("R", ("a", "b"), []), Relation("S", ("b", "c"), [])])
-    index = DynamicCQIndex(QUERY, db)
+    index = DynamicCQIndex(QUERY, db, store=store)
     live = {"R": set(), "S": set()}
 
     for use_r, is_insert, v1, v2 in operations:
@@ -110,4 +115,4 @@ def test_interleaved_ops_agree_with_fresh_static_index_every_step(operations):
         Relation("R", ("a", "b"), sorted(live["R"])),
         Relation("S", ("b", "c"), sorted(live["S"])),
     ])
-    assert list(index) == list(DynamicCQIndex(QUERY, final))
+    assert list(index) == list(DynamicCQIndex(QUERY, final, store=store))

@@ -25,44 +25,68 @@ def _db():
     ])
 
 
+def _flat_buckets(entries):
+    """Flat-backend stores over ``entries``, when numpy is available:
+    the dynamic slab bucket and its frozen snapshot view."""
+    try:
+        from repro.core.flat_store import FlatDynamicBucket
+    except ImportError:
+        return []
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return []
+    dynamic = FlatDynamicBucket.from_sorted_rows(entries)
+    return [dynamic, dynamic.freeze()]
+
+
 class TestBucketStoreProtocol:
-    def test_both_buckets_satisfy_the_protocol(self):
+    def test_all_buckets_satisfy_the_protocol(self):
         static = _Bucket([(1,), (2,)])
         static.finalize([1, 1])
-        dynamic = _DynamicBucket.from_sorted_rows([((1,), 1, 1), ((2,), 1, 1)])
-        for bucket in (static, dynamic):
+        entries = [((1,), 1, 1), ((2,), 1, 1)]
+        dynamic = _DynamicBucket.from_sorted_rows(entries)
+        buckets = [static, dynamic] + _flat_buckets(entries)
+        for bucket in buckets:
             assert isinstance(bucket, access_engine.BucketStore)
             assert bucket.total == 2
             assert bucket.locate_run(0) == ((1,), 0, 1)
             assert bucket.locate_run(1) == ((2,), 1, 1)
             assert list(bucket.iter_rows()) == [((1,), 1), ((2,), 1)]
         static.build_rank()
-        for bucket in (static, dynamic):
+        for bucket in buckets:
             assert bucket.rank_start((2,)) == 1
             assert bucket.rank_start((9,)) is None
 
     def test_unit_leaf_split(self):
         assert _Bucket.unit_leaf is True
         assert _DynamicBucket.unit_leaf is False
+        flat = pytest.importorskip("repro.core.flat_store")
+        pytest.importorskip("numpy")
+        assert flat.FlatBucketStore.unit_leaf is True
+        assert flat.FlatDynamicBucket.unit_leaf is False
+        assert flat.FlatSnapshotStore.unit_leaf is False
 
     def test_zero_weight_rows_do_not_rank(self):
         static = _Bucket([(1,), (2,)])
         static.finalize([0, 3])
         static.build_rank()
-        dynamic = _DynamicBucket.from_sorted_rows([((1,), 0, 1), ((2,), 3, 1)])
-        for bucket in (static, dynamic):
+        entries = [((1,), 0, 1), ((2,), 3, 1)]
+        dynamic = _DynamicBucket.from_sorted_rows(entries)
+        for bucket in [static, dynamic] + _flat_buckets(entries):
             assert bucket.rank_start((1,)) is None  # dangling
             assert bucket.rank_start((2,)) == 0
             assert bucket.locate_run(0)[0] == (2,)  # skips the empty range
 
 
 class TestEngineEquivalence:
-    """The same walks produce identical results over either bucket store."""
+    """The same walks produce identical results over every bucket store
+    (the ``store`` fixture runs each scenario per backend)."""
 
-    def test_static_and_dynamic_agree_everywhere(self):
+    def test_static_and_dynamic_agree_everywhere(self, store):
         db = _db()
-        static = CQIndex(QUERY, db)
-        dynamic = DynamicCQIndex(QUERY, db)
+        static = CQIndex(QUERY, db, store=store)
+        dynamic = DynamicCQIndex(QUERY, db, store=store)
         n = static.count
         assert dynamic.count == n
         positions = list(range(n))
@@ -77,12 +101,12 @@ class TestEngineEquivalence:
             assert static.inverted_access(answer) == position
             assert dynamic.inverted_access(answer) == position
 
-    def test_agreement_survives_mutations(self):
+    def test_agreement_survives_mutations(self, store):
         """After updates, the dynamic index must agree position-for-position
         with a *fresh* static build — canonical order is maintained under
         churn, not just at load."""
         db = _db()
-        dynamic = DynamicCQIndex(QUERY, db)
+        dynamic = DynamicCQIndex(QUERY, db, store=store)
         rng = random.Random(2)
         for step in range(120):
             relation = rng.choice(["R", "S", "T"])
@@ -100,18 +124,41 @@ class TestEngineEquivalence:
                 rows.remove(row)
                 dynamic.delete(relation, row)
             if step % 20 == 19:
-                static = CQIndex(QUERY, db)
+                static = CQIndex(QUERY, db, store=store)
                 assert dynamic.count == static.count
                 assert dynamic.batch(range(dynamic.count)) == \
                     static.batch(range(static.count))
 
-    def test_batch_matches_scalar_through_both_stores(self):
+    def test_batch_matches_scalar_through_both_stores(self, store):
         db = _db()
-        for index in (CQIndex(QUERY, db), DynamicCQIndex(QUERY, db)):
+        indexes = (
+            CQIndex(QUERY, db, store=store),
+            DynamicCQIndex(QUERY, db, store=store),
+        )
+        for index in indexes:
             rng = random.Random(3)
             positions = [rng.randrange(index.count) for __ in range(100)]
             positions += positions[:7]  # duplicates, unsorted
             assert index.batch(positions) == [index.access(i) for i in positions]
+
+    def test_vectorized_batch_matches_scalar_walk(self):
+        """Above VECTOR_MIN the static flat index takes the columnar walk;
+        it must agree with the scalar engine position for position."""
+        pytest.importorskip("numpy")
+        from repro.core import flat_store
+
+        db = _db()
+        flat = CQIndex(QUERY, db, store="flat")
+        tuple_index = CQIndex(QUERY, db, store="tuple")
+        assert flat.store == "flat"
+        n = flat.count
+        rng = random.Random(4)
+        big = [rng.randrange(n) for __ in range(max(4 * flat_store.VECTOR_MIN, 400))]
+        assert flat.batch(big) == tuple_index.batch(big)
+        assert flat.batch(list(range(n))) == tuple_index.batch(list(range(n)))
+        # Small batches stay on the scalar path and still agree.
+        small = big[: flat_store.VECTOR_MIN - 1]
+        assert flat.batch(small) == tuple_index.batch(small)
 
 
 class TestDigitGroups:
