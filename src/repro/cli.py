@@ -341,6 +341,36 @@ def _print_report(report) -> None:
     print(f"recovered version: {report.final_version}")
 
 
+def _print_serve_report(manifest) -> None:
+    """Per-entry serve-state breakdown of one checkpoint manifest."""
+    if not manifest:
+        return
+    entries = manifest.get("entries")
+    if entries is None:
+        # A pre-blob checkpoint: only the entry count was recorded.
+        if manifest.get("serve_entries"):
+            print(f"serve entries: {manifest['serve_entries']}")
+        return
+    if entries:
+        blobs = [e for e in entries if e["kind"] == "flat-blob"]
+        pickles = [e for e in entries if e["kind"] != "flat-blob"]
+        print(
+            f"serve entries: {len(entries)} "
+            f"({len(blobs)} columnar blob(s), "
+            f"{sum(e['bytes'] for e in blobs)} bytes; "
+            f"{len(pickles)} pickled, "
+            f"{sum(e['bytes'] for e in pickles)} bytes)"
+        )
+        for entry in entries:
+            print(
+                f"  {entry['label']}\t{entry['kind']}\t"
+                f"{entry['bytes']} bytes\t{entry['location']}"
+            )
+    skipped = manifest.get("skipped_entries", 0)
+    if skipped:
+        print(f"serve entries skipped (unserializable): {skipped}")
+
+
 def command_recover(args) -> int:
     """Rebuild the database from a durable store and report what it took."""
     store = _open_store(args.store)
@@ -349,6 +379,7 @@ def command_recover(args) -> int:
     except StorageError as error:
         raise SystemExit(f"cannot recover {args.store}: {error}")
     _print_report(report)
+    _print_serve_report(store.last_manifest)
     for relation in database:
         print(f"{relation.name}\t{len(relation)}")
     if args.csv:
@@ -361,15 +392,21 @@ def command_recover(args) -> int:
 
 
 def command_checkpoint(args) -> int:
-    """Recover a durable store, then fold its log tail into a fresh
-    checkpoint (pruning old checkpoints, trimming the log)."""
-    store = _open_store(args.store)
+    """Recover a durable store — serve-state included — then fold its log
+    tail into a fresh checkpoint (pruning old checkpoints, trimming the
+    log). Cached indexes carried by the old checkpoint are re-persisted,
+    flat-backed entries as columnar ``serve-flat/`` blobs."""
+    from repro.service.query_service import QueryService
+
+    _open_store(args.store)
     try:
-        database, report = store.recover()
-        path = store.checkpoint(database, keep=args.keep)
+        service = QueryService.recover(args.store)
+        path = service.checkpoint(keep=args.keep)
     except StorageError as error:
         raise SystemExit(f"cannot checkpoint {args.store}: {error}")
-    _print_report(report)
+    store = service.storage
+    _print_report(store.last_report)
+    _print_serve_report(store.last_manifest)
     print(f"checkpoint written: {path}")
     return 0
 

@@ -84,6 +84,14 @@ VECTOR_MIN = 32
 
 _NIL = -1
 
+#: Number of deferred value-table materializations performed so far.
+#: Blob-backed nodes (checkpoint recovery) start with int slabs only;
+#: composing the interned tables into python-object arrays is the first
+#: — and only — per-row object construction a recovered entry ever
+#: performs, so tests and benchmarks read this counter's delta to assert
+#: that recovery and counting alone never touch python objects.
+TABLE_MATERIALIZATIONS = 0
+
 
 def _require_numpy():
     if _np is None:
@@ -152,12 +160,18 @@ class FlatNode:
     to one ``divmod`` — no binary search at all. Constant fan-out is the
     common benign shape (key/foreign-key joins, generated benchmarks), so
     the flag pays for itself far beyond this repo's gates.
+
+    The int slabs may be externally owned — read-only mmaps adopted by
+    :meth:`from_slabs` — and the value tables may arrive as a deferred
+    ``table_loader`` instead of materialized object arrays: ``tables``/
+    ``values`` are then composed on first access (bumping
+    :data:`TABLE_MATERIALIZATIONS`), so a recovered node serves counts
+    and locates offsets without constructing a single python object.
     """
 
     __slots__ = (
         "columns",
         "children",
-        "tables",
         "ids",
         "row_start",
         "weights",
@@ -165,31 +179,159 @@ class FlatNode:
         "child_base",
         "bucket_base",
         "uniform_stride",
-        "values",
+        "_tables",
+        "_values",
+        "_table_loader",
     )
 
     def __init__(self, columns, children, tables, ids, row_start, weights,
-                 child_suffix, child_base, bucket_base):
+                 child_suffix, child_base, bucket_base,
+                 uniform_stride=None, table_loader=None):
         self.columns = columns
         self.children = children
-        self.tables = tables            # per column: object ndarray id → value
         self.ids = ids                  # per column: int64 ndarray of value ids
         self.row_start = row_start      # int64 ndarray, global start per row
         self.weights = weights          # int64 ndarray
         self.child_suffix = child_suffix
         self.child_base = child_base
         self.bucket_base = bucket_base  # bucket key → (weight base, row lo)
-        stride = int(weights[0]) if len(weights) else 0
-        self.uniform_stride = (
-            stride if stride > 0 and bool((weights == stride).all()) else 0
-        )
-        # Interned ids composed with their tables once, so the batch walk
-        # pays one object gather per column instead of two.
-        self.values = [table[ids_] for table, ids_ in zip(tables, ids)]
+        if uniform_stride is None:
+            stride = int(weights[0]) if len(weights) else 0
+            uniform_stride = (
+                stride if stride > 0 and bool((weights == stride).all()) else 0
+            )
+        self.uniform_stride = uniform_stride
+        self._table_loader = table_loader
+        if tables is None:
+            if table_loader is None:
+                raise ValueError("FlatNode requires tables or a table_loader")
+            self._tables = None
+            self._values = None
+        else:
+            self._tables = tables       # per column: object ndarray id → value
+            # Interned ids composed with their tables once, so the batch
+            # walk pays one object gather per column instead of two.
+            self._values = [table[ids_] for table, ids_ in zip(tables, ids)]
+
+    @property
+    def tables(self):
+        tables = self._tables
+        if tables is None:
+            tables = self._materialize()
+        return tables
+
+    @property
+    def values(self):
+        if self._tables is None:
+            self._materialize()
+        return self._values
+
+    def _materialize(self):
+        global TABLE_MATERIALIZATIONS
+        TABLE_MATERIALIZATIONS += 1
+        tables = [_object_array(table) for table in self._table_loader()]
+        self._tables = tables
+        self._values = [
+            table[ids_] for table, ids_ in zip(tables, self.ids)
+        ]
+        self._table_loader = None
+        return tables
 
     def row_at(self, position: int) -> tuple:
         return tuple(
             table[ids[position]] for table, ids in zip(self.tables, self.ids)
+        )
+
+    # -- pickling (the legacy serve.pkl checkpoint path) ---------------- #
+
+    def __getstate__(self):
+        # A deferred loader is process-local (it closes over blob paths),
+        # and mmap-backed slabs must not pickle as memmap subclasses —
+        # materialize the tables and detach every array into plain memory.
+        return (
+            self.columns,
+            self.children,
+            list(self.tables),
+            [_detached(a) for a in self.ids],
+            _detached(self.row_start),
+            _detached(self.weights),
+            [_detached(a) for a in self.child_suffix],
+            [_detached(a) for a in self.child_base],
+            self.bucket_base,
+            self.uniform_stride,
+        )
+
+    def __setstate__(self, state):
+        (self.columns, self.children, tables, self.ids, self.row_start,
+         self.weights, self.child_suffix, self.child_base, self.bucket_base,
+         self.uniform_stride) = state
+        self._tables = tables
+        self._values = [
+            table[ids_] for table, ids_ in zip(tables, self.ids)
+        ]
+        self._table_loader = None
+
+    # -- lossless slab export/import ------------------------------------ #
+
+    def to_slabs(self) -> Tuple[dict, Dict[str, object], List[list]]:
+        """Lossless slab form: ``(meta, slabs, tables)``.
+
+        ``slabs`` maps slab names (``row_start``, ``weights``,
+        ``ids.<column>``, ``child_suffix.<i>``, ``child_base.<i>``) to the
+        node's int64 arrays, by reference. ``tables`` holds the interned
+        value tables as plain lists (the storage layer encodes them
+        through the canonical scalar codec). ``meta`` carries everything
+        else — columns, child count, ``uniform_stride``, and the bucket
+        spans — with raw python values; codecs are the caller's job.
+        """
+        slabs: Dict[str, object] = {
+            "row_start": self.row_start,
+            "weights": self.weights,
+        }
+        for c in range(len(self.columns)):
+            slabs[f"ids.{c}"] = self.ids[c]
+        for i in range(len(self.child_suffix)):
+            slabs[f"child_suffix.{i}"] = self.child_suffix[i]
+            slabs[f"child_base.{i}"] = self.child_base[i]
+        meta = {
+            "columns": list(self.columns),
+            "n_children": len(self.children),
+            "uniform_stride": self.uniform_stride,
+            "bucket_base": [
+                [list(key), base, lo]
+                for key, (base, lo) in self.bucket_base.items()
+            ],
+        }
+        tables = [table.tolist() for table in self.tables]
+        return meta, slabs, tables
+
+    @classmethod
+    def from_slabs(cls, meta: dict, slabs: Dict[str, object],
+                   children: List["FlatNode"], tables=None,
+                   table_loader=None) -> "FlatNode":
+        """Rebuild from :meth:`to_slabs` output, *adopting* the arrays —
+        no copies, so read-only mmapped slabs serve directly. Exactly one
+        of ``tables`` (eager object arrays) / ``table_loader`` (deferred:
+        a zero-argument callable returning per-column value lists) must
+        be provided."""
+        n_children = meta["n_children"]
+        return cls(
+            columns=tuple(meta["columns"]),
+            children=children,
+            tables=tables,
+            ids=[slabs[f"ids.{c}"] for c in range(len(meta["columns"]))],
+            row_start=slabs["row_start"],
+            weights=slabs["weights"],
+            child_suffix=[
+                slabs[f"child_suffix.{i}"] for i in range(n_children)
+            ],
+            child_base=[slabs[f"child_base.{i}"] for i in range(n_children)],
+            bucket_base={
+                tuple(key): (base, lo)
+                for key, base, lo in meta["bucket_base"]
+            },
+            uniform_stride=meta["uniform_stride"],
+            table_loader=table_loader,
         )
 
 
@@ -372,11 +514,18 @@ def _columnarize_node(node) -> None:
     assert n_rows == len(row_start)
 
 
-def _object_array(values: List[object]):
+def _object_array(values: Sequence[object]):
     array = _np.empty(len(values), dtype=object)
     for position, value in enumerate(values):
         array[position] = value
     return array
+
+
+def _detached(array):
+    """``array`` as a plain in-memory ndarray (mmaps copied, rest as-is)."""
+    if type(array) is _np.ndarray:
+        return array
+    return _np.array(array)
 
 
 # ---------------------------------------------------------------------- #
@@ -629,6 +778,40 @@ class FrozenFlatTree:
         self.row_of = tree.row_of
         self.rows = tree.rows
         self.keys = tree.keys
+
+    # -- lossless slab export/import ------------------------------------ #
+
+    def to_slabs(self) -> Tuple[dict, Dict[str, object], List[tuple]]:
+        """``(meta, slabs, rows)`` — the frozen version as raw slabs.
+
+        Sort keys are *not* exported: ``row_sort_key`` is deterministic,
+        so :meth:`from_slabs` recomputes them bit-exactly from the rows.
+        """
+        meta = {"root": int(self.root)}
+        slabs = {
+            "left": self.left,
+            "right": self.right,
+            "weight": self.weight,
+            "subtotal": self.subtotal,
+            "row_of": self.row_of,
+        }
+        return meta, slabs, list(self.rows)
+
+    @classmethod
+    def from_slabs(cls, meta: dict, slabs: Dict[str, object],
+                   rows: List[tuple]) -> "FrozenFlatTree":
+        """Rebuild from :meth:`to_slabs` output, adopting the arrays
+        (read-only mmaps serve directly — readers never write slots)."""
+        frozen = cls.__new__(cls)
+        frozen.root = meta["root"]
+        frozen.left = slabs["left"]
+        frozen.right = slabs["right"]
+        frozen.weight = slabs["weight"]
+        frozen.subtotal = slabs["subtotal"]
+        frozen.row_of = slabs["row_of"]
+        frozen.rows = rows
+        frozen.keys = [row_sort_key(row) for row in rows]
+        return frozen
 
 
 class FlatOrderTree:

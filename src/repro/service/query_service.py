@@ -227,6 +227,11 @@ class ServiceStats(NamedTuple):
     flat_static_builds: int = 0
     flat_dynamic_builds: int = 0
     flat_snapshot_reads: int = 0
+    #: Cache entries :meth:`QueryService.checkpoint` could not serialize
+    #: (unpicklable and not blob-eligible) and therefore left out of the
+    #: checkpoint — each one is a silent rebuild on recovery, so a
+    #: nonzero value here is worth surfacing.
+    checkpoint_skipped_entries: int = 0
 
 
 def _relations_in_key(query_key: tuple) -> frozenset:
@@ -334,6 +339,7 @@ class QueryService:
         # and the batched path (see update_profile()).
         self._entry_updates: Dict[tuple, Dict[str, int]] = {}
         self._wal_replayed_ops = 0
+        self._checkpoint_skipped = 0
         self._storage = None
         if storage is not None:
             from repro.storage.store import DurableStore
@@ -837,16 +843,26 @@ class QueryService:
     # Durability                                                          #
     # ------------------------------------------------------------------ #
 
-    def checkpoint(self, include_serve_state: bool = True):
+    def checkpoint(
+        self,
+        include_serve_state: bool = True,
+        serve_format: str = "blob",
+        keep: int = 2,
+    ):
         """Write an atomic checkpoint through the bound store.
 
         Serializes every relation plus the version (and instance id), and
         — with ``include_serve_state`` — this service's cached indexes at
         the current version, so a recovered service reaches its first
-        served answer without an O(|D|) rebuild. Old checkpoints are
-        pruned and the WAL trimmed to the records past the new
-        checkpoint. Raises :class:`~repro.storage.StorageError` when the
-        service was constructed without ``storage``.
+        served answer without an O(|D|) rebuild: flat-backed static
+        entries as columnar ``serve-flat/`` blobs (mmap-and-go recovery;
+        ``serve_format="pickle"`` forces the legacy path), the rest
+        pickled. Entries that cannot be serialized either way are
+        skipped and counted in ``stats().checkpoint_skipped_entries``.
+        Old checkpoints are pruned (``keep`` newest survive) and the WAL
+        trimmed to the records past the new checkpoint. Raises
+        :class:`~repro.storage.StorageError` when the service was
+        constructed without ``storage``.
         """
         from repro.storage.store import StorageError
 
@@ -856,7 +872,12 @@ class QueryService:
                 "storage=<directory> (or recover() one)"
             )
         serve_state = self._serve_state() if include_serve_state else None
-        return self._storage.checkpoint(self._database, serve_state)
+        path = self._storage.checkpoint(
+            self._database, serve_state, keep=keep, serve_format=serve_format
+        )
+        manifest = self._storage.last_manifest or {}
+        self._checkpoint_skipped += manifest.get("skipped_entries", 0)
+        return path
 
     def _serve_state(self) -> List[tuple]:
         """``(query key, entry)`` pairs for this database at the current
@@ -877,8 +898,12 @@ class QueryService:
         The recovery sequence mirrors the live write path exactly:
 
         1. load the newest valid checkpoint — the database at the
-           checkpoint version, plus the serve-state indexes pickled with
-           it, which are seeded into the cache *at that version*;
+           checkpoint version, plus the serve-state indexes persisted
+           with it, which are seeded into the cache *at that version*.
+           Columnar ``serve-flat/`` entries arrive as read-only mmapped
+           slabs (``np.load(..., mmap_mode="r")``) with value tables
+           still deferred, so seeding is O(metadata) — no per-row python
+           object is constructed until a read actually gathers objects;
         2. replay each durable WAL batch through :meth:`apply`, so seeded
            entries are carried forward, updated in place, or invalidated
            by precisely the same rules that governed the original writes
@@ -1014,6 +1039,7 @@ class QueryService:
             flat_static_builds=self._backend_counters["flat"]["static_builds"],
             flat_dynamic_builds=self._backend_counters["flat"]["dynamic_builds"],
             flat_snapshot_reads=self._backend_counters["flat"]["snapshot_reads"],
+            checkpoint_skipped_entries=self._checkpoint_skipped,
         )
 
     def __repr__(self) -> str:

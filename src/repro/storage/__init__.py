@@ -14,6 +14,9 @@ durable:
   write-ahead log with torn-tail discard;
 * :mod:`~repro.storage.checkpoint` — atomic checkpoint directories
   (relations + version + optional serve-state, manifest written last);
+* :mod:`~repro.storage.serve_blob` — zero-copy columnar serve-state
+  blobs: flat-backed entries as raw ``.npy`` slabs plus codec sidecars,
+  mmapped back in with value tables deferred (``serve-flat/``);
 * :mod:`~repro.storage.store` — :class:`DurableStore`, the façade that
   binds a live database, checkpoints it, and implements
   checkpoint-plus-WAL-tail recovery.

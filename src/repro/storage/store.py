@@ -30,6 +30,7 @@ database raises instead of silently interleaving two histories.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
@@ -79,6 +80,9 @@ class DurableStore:
         #: from :meth:`bind` included) — the ``checkpoints`` stat.
         self.checkpoints_written = 0
         self._last_report: Optional[RecoveryReport] = None
+        #: Manifest of the last checkpoint written or recovered from
+        #: (per-entry sizes, skipped-entry count) — CLI/stats reporting.
+        self.last_manifest: Optional[dict] = None
 
     @property
     def wal_path(self) -> pathlib.Path:
@@ -155,19 +159,31 @@ class DurableStore:
         database,
         serve_state: Optional[Sequence[Tuple[tuple, object]]] = None,
         keep: int = 2,
+        serve_format: str = "blob",
     ) -> pathlib.Path:
         """Write a fresh checkpoint, prune old ones, trim the WAL.
 
         After this returns, recovery starts from the new checkpoint and
         the WAL holds only records past it — restart cost is decoupled
-        from total write history.
+        from total write history. ``serve_format`` selects how built
+        indexes persist: ``"blob"`` (columnar ``serve-flat/`` npy slabs
+        for flat entries, mmap-and-go on recovery) or ``"pickle"``
+        (legacy, everything pickled).
         """
         if self.wal is not None and database.instance_id != self.wal.instance_id:
             raise StorageError(
                 f"checkpoint of database instance {database.instance_id!r} "
                 f"into a store owned by {self.wal.instance_id!r}"
             )
-        path = write_checkpoint(self.directory, database, serve_state)
+        path = write_checkpoint(
+            self.directory, database, serve_state, serve_format=serve_format
+        )
+        try:
+            self.last_manifest = json.loads(
+                (path / "manifest.json").read_text()
+            )
+        except (OSError, ValueError):  # pragma: no cover - just written
+            self.last_manifest = None
         self.checkpoints_written += 1
         prune_checkpoints(self.directory, keep=keep)
         if self.wal is not None:
@@ -214,6 +230,7 @@ class DurableStore:
         database.version = ckpt.version
         database.instance_id = ckpt.instance_id
         self.wal = wal
+        self.last_manifest = ckpt.manifest
         return database, ckpt, wal
 
     def recover(self):

@@ -218,3 +218,115 @@ class TestServiceRecoveryUnderCrash:
         (tmp_path / "checkpoints").mkdir()
         with pytest.raises(StorageError):
             QueryService.recover(tmp_path)
+
+
+class TestTornBlobCheckpoints:
+    """Crash injection against the columnar ``serve-flat/`` blob lane.
+
+    Every blob file's crc32 lives in the checkpoint manifest, so the
+    established validity rules must cover the new artifacts with no new
+    machinery: a torn slab, a flipped byte, or a corrupted sidecar makes
+    the *whole* checkpoint invisible and recovery falls back to the
+    previous valid checkpoint plus WAL replay — while half-staged
+    ``serve-flat`` litter (not in any manifest) changes nothing.
+    """
+
+    @staticmethod
+    def make_blob_store(tmp_path):
+        """A store whose newest checkpoint carries one flat blob entry.
+
+        The bind-time base checkpoint (version 0, no serve-state) stays
+        behind as the fallback; the write surviving in the WAL lands in
+        S *after* the blob checkpoint, so the served count below is
+        insensitive to which checkpoint recovery starts from.
+        """
+        import numpy  # noqa: F401  (the flat backend needs it)
+
+        db = Database([
+            Relation("R", ("a", "b"), [(1, 10), (2, 20)]),
+            Relation("S", ("b", "c"), [(10, "x"), (10, "y")]),
+            Relation("E", ("id", "payload"), []),
+        ])
+        service = QueryService(db, storage=tmp_path, store="flat")
+        base_version = db.version
+        # The pre-checkpoint write lands outside the query (its WAL
+        # record is trimmed at the checkpoint, so falling back to the
+        # base checkpoint must not change the served answers).
+        db.insert("E", (1, "boot"))                     # version base+1
+        service.count(QUERY)
+        service.checkpoint(keep=5)                      # blob ckpt, WAL trimmed
+        db.insert("S", (20, "z"))                       # survives in the WAL
+        expected = 3                                    # (1,10)x{x,y}, (2,20)x{z}
+        db.log.close()
+        newest = valid_checkpoints(tmp_path)[-1]
+        assert json.loads((newest / "manifest.json").read_text())["serve_flat"]
+        return base_version, newest, expected
+
+    def test_blob_files_are_covered_by_the_manifest_checksums(self, tmp_path):
+        __, newest, __ = self.make_blob_store(tmp_path)
+        manifest = json.loads((newest / "manifest.json").read_text())
+        blob_dir = newest / "serve-flat" / "entry-0"
+        on_disk = {f"serve-flat/entry-0/{child.name}"
+                   for child in blob_dir.iterdir()}
+        assert on_disk <= set(manifest["files"])
+        assert any(name.endswith(".npy") for name in on_disk)
+
+    @pytest.mark.parametrize("pattern", [
+        "*.npy",            # a torn int slab
+        "*.tables.json",    # a torn value-table sidecar
+        "meta.json",        # the shape manifest itself
+    ])
+    def test_truncated_blob_file_invalidates_checkpoint(self, tmp_path, pattern):
+        base_version, newest, expected = self.make_blob_store(tmp_path)
+        victim = sorted((newest / "serve-flat" / "entry-0").glob(pattern))[0]
+        raw = victim.read_bytes()
+        victim.write_bytes(raw[: len(raw) // 2])        # crash mid-write
+
+        assert newest not in valid_checkpoints(tmp_path)
+        service = QueryService.recover(tmp_path, store="flat")
+        report = service.storage.last_report
+        assert report.checkpoint_version == base_version
+        assert report.serve_entries_seeded == 0         # nothing stale served
+        assert service.count(QUERY) == expected
+
+    def test_flipped_slab_byte_fails_the_checksum(self, tmp_path):
+        base_version, newest, expected = self.make_blob_store(tmp_path)
+        victim = sorted((newest / "serve-flat" / "entry-0").glob("*.npy"))[0]
+        raw = bytearray(victim.read_bytes())
+        raw[-3] ^= 0x01                                 # same size, bad bits
+        victim.write_bytes(bytes(raw))
+
+        assert newest not in valid_checkpoints(tmp_path)
+        service = QueryService.recover(tmp_path, store="flat")
+        assert service.storage.last_report.checkpoint_version == base_version
+        assert service.count(QUERY) == expected
+
+    def test_missing_blob_file_invalidates_checkpoint(self, tmp_path):
+        base_version, newest, expected = self.make_blob_store(tmp_path)
+        victim = sorted((newest / "serve-flat" / "entry-0").glob("*.npy"))[0]
+        os.unlink(victim)
+
+        assert newest not in valid_checkpoints(tmp_path)
+        service = QueryService.recover(tmp_path, store="flat")
+        assert service.storage.last_report.checkpoint_version == base_version
+        assert service.count(QUERY) == expected
+
+    def test_half_staged_blob_litter_is_invisible(self, tmp_path):
+        __, newest, expected = self.make_blob_store(tmp_path)
+        final_version = json.loads(
+            (newest / "manifest.json").read_text()
+        )["version"]
+        # A writer that died between blob staging and the manifest: the
+        # litter is not in any manifest's files map, so the checkpoint
+        # stays valid and recovery never even looks at it.
+        litter = newest / "serve-flat" / ".tmp-4242"
+        litter.mkdir(parents=True)
+        (litter / "node0.row_start.npy").write_bytes(b"half a slab")
+        (litter / "meta.json").write_bytes(b"{ not json")
+
+        assert newest in valid_checkpoints(tmp_path)
+        service = QueryService.recover(tmp_path, store="flat")
+        report = service.storage.last_report
+        assert report.checkpoint_version == final_version
+        assert report.serve_entries_seeded == 1         # the real blob loads
+        assert service.count(QUERY) == expected
