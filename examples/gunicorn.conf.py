@@ -1,0 +1,31 @@
+"""A gunicorn config for the serving tier (``server`` extra required).
+
+Usage::
+
+    pip install 'repro[server]' gunicorn
+    REPRO_SERVE_STORAGE=wal-dir \
+        gunicorn -c examples/gunicorn.conf.py examples.asgi_app:app
+
+The app is ASGI, so workers must be uvicorn's gunicorn worker class —
+gunicorn's default sync workers speak WSGI and will not start it.
+
+Keep ``workers = 1`` for read/write deployments: each worker holds its
+own recovered copy of the database and ingests don't propagate across
+processes (see ``examples/asgi_app.py``). Reads scale with ``threads``
+inside the single worker instead — cursor reads are wait-free snapshot
+reads, so reader threads never block behind the writer.
+"""
+
+bind = "127.0.0.1:8000"
+
+# One process owns the database; see the multi-process caveat above.
+workers = 1
+worker_class = "uvicorn.workers.UvicornWorker"
+
+# Cursor sessions live in server memory with an idle TTL (default 300 s);
+# keep the worker alive longer than the sessions it hosts.
+timeout = 0
+graceful_timeout = 30
+
+accesslog = "-"
+errorlog = "-"

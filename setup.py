@@ -4,14 +4,17 @@ The core package is dependency-free on purpose — the paper's algorithms
 run on the pure-python tuple stores everywhere. The ``fast`` extra pulls
 in numpy for the columnar flat-store backend (``store="flat"`` /
 ``REPRO_STORE=flat``), which the package degrades away from gracefully
-when numpy is absent.
+when numpy is absent. The ``server`` extra pulls in uvicorn (and
+starlette for client-side niceties); the serving tier itself
+(``repro.server``) is a framework-free ASGI app with a stdlib HTTP
+bridge, so ``repro serve`` works without the extra too.
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="0.7.0",
+    version="0.8.0",
     description=(
         "Random access and random-order enumeration for free-connex CQs "
         "and mc-UCQs (Carmeli et al., PODS 2020)"
@@ -21,5 +24,6 @@ setup(
     python_requires=">=3.9",
     extras_require={
         "fast": ["numpy"],
+        "server": ["uvicorn", "starlette"],
     },
 )

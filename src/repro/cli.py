@@ -62,13 +62,13 @@ from __future__ import annotations
 
 import argparse
 import csv
-import json
 import pathlib
 import random
 import sys
 from typing import List, Optional
 
 from repro import Database, Delta, DeltaError, QueryService, Relation, parse_cq
+from repro.database.delta import DeltaLineError, delta_from_jsonl
 from repro.query.render import describe_query
 from repro.storage import DurableStore, StorageError, decode_cell, write_relation_csv
 
@@ -218,7 +218,8 @@ def command_stats(args) -> int:
     service.count(args.query)  # warm build
     _apply_mutations(service, args)
     print(f"answers: {service.count(args.query)}")
-    for name, value in service.stats()._asdict().items():
+    # The same canonical serialization GET /stats returns over HTTP.
+    for name, value in service.stats().to_dict().items():
         print(f"{name}: {value}")
     return 0
 
@@ -243,39 +244,19 @@ def command_mutate(args) -> int:
 
 
 def _load_delta_jsonl(path: pathlib.Path, database: Database) -> Delta:
-    """Parse a JSONL delta file into a database-bound (validated) Delta."""
+    """Parse a JSONL delta file into a database-bound (validated) Delta.
+
+    The parsing itself lives in
+    :func:`repro.database.delta.delta_from_jsonl` — the same wire format
+    the HTTP ``POST /ingest`` endpoint speaks — framed here as
+    ``file:line: reason`` exits.
+    """
     if not path.is_file():
         raise SystemExit(f"not a delta file: {path}")
-    delta = Delta(database=database)
-    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as error:
-            raise SystemExit(f"{path}:{line_number}: invalid JSON ({error})")
-        if not isinstance(record, dict) or not {"op", "relation", "row"} <= set(record):
-            raise SystemExit(
-                f'{path}:{line_number}: expected an object with "op", '
-                f'"relation" and "row" keys, got {line!r}'
-            )
-        row = record["row"]
-        if not isinstance(row, list) or not all(
-            value is None or isinstance(value, (str, int, float, bool))
-            for value in row
-        ):
-            raise SystemExit(
-                f'{path}:{line_number}: "row" must be a JSON array of scalar '
-                f"values (strings, numbers, booleans, null)"
-            )
-        try:
-            delta.add(record["op"], record["relation"], tuple(row))
-        except DeltaError as error:
-            # The up-front validation of the Delta API: the bad fact is
-            # reported with its source line before anything is applied.
-            raise SystemExit(f"{path}:{line_number}: {error}")
-    return delta
+    try:
+        return delta_from_jsonl(path.read_text().splitlines(), database=database)
+    except DeltaLineError as error:
+        raise SystemExit(f"{path}:{error.line}: {error.reason}")
 
 
 def command_apply(args) -> int:
@@ -411,6 +392,84 @@ def command_checkpoint(args) -> int:
     return 0
 
 
+def _build_serve_app(args):
+    """The ASGI app ``repro serve`` hosts (factored out for tests).
+
+    Source resolution mirrors ``apply --wal``: an existing ``--storage``
+    store is the source of truth (recovered — checkpoint, serve-state,
+    WAL tail — and served at the last durable version; the CSV
+    directory, if also given, is ignored); otherwise the CSV database is
+    loaded, and a fresh ``--storage`` directory is seeded from it so
+    every subsequent ingest is WAL-durable.
+    """
+    from repro.server import create_app
+
+    dynamic = True if getattr(args, "dynamic", False) else None
+    config = dict(
+        store=args.store,
+        dynamic=dynamic,
+        session_capacity=args.session_capacity,
+        session_ttl=args.session_ttl,
+        read_budget=args.read_budget,
+    )
+    if args.storage and DurableStore(args.storage).exists():
+        app = create_app(args.storage, **config)
+        report = app.service.storage.last_report
+        print(
+            f"recovered {args.storage} at version {report.final_version} "
+            f"(checkpoint {report.checkpoint_version} "
+            f"+ {report.replayed_batches} replayed batch(es), "
+            f"{report.serve_entries_seeded} serve entr(ies) seeded)"
+        )
+        return app
+    if not args.database:
+        raise SystemExit(
+            "serve needs a CSV database directory, or --storage pointing "
+            "at an existing durable store"
+        )
+    database = load_csv_database(args.database)
+    app = create_app(database, storage=args.storage, **config)
+    if args.storage:
+        print(f"seeded durable store {args.storage} from {args.database}")
+    return app
+
+
+def command_serve(args) -> int:
+    """Serve the database over HTTP (uvicorn when available, else the
+    dependency-free stdlib bridge)."""
+    app = _build_serve_app(args)
+    database = app.service.database
+    print(
+        f"serving {len(database.names())} relation(s), "
+        f"{database.size()} fact(s) at version {database.version} "
+        f"on http://{args.host}:{args.port}"
+    )
+    try:
+        import uvicorn
+    except ImportError:
+        uvicorn = None
+    if uvicorn is not None and not args.stdlib:
+        # --workers passes through; uvicorn itself requires an import
+        # string (see examples/gunicorn.conf.py) for true multi-process
+        # serving and will say so for workers > 1.
+        uvicorn.run(app, host=args.host, port=args.port, workers=args.workers)
+        return 0
+    if args.workers > 1:
+        print(
+            "note: --workers > 1 needs an ASGI process manager "
+            "(pip install 'repro[server]', see examples/gunicorn.conf.py); "
+            "the stdlib bridge serves one process with a thread per "
+            "connection"
+        )
+    from repro.server import serve as serve_stdlib
+
+    try:
+        serve_stdlib(app, host=args.host, port=args.port)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
 def command_tpch(args) -> int:
     from repro.tpch import TPCHConfig, attach_derived_relations, generate
 
@@ -534,6 +593,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoints to retain after pruning (default 2)",
     )
     checkpoint_cmd.set_defaults(run=command_checkpoint)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="serve the database over HTTP (see repro.server)"
+    )
+    serve_cmd.add_argument(
+        "database", nargs="?", default=None,
+        help="directory of <relation>.csv files (optional when --storage "
+        "names an existing durable store)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8000)
+    serve_cmd.add_argument(
+        "--store", choices=("tuple", "flat"), default=None,
+        help="bucket backend (default: REPRO_STORE or tuple); flat needs numpy",
+    )
+    serve_cmd.add_argument(
+        "--storage", metavar="DIR", default=None,
+        help="durable store directory: recover and serve from DIR if it "
+        "exists, else seed it from the CSVs; ingests are WAL-logged",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (uvicorn passthrough; the stdlib bridge "
+        "is single-process)",
+    )
+    serve_cmd.add_argument(
+        "--dynamic", action="store_true",
+        help="serve via update-in-place dynamic indexes",
+    )
+    serve_cmd.add_argument(
+        "--session-capacity", type=int, default=256,
+        help="max concurrent cursor sessions before LRU eviction (default 256)",
+    )
+    serve_cmd.add_argument(
+        "--session-ttl", type=float, default=300.0,
+        help="idle seconds before a cursor session expires (default 300)",
+    )
+    serve_cmd.add_argument(
+        "--read-budget", type=int, default=None,
+        help="max answers served per session before HTTP 429 (default: unlimited)",
+    )
+    serve_cmd.add_argument(
+        "--stdlib", action="store_true",
+        help="force the stdlib HTTP bridge even if uvicorn is installed",
+    )
+    serve_cmd.set_defaults(run=command_serve)
 
     tpch = commands.add_parser("tpch", help="generate TPC-H and print sizes")
     tpch.add_argument("--scale-factor", type=float, default=0.01)

@@ -13,7 +13,13 @@ lookup tables.
 
 from repro.database.relation import Relation, RelationError
 from repro.database.database import Database
-from repro.database.delta import AppliedDelta, Delta, DeltaError
+from repro.database.delta import (
+    AppliedDelta,
+    Delta,
+    DeltaError,
+    DeltaLineError,
+    delta_from_jsonl,
+)
 from repro.database.indexes import HashIndex
 from repro.database.joins import evaluate_cq, evaluate_ucq, join_rows
 from repro.database.yannakakis import full_reduction, semijoin
@@ -25,6 +31,8 @@ __all__ = [
     "AppliedDelta",
     "Delta",
     "DeltaError",
+    "DeltaLineError",
+    "delta_from_jsonl",
     "HashIndex",
     "evaluate_cq",
     "evaluate_ucq",

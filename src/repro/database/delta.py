@@ -58,6 +58,7 @@ row (9,) has arity 1, expected 2 in relation 'R'
 
 from __future__ import annotations
 
+import json
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.database.relation import RelationError
@@ -209,3 +210,63 @@ class AppliedDelta:
             f"AppliedDelta(inserted={self.inserted}, deleted={self.deleted}, "
             f"noops={self.noops})"
         )
+
+
+class DeltaLineError(DeltaError):
+    """A line of the JSONL delta wire format could not be parsed or
+    validated. Carries the 1-based :attr:`line` and the bare
+    :attr:`reason` so transports can frame it their own way (the CLI as
+    ``file:line: reason``, the HTTP ingest endpoint as a 400 body)."""
+
+    def __init__(self, line: int, reason: str):
+        super().__init__(f"line {line}: {reason}")
+        self.line = line
+        self.reason = reason
+
+
+def delta_from_jsonl(lines: Iterable[str], database=None) -> Delta:
+    """Parse the JSONL delta wire format into one (validated) ``Delta``.
+
+    The format shared by ``repro apply`` delta files and the HTTP
+    ``POST /ingest`` body: one ``{"op": "insert"|"delete", "relation":
+    "R", "row": [...]}`` object per line, rows as JSON arrays of scalars
+    (strings, numbers, booleans, null), blank lines ignored.
+
+    Validation is **all-first**: the whole stream is parsed and — with
+    ``database`` bound — schema-checked before anything could apply, and
+    the first bad line raises :class:`DeltaLineError` naming it. Nothing
+    about the database is touched here; apply the returned delta (one
+    version bump for the whole batch) separately.
+    """
+    delta = Delta(database=database)
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise DeltaLineError(line_number, f"invalid JSON ({error})")
+        if not isinstance(record, dict) or not {"op", "relation", "row"} <= set(record):
+            raise DeltaLineError(
+                line_number,
+                'expected an object with "op", "relation" and "row" keys, '
+                f"got {line!r}",
+            )
+        row = record["row"]
+        if not isinstance(row, list) or not all(
+            value is None or isinstance(value, (str, int, float, bool))
+            for value in row
+        ):
+            raise DeltaLineError(
+                line_number,
+                '"row" must be a JSON array of scalar values '
+                "(strings, numbers, booleans, null)",
+            )
+        try:
+            delta.add(record["op"], record["relation"], tuple(row))
+        except DeltaError as error:
+            # The up-front validation of the Delta API: the bad fact is
+            # reported with its source line before anything is applied.
+            raise DeltaLineError(line_number, str(error))
+    return delta

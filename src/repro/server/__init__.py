@@ -1,0 +1,44 @@
+"""``repro.server`` — the network serving tier.
+
+A dependency-free ASGI application (:func:`create_app`) exposing the
+:class:`~repro.service.QueryService` surface over HTTP — query
+registration, server-side cursor sessions (bounded, TTL-swept,
+budgeted), streaming JSONL ``Delta`` ingest, stats and health — plus a
+stdlib HTTP bridge (:func:`serve`, backing ``repro serve``) and an
+in-process :class:`~repro.server.testing.TestClient`.
+
+Run it under any ASGI host::
+
+    uvicorn --factory 'repro.server:create_app("store-dir")'   # server extra
+    python -m repro serve data/ --port 8080                    # stdlib bridge
+
+See the README's "HTTP serving" section for the endpoint table and the
+session staleness/durability contract.
+"""
+
+from repro.server.app import HttpError, ReproApp, create_app, query_id_of
+from repro.server.http import make_server, serve, start_background
+from repro.server.sessions import (
+    CursorSession,
+    ReadBudgetExceededError,
+    SessionError,
+    SessionGoneError,
+    SessionTable,
+    UnknownSessionError,
+)
+
+__all__ = [
+    "CursorSession",
+    "HttpError",
+    "ReadBudgetExceededError",
+    "ReproApp",
+    "SessionError",
+    "SessionGoneError",
+    "SessionTable",
+    "UnknownSessionError",
+    "create_app",
+    "make_server",
+    "query_id_of",
+    "serve",
+    "start_background",
+]

@@ -1,0 +1,145 @@
+"""A dependency-free HTTP host for ASGI apps (the ``repro serve`` floor).
+
+The serving tier's contract is "ASGI, hosted by whatever you have":
+production deployments run the app under ``uvicorn``/``gunicorn``
+(install the ``server`` extra; see ``examples/gunicorn.conf.py``), but
+the library must serve real HTTP with **zero** third-party packages —
+for ``repro serve`` out of the box, for the test suite, and for the
+``bench_http`` gate. This module is that floor: a
+:class:`~http.server.ThreadingHTTPServer` whose handler translates each
+request into one ASGI ``http`` scope and drives the app coroutine to
+completion on a per-request event loop.
+
+One thread per connection pairs naturally with the engine's concurrency
+model — reads are wait-free snapshot probes, so N concurrent connections
+page N pinned snapshots without ever blocking on the writer. HTTP/1.1
+keep-alive is supported (responses always carry ``Content-Length``), so
+a session's reads ride one connection.
+
+``asyncio.run`` per request would discard and rebuild an event loop each
+time; the handler instead keeps one loop per *connection thread* (the
+``threading.local`` below), which for keep-alive clients amortizes to
+one loop per client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import urlsplit
+
+_thread_loops = threading.local()
+
+
+def _loop() -> asyncio.AbstractEventLoop:
+    loop = getattr(_thread_loops, "loop", None)
+    if loop is None or loop.is_closed():
+        loop = asyncio.new_event_loop()
+        _thread_loops.loop = loop
+    return loop
+
+
+class ASGIRequestHandler(BaseHTTPRequestHandler):
+    """Translate one HTTP request into one ASGI ``http`` exchange."""
+
+    protocol_version = "HTTP/1.1"
+    #: Set by :func:`make_server`.
+    asgi_app = None
+    #: Quieten the default stderr access log (set True to restore it).
+    log_requests = False
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.log_requests:  # pragma: no cover - debugging aid
+            super().log_message(format, *args)
+
+    def _handle(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        split = urlsplit(self.path)
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": self.command,
+            "scheme": "http",
+            "path": split.path,
+            "raw_path": self.path.encode("latin-1"),
+            "query_string": split.query.encode("latin-1"),
+            "root_path": "",
+            "headers": [
+                (name.lower().encode("latin-1"), value.encode("latin-1"))
+                for name, value in self.headers.items()
+            ],
+            "client": self.client_address,
+            "server": self.server.server_address[:2],
+        }
+        messages = [{"type": "http.request", "body": body, "more_body": False}]
+
+        async def receive():
+            if messages:
+                return messages.pop(0)
+            return {"type": "http.disconnect"}  # pragma: no cover
+
+        response = {"status": 500, "headers": [], "body": bytearray()}
+
+        async def send(message):
+            if message["type"] == "http.response.start":
+                response["status"] = message["status"]
+                response["headers"] = message.get("headers", [])
+            elif message["type"] == "http.response.body":
+                response["body"] += message.get("body", b"")
+
+        _loop().run_until_complete(self.asgi_app(scope, receive, send))
+
+        payload = bytes(response["body"])
+        self.send_response(response["status"])
+        saw_length = False
+        for name, value in response["headers"]:
+            name = name.decode("latin-1")
+            if name.lower() == "content-length":
+                saw_length = True
+            self.send_header(name, value.decode("latin-1"))
+        if not saw_length:
+            self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = do_POST = do_DELETE = do_PUT = do_PATCH = _handle
+
+
+class ASGIServer(ThreadingHTTPServer):
+    """One thread per connection; daemonic so tests/CLI exit cleanly."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+def make_server(app, host: str = "127.0.0.1", port: int = 8000) -> ASGIServer:
+    """Bind an :class:`ASGIServer` hosting ``app`` (``port=0`` picks a
+    free port; read it back from ``server.server_address``)."""
+    handler = type("BoundASGIRequestHandler", (ASGIRequestHandler,), {
+        "asgi_app": staticmethod(app),
+    })
+    return ASGIServer((host, port), handler)
+
+
+def serve(app, host: str = "127.0.0.1", port: int = 8000) -> None:
+    """Host ``app`` forever on the stdlib bridge (blocking)."""
+    with make_server(app, host, port) as server:
+        server.serve_forever()
+
+
+def start_background(
+    app, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[ASGIServer, threading.Thread, int]:
+    """Host ``app`` on a daemon thread; returns ``(server, thread, port)``.
+
+    The test-suite and benchmark entry point: bind (an ephemeral port by
+    default), serve until ``server.shutdown()``.
+    """
+    server = make_server(app, host, port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread, server.server_address[1]

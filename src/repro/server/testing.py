@@ -1,0 +1,113 @@
+"""An in-process ASGI test client (no sockets, no third-party packages).
+
+Drives the app callable directly with a constructed ``http`` scope and
+collects the response — the starlette ``TestClient`` shape without the
+dependency. Thread-safe by construction: every request runs the app
+coroutine to completion on its own event loop via ``asyncio.run``, so
+the threaded stress tests can hammer one app from many client threads
+exactly like the threaded HTTP bridge does in production.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json as jsonlib
+from typing import Optional
+from urllib.parse import urlsplit
+
+
+class Response:
+    """One collected ASGI response."""
+
+    def __init__(self, status: int, headers, body: bytes):
+        self.status = status
+        self.headers = {
+            name.decode("latin-1").lower(): value.decode("latin-1")
+            for name, value in headers
+        }
+        self.body = body
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def json(self):
+        return jsonlib.loads(self.body.decode("utf-8"))
+
+    def __repr__(self) -> str:
+        return f"Response({self.status}, {len(self.body)} bytes)"
+
+
+class TestClient:
+    """Synchronous requests against an ASGI app, in process.
+
+    >>> from repro import Database, Relation
+    >>> from repro.server import create_app
+    >>> app = create_app(Database([Relation("R", ("a",), [(1,)])]))
+    >>> TestClient(app).get("/healthz").json()["status"]
+    'ok'
+    """
+
+    __test__ = False  # not a pytest collectable despite the name
+
+    def __init__(self, app):
+        self.app = app
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        json: Optional[dict] = None,
+        body: Optional[bytes] = None,
+    ) -> Response:
+        if json is not None:
+            body = jsonlib.dumps(json).encode("utf-8")
+        split = urlsplit(url)
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": method,
+            "scheme": "http",
+            "path": split.path,
+            "raw_path": url.encode("latin-1"),
+            "query_string": split.query.encode("latin-1"),
+            "root_path": "",
+            "headers": [(b"host", b"testclient")],
+            "client": ("127.0.0.1", 0),
+            "server": ("testclient", 80),
+        }
+        messages = [{
+            "type": "http.request",
+            "body": body or b"",
+            "more_body": False,
+        }]
+
+        async def receive():
+            if messages:
+                return messages.pop(0)
+            return {"type": "http.disconnect"}  # pragma: no cover
+
+        collected = {"status": 500, "headers": [], "body": bytearray()}
+
+        async def send(message):
+            if message["type"] == "http.response.start":
+                collected["status"] = message["status"]
+                collected["headers"] = message.get("headers", [])
+            elif message["type"] == "http.response.body":
+                collected["body"] += message.get("body", b"")
+
+        asyncio.run(self.app(scope, receive, send))
+        return Response(
+            collected["status"], collected["headers"], bytes(collected["body"])
+        )
+
+    def get(self, url: str) -> Response:
+        return self.request("GET", url)
+
+    def post(self, url: str, json: Optional[dict] = None,
+             body: Optional[bytes] = None) -> Response:
+        return self.request("POST", url, json=json, body=body)
+
+    def delete(self, url: str) -> Response:
+        return self.request("DELETE", url)

@@ -233,6 +233,17 @@ class ServiceStats(NamedTuple):
     #: nonzero value here is worth surfacing.
     checkpoint_skipped_entries: int = 0
 
+    def to_dict(self) -> Dict[str, int]:
+        """The canonical serialization of one stats snapshot.
+
+        Field name → integer counter, in declaration order; every value
+        is JSON-safe. The single source both transports render — the
+        ``stats`` CLI command prints it line by line and the HTTP tier
+        returns it verbatim as the ``"service"`` block of ``GET /stats``
+        — so a field added here reaches both without further wiring.
+        """
+        return dict(self._asdict())
+
 
 def _relations_in_key(query_key: tuple) -> frozenset:
     """The relation symbols a canonical query key references.

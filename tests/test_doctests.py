@@ -16,6 +16,7 @@ import repro.service
 import repro.service.cache
 import repro.service.cursor
 import repro.service.query_service
+import repro.server.testing
 import repro.storage.values
 
 
@@ -30,6 +31,7 @@ import repro.storage.values
         repro.service.cache,
         repro.service.cursor,
         repro.service.query_service,
+        repro.server.testing,
         repro.storage.values,
     ],
     ids=lambda m: m.__name__,
