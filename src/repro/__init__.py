@@ -44,11 +44,19 @@ from repro.database import (
     evaluate_ucq,
 )
 from repro.errors import ReproError
-from repro.service import Cursor, IndexCache, QueryService, StaleCursorError, Transaction
+from repro.service import (
+    Cursor,
+    IndexCache,
+    QueryService,
+    ServiceDegradedError,
+    StaleCursorError,
+    Transaction,
+)
 from repro.storage import (
     CheckpointError,
     DurableStore,
     RecoveryReport,
+    RetryPolicy,
     StorageError,
     WalError,
     WriteAheadLog,
@@ -95,6 +103,8 @@ __all__ = [
     "CheckpointError",
     "DurableStore",
     "RecoveryReport",
+    "RetryPolicy",
+    "ServiceDegradedError",
     "StorageError",
     "WalError",
     "WriteAheadLog",

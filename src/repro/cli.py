@@ -411,6 +411,8 @@ def _build_serve_app(args):
         session_capacity=args.session_capacity,
         session_ttl=args.session_ttl,
         read_budget=args.read_budget,
+        client_rate=getattr(args, "client_rate", None),
+        client_burst=getattr(args, "client_burst", None),
     )
     if args.storage and DurableStore(args.storage).exists():
         app = create_app(args.storage, **config)
@@ -464,8 +466,14 @@ def command_serve(args) -> int:
     from repro.server import serve as serve_stdlib
 
     try:
-        serve_stdlib(app, host=args.host, port=args.port)
-    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        # serve() drains gracefully on the first interrupt: no new
+        # requests are admitted, in-flight responses get up to
+        # --drain-timeout seconds to finish.
+        serve_stdlib(
+            app, host=args.host, port=args.port,
+            drain_timeout=args.drain_timeout,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interrupted mid-drain
         pass
     return 0
 
@@ -633,6 +641,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument(
         "--read-budget", type=int, default=None,
         help="max answers served per session before HTTP 429 (default: unlimited)",
+    )
+    serve_cmd.add_argument(
+        "--client-rate", type=float, default=None,
+        help="per-client admitted requests/second (token bucket keyed by "
+             "X-Client-Id, falling back to the peer address; excess gets "
+             "429 + Retry-After; default: unlimited)",
+    )
+    serve_cmd.add_argument(
+        "--client-burst", type=int, default=None,
+        help="per-client burst size of the admission bucket "
+             "(default: 2 x --client-rate)",
+    )
+    serve_cmd.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="seconds to wait for in-flight requests on shutdown before "
+             "closing the listener (stdlib bridge; default 10)",
     )
     serve_cmd.add_argument(
         "--stdlib", action="store_true",

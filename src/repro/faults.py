@@ -1,0 +1,405 @@
+"""Named failpoints: injectable faults for proving failure behavior.
+
+The durability stack (WAL, checkpoints, blob recovery, atomic CSV
+writes, HTTP ingest) promises specific behavior under I/O failure —
+torn tails discarded, staged checkpoints invisible, the read plane
+serving through a dead write path. Those promises are only real if they
+are *exercised*: this module lets tests, benchmarks, and operators turn
+any durability-critical call site into a controlled failure.
+
+Instrumented modules ``register()`` a site name at import and call
+:func:`inject` at the critical instant. Disarmed — the steady state —
+``inject`` is one global integer check and returns immediately, so
+production traffic pays nothing. Armed, the site's policy decides per
+call: raise an :class:`OSError` of a chosen errno, fail only the next N
+calls, fail probabilistically, sleep (injected latency), or request a
+**torn write** (the site writes a prefix of its payload before failing,
+simulating a crash mid-``write``).
+
+Arming
+------
+* **API** — ``faults.arm("wal.fsync", "error(ENOSPC)")`` or with a
+  :class:`Policy` instance; ``faults.disarm(name)`` /
+  :func:`disarm_all` restore the no-op path.
+* **Environment** — ``REPRO_FAILPOINTS="wal.append=error(EIO)*2;
+  checkpoint.publish=latency(0.05)"`` arms on first import (the
+  operator/CI surface; see :func:`arm_from_env` for the grammar).
+* **Fixture** — ``with faults.failpoints({"wal.fsync":
+  "error(ENOSPC)"}): ...`` arms on entry and disarms on exit, even on
+  error (the test-suite surface).
+
+Spec grammar
+------------
+``error(ERRNO)``        fail every call with ``OSError(ERRNO)``
+``error(ERRNO)*N``      fail the next N calls, then succeed
+``prob(P, ERRNO)``      fail each call with probability P (seeded)
+``latency(SECONDS)``    sleep, then succeed (stalled-I/O simulation)
+``torn(FRACTION)``      torn write: the site persists FRACTION of its
+                        payload, then fails with ``OSError(EIO)``
+``torn(FRACTION)*N``    torn, limited to the next N calls
+
+``ERRNO`` is a symbolic ``errno`` name (``ENOSPC``, ``EIO``, ...) or
+``OSError`` for a generic one. Injected exceptions are *real*
+``OSError`` instances — retry classification, degraded-mode entry, and
+error mapping treat them exactly like hardware failures — marked only
+by an ``"injected failpoint"`` message prefix.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import os
+import random
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple, Union
+
+#: Environment variable holding arm specs applied at import.
+ENV_VAR = "REPRO_FAILPOINTS"
+
+_lock = threading.RLock()
+# Registered site name -> armed Policy (or None while disarmed).
+_sites: Dict[str, Optional["Policy"]] = {}
+# Registered site name -> times a fault actually fired there.
+_fired: Dict[str, int] = {}
+# Fast-path guard: number of currently armed sites. inject() touches
+# nothing else while this is zero.
+_armed_count = 0
+
+
+class TornWrite(OSError):
+    """An injected torn write: the instrumented site should persist
+    ``fraction`` of its payload and then fail.
+
+    Subclasses :class:`OSError` (``EIO``) so a site without torn-write
+    cooperation still fails like any injected I/O error.
+    """
+
+    def __init__(self, site: str, fraction: float):
+        super().__init__(_errno.EIO, f"injected failpoint {site!r}: torn write")
+        self.site = site
+        self.fraction = fraction
+
+
+def _make_error(site: str, name: str) -> OSError:
+    code = getattr(_errno, name, None) if name != "OSError" else _errno.EIO
+    if code is None:
+        raise ValueError(f"unknown errno name {name!r} for failpoint {site!r}")
+    return OSError(code, f"injected failpoint {site!r}: {name}")
+
+
+class Policy:
+    """Decides, per :func:`inject` call, what one armed site does.
+
+    ``fire`` returns the exception to raise (``None`` to let the call
+    proceed) and may sleep first. Implementations must be thread-safe —
+    they are invoked under the module lock except for the sleep itself.
+    """
+
+    def fire(self, site: str) -> Optional[BaseException]:  # pragma: no cover
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - repr aid
+        return type(self).__name__
+
+
+class FailTimes(Policy):
+    """Fail the next ``times`` calls (``None`` = every call) with an
+    ``OSError`` of ``errno_name``."""
+
+    def __init__(self, errno_name: str = "EIO", times: Optional[int] = None):
+        self.errno_name = errno_name
+        self.remaining = times
+
+    def fire(self, site: str) -> Optional[BaseException]:
+        if self.remaining is not None:
+            if self.remaining <= 0:
+                return None
+            self.remaining -= 1
+        return _make_error(site, self.errno_name)
+
+    def describe(self) -> str:
+        count = "always" if self.remaining is None else f"*{self.remaining}"
+        return f"error({self.errno_name}){count}"
+
+
+class Probabilistic(Policy):
+    """Fail each call independently with probability ``p`` (seeded, so a
+    run is reproducible)."""
+
+    def __init__(self, p: float, errno_name: str = "EIO", seed: int = 0):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {p}")
+        self.p = p
+        self.errno_name = errno_name
+        self._rng = random.Random(seed)
+
+    def fire(self, site: str) -> Optional[BaseException]:
+        if self._rng.random() < self.p:
+            return _make_error(site, self.errno_name)
+        return None
+
+    def describe(self) -> str:
+        return f"prob({self.p}, {self.errno_name})"
+
+
+class Latency(Policy):
+    """Sleep ``seconds`` per call, then let it proceed (a stalled disk
+    or a slow-loris client, not a failure)."""
+
+    def __init__(self, seconds: float):
+        self.seconds = float(seconds)
+
+    def fire(self, site: str) -> Optional[BaseException]:
+        time.sleep(self.seconds)
+        return None
+
+    def describe(self) -> str:
+        return f"latency({self.seconds})"
+
+
+class Torn(Policy):
+    """Request a torn write for the next ``times`` calls (``None`` =
+    every call): the site persists ``fraction`` of its payload before
+    failing."""
+
+    def __init__(self, fraction: float = 0.5, times: Optional[int] = None):
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError(f"torn fraction must be in [0, 1), got {fraction}")
+        self.fraction = fraction
+        self.remaining = times
+
+    def fire(self, site: str) -> Optional[BaseException]:
+        if self.remaining is not None:
+            if self.remaining <= 0:
+                return None
+            self.remaining -= 1
+        return TornWrite(site, self.fraction)
+
+    def describe(self) -> str:
+        count = "always" if self.remaining is None else f"*{self.remaining}"
+        return f"torn({self.fraction}){count}"
+
+
+# ---------------------------------------------------------------------- #
+# Spec parsing                                                            #
+# ---------------------------------------------------------------------- #
+
+def parse_policy(spec: str) -> Policy:
+    """A :class:`Policy` from one spec string (see the module grammar)."""
+    text = spec.strip()
+    times: Optional[int] = None
+    if "*" in text:
+        text, __, count = text.rpartition("*")
+        try:
+            times = int(count)
+        except ValueError:
+            raise ValueError(f"bad repeat count in failpoint spec {spec!r}")
+        if times < 0:
+            raise ValueError(f"repeat count must be >= 0 in {spec!r}")
+        text = text.strip()
+    if not text.endswith(")") or "(" not in text:
+        raise ValueError(
+            f"bad failpoint spec {spec!r} (expected error(...)/prob(...)"
+            f"/latency(...)/torn(...))"
+        )
+    kind, __, inner = text[:-1].partition("(")
+    kind = kind.strip()
+    args = [a.strip() for a in inner.split(",")] if inner.strip() else []
+    if kind == "error":
+        if len(args) != 1:
+            raise ValueError(f"error(...) takes one errno name: {spec!r}")
+        policy = FailTimes(args[0], times)
+        policy.describe()  # validated lazily otherwise
+        _make_error("<spec>", args[0])  # validate the errno name eagerly
+        return policy
+    if times is not None and kind not in ("torn",):
+        raise ValueError(f"'*N' only applies to error(...)/torn(...): {spec!r}")
+    if kind == "prob":
+        if len(args) not in (1, 2):
+            raise ValueError(f"prob(p[, errno]) expected: {spec!r}")
+        return Probabilistic(float(args[0]), args[1] if len(args) == 2 else "EIO")
+    if kind == "latency":
+        if len(args) != 1:
+            raise ValueError(f"latency(seconds) expected: {spec!r}")
+        return Latency(float(args[0]))
+    if kind == "torn":
+        if len(args) > 1:
+            raise ValueError(f"torn([fraction]) expected: {spec!r}")
+        return Torn(float(args[0]) if args else 0.5, times)
+    raise ValueError(f"unknown failpoint policy {kind!r} in {spec!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Registry                                                                #
+# ---------------------------------------------------------------------- #
+
+def register(name: str) -> str:
+    """Declare a failpoint site (idempotent; instrumented modules call
+    this at import so :func:`known` is the live instrumentation map)."""
+    with _lock:
+        _sites.setdefault(name, None)
+        _fired.setdefault(name, 0)
+    return name
+
+
+def known() -> Tuple[str, ...]:
+    """Every registered site name, sorted — the fault-matrix domain."""
+    with _lock:
+        return tuple(sorted(_sites))
+
+
+def arm(name: str, policy: Union[str, Policy]) -> None:
+    """Arm one site. ``policy`` is a :class:`Policy` or a spec string.
+
+    Unregistered names are registered on the spot (the site may live in
+    a module not yet imported — e.g. arming via environment before the
+    server starts).
+    """
+    global _armed_count
+    if isinstance(policy, str):
+        policy = parse_policy(policy)
+    with _lock:
+        register(name)
+        if _sites[name] is None:
+            _armed_count += 1
+        _sites[name] = policy
+
+
+def disarm(name: str) -> bool:
+    """Disarm one site; ``True`` if it was armed."""
+    global _armed_count
+    with _lock:
+        if _sites.get(name) is None:
+            return False
+        _sites[name] = None
+        _armed_count -= 1
+        return True
+
+
+def disarm_all() -> int:
+    """Disarm every site (test teardown); returns how many were armed."""
+    global _armed_count
+    with _lock:
+        armed = [name for name, policy in _sites.items() if policy is not None]
+        for name in armed:
+            _sites[name] = None
+        _armed_count = 0
+        return len(armed)
+
+
+def inject(name: str) -> None:
+    """The instrumented-site hook: no-op unless ``name`` is armed.
+
+    The zero-overhead contract: with nothing armed anywhere this is a
+    single integer truth test. Armed, the site's policy decides — an
+    exception raised here is indistinguishable from the real failure
+    the site guards against.
+    """
+    if not _armed_count:
+        return
+    with _lock:
+        policy = _sites.get(name)
+        if policy is None:
+            return
+        error = policy.fire(name)
+        if error is None:
+            return
+        _fired[name] = _fired.get(name, 0) + 1
+    raise error
+
+
+def injected_total() -> int:
+    """Faults actually fired across all sites (the ``faults_injected``
+    stat)."""
+    with _lock:
+        return sum(_fired.values())
+
+
+def stats() -> Dict[str, Dict[str, object]]:
+    """Per-site introspection: armed policy (or ``None``) and fire count."""
+    with _lock:
+        return {
+            name: {
+                "armed": policy.describe() if policy is not None else None,
+                "fired": _fired.get(name, 0),
+            }
+            for name, policy in sorted(_sites.items())
+        }
+
+
+class failpoints:
+    """Context manager arming a mapping of sites, disarming on exit.
+
+    >>> import errno
+    >>> from repro import faults
+    >>> with faults.failpoints({"demo.site": "error(ENOSPC)*1"}):
+    ...     try:
+    ...         faults.inject("demo.site")
+    ...     except OSError as error:
+    ...         print(errno.errorcode[error.errno])
+    ...     faults.inject("demo.site")  # the *1 budget is spent
+    ENOSPC
+    >>> faults.inject("demo.site")  # disarmed again outside the block
+    """
+
+    def __init__(self, mapping: Dict[str, Union[str, Policy]]):
+        self._mapping = dict(mapping)
+
+    def __enter__(self) -> "failpoints":
+        for name, policy in self._mapping.items():
+            arm(name, policy)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        for name in self._mapping:
+            disarm(name)
+        return False
+
+
+def arm_from_env(value: Optional[str] = None) -> int:
+    """Arm sites from a ``REPRO_FAILPOINTS``-style string.
+
+    ``value`` defaults to the environment variable; the format is
+    ``name=spec`` pairs separated by ``;`` (or ``,``) — e.g.
+    ``wal.append=error(ENOSPC)*3;serve_blob.load=latency(0.1)``.
+    Returns how many sites were armed. Bad specs raise ``ValueError``
+    eagerly: a typo'd fault plan should fail loudly, not silently test
+    nothing.
+    """
+    if value is None:
+        value = os.environ.get(ENV_VAR, "")
+    # Split on ';' or ',' — but never inside parentheses, so a
+    # two-argument spec like prob(0.5,ENOSPC) survives intact.
+    chunks, depth, current = [], 0, []
+    for char in value:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth = max(0, depth - 1)
+        if char in ";," and depth == 0:
+            chunks.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    chunks.append("".join(current))
+    armed = 0
+    for chunk in chunks:
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, sep, spec = chunk.partition("=")
+        if not sep or not name.strip() or not spec.strip():
+            raise ValueError(
+                f"bad {ENV_VAR} entry {chunk!r} (expected name=spec)"
+            )
+        arm(name.strip(), spec)
+        armed += 1
+    return armed
+
+
+# Operator/CI surface: arm whatever the environment asks for at import.
+# (Import order is irrelevant — arm() registers unknown names, and the
+# instrumented modules' register() calls are idempotent.)
+if os.environ.get(ENV_VAR):
+    arm_from_env()

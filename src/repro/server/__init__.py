@@ -20,21 +20,25 @@ from repro.server.app import HttpError, ReproApp, create_app, query_id_of
 from repro.server.http import make_server, serve, start_background
 from repro.server.sessions import (
     CursorSession,
+    RateLimitedError,
     ReadBudgetExceededError,
     SessionError,
     SessionGoneError,
     SessionTable,
+    TokenBucketLimiter,
     UnknownSessionError,
 )
 
 __all__ = [
     "CursorSession",
     "HttpError",
+    "RateLimitedError",
     "ReadBudgetExceededError",
     "ReproApp",
     "SessionError",
     "SessionGoneError",
     "SessionTable",
+    "TokenBucketLimiter",
     "UnknownSessionError",
     "create_app",
     "make_server",

@@ -60,12 +60,14 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import math
 import pathlib
 import random
 import threading
 import urllib.parse
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
+from repro import faults
 from repro.database.database import Database
 from repro.database.delta import DeltaError, DeltaLineError, delta_from_jsonl
 from repro.errors import ReproError
@@ -73,16 +75,31 @@ from repro.query.free_connex import free_connex_report
 from repro.query.ucq import UnionOfConjunctiveQueries
 from repro.service.cache import canonical_query_key
 from repro.service.cursor import StaleCursorError
-from repro.service.query_service import QueryService
+from repro.service.query_service import QueryService, ServiceDegradedError
 from repro.server.sessions import (
+    RateLimitedError,
     ReadBudgetExceededError,
     SessionGoneError,
     SessionTable,
+    TokenBucketLimiter,
     UnknownSessionError,
 )
 
 #: Largest accepted request body (64 MiB) — bounds ingest memory.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Failpoint at the head of ingest body handling (after the app accepted
+#: the request, before anything is validated or applied).
+FP_INGEST = faults.register("server.ingest")
+
+#: Paths exempt from admission control: operators and probes must be
+#: able to observe a server that is busy rate-limiting everyone else.
+ADMISSION_EXEMPT = frozenset({"healthz", "stats"})
+
+
+def _retry_after_header(seconds: float) -> Tuple[str, str]:
+    """``Retry-After`` as the integral delta-seconds the RFC requires."""
+    return ("Retry-After", str(max(1, math.ceil(seconds))))
 
 
 class HttpError(ReproError):
@@ -117,6 +134,8 @@ class ReproApp:
         session_capacity: int = 256,
         session_ttl: Optional[float] = 300.0,
         read_budget: Optional[int] = None,
+        client_rate: Optional[float] = None,
+        client_burst: Optional[int] = None,
         clock=None,
     ):
         self.service = service
@@ -126,6 +145,22 @@ class ReproApp:
             default_ttl=session_ttl,
             default_budget=read_budget,
             **kwargs,
+        )
+        #: Per-client token-bucket admission (``None`` = unlimited).
+        #: Keyed on ``X-Client-Id`` falling back to the peer address, so
+        #: the cap aggregates across all of one client's sessions.
+        self.limiter = (
+            TokenBucketLimiter(
+                rate=client_rate,
+                burst=(
+                    client_burst
+                    if client_burst is not None
+                    else max(1, math.ceil(client_rate * 2))
+                ),
+                **kwargs,
+            )
+            if client_rate is not None
+            else None
         )
         #: Registered canonical id → resolved query object.
         self.queries = {}
@@ -166,24 +201,34 @@ class ReproApp:
             body.write(chunk)
             if not message.get("more_body", False):
                 break
-        status, payload = self.dispatch(
+        status, payload, headers = self.dispatch(
             scope["method"],
             scope["path"],
             scope.get("query_string", b"").decode("latin-1"),
             body.getvalue(),
+            headers=scope.get("headers"),
+            client=scope.get("client"),
         )
-        await self._send_json(send, status, payload)
+        await self._send_json(send, status, payload, headers)
 
     @staticmethod
-    async def _send_json(send, status: int, payload) -> None:
+    async def _send_json(
+        send, status: int, payload, extra_headers: Optional[List] = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        headers = [
+            (b"content-type", b"application/json"),
+            (b"content-length", str(len(body)).encode("ascii")),
+        ]
+        for name, value in extra_headers or ():
+            headers.append((
+                name.encode("latin-1") if isinstance(name, str) else name,
+                value.encode("latin-1") if isinstance(value, str) else value,
+            ))
         await send({
             "type": "http.response.start",
             "status": status,
-            "headers": [
-                (b"content-type", b"application/json"),
-                (b"content-length", str(len(body)).encode("ascii")),
-            ],
+            "headers": headers,
         })
         await send({"type": "http.response.body", "body": body})
 
@@ -192,49 +237,109 @@ class ReproApp:
     # ------------------------------------------------------------------ #
 
     def dispatch(
-        self, method: str, path: str, query_string: str, body: bytes
-    ) -> Tuple[int, dict]:
-        """Route one request; returns ``(status, payload)``.
+        self,
+        method: str,
+        path: str,
+        query_string: str,
+        body: bytes,
+        headers=None,
+        client=None,
+    ) -> Tuple[int, dict, List[Tuple[str, str]]]:
+        """Route one request; returns ``(status, payload, extra headers)``.
 
         Synchronous on purpose: every handler is a short CPU-bound read
         (wait-free snapshot access) or a serialized write. The stdlib
         bridge runs one thread per connection; under a single-loop ASGI
         host a long ingest briefly serializes the loop, which is the
         documented trade of the dependency-free tier.
+
+        ``headers`` (ASGI header pairs) and ``client`` (the peer
+        ``(host, port)``) feed admission control: with a configured
+        limiter, every non-exempt request spends one token of its
+        client's bucket *before* routing, and an empty bucket answers
+        ``429`` + ``Retry-After``. A degraded write path
+        (:class:`~repro.service.query_service.ServiceDegradedError`)
+        answers ``503`` + ``Retry-After``; any other ``OSError``
+        escaping a handler is an I/O failure and answers ``503``.
         """
         self._requests += 1
         try:
-            return self._route(method, path, query_string, body)
+            if (
+                self.limiter is not None
+                and path.strip("/") not in ADMISSION_EXEMPT
+            ):
+                self.limiter.admit(self._client_id(headers, client))
+            status, payload = self._route(method, path, query_string, body)
+            return status, payload, []
         except HttpError as error:
-            return error.status, error.payload
+            return error.status, error.payload, []
+        except RateLimitedError as error:
+            return 429, {
+                "error": str(error),
+                "client": error.client_id,
+                "retry_after": error.retry_after,
+            }, [_retry_after_header(error.retry_after)]
+        except ServiceDegradedError as error:
+            return 503, {
+                "error": str(error),
+                "degraded": True,
+                "reason": error.reason,
+                "retry_after": error.retry_after,
+            }, [_retry_after_header(error.retry_after)]
         except UnknownSessionError as error:
-            return 404, {"error": str(error), "cursor": error.session_id}
+            return 404, {"error": str(error), "cursor": error.session_id}, []
         except SessionGoneError as error:
             return 410, {
                 "error": str(error),
                 "cursor": error.session_id,
                 "reason": error.reason,
-            }
+            }, []
         except ReadBudgetExceededError as error:
             return 429, {
                 "error": str(error),
                 "cursor": error.session_id,
                 "served": error.served,
                 "budget": error.budget,
-            }
+            }, []
         except StaleCursorError as error:
             return 409, {
                 "error": str(error),
                 "stale": True,
                 "bound_version": error.bound_version,
                 "current_version": error.current_version,
-            }
+            }, []
         except DeltaLineError as error:
-            return 400, {"error": error.reason, "line": error.line}
+            return 400, {"error": error.reason, "line": error.line}, []
         except (DeltaError, ValueError) as error:
-            return 400, {"error": str(error)}
+            return 400, {"error": str(error)}, []
+        except OSError as error:
+            # An I/O failure that did not flip the service degraded (a
+            # checkpoint write, an injected ingest fault): server-side
+            # trouble, not a client error.
+            return 503, {"error": f"{type(error).__name__}: {error}"}, []
         except Exception as error:  # pragma: no cover - defensive
-            return 500, {"error": f"{type(error).__name__}: {error}"}
+            return 500, {"error": f"{type(error).__name__}: {error}"}, []
+
+    @staticmethod
+    def _client_id(headers, client) -> str:
+        """The admission key: ``X-Client-Id`` header, else peer address.
+
+        The header lets clients behind one proxy be limited separately
+        (and lets tests and SDKs pick stable identities); the peer
+        address is the default that requires no cooperation.
+        """
+        for name, value in headers or ():
+            if isinstance(name, bytes):
+                name = name.decode("latin-1")
+            if name.lower() == "x-client-id":
+                if isinstance(value, bytes):
+                    value = value.decode("latin-1")
+                value = value.strip()
+                if value:
+                    return value
+        if client:
+            return str(client[0])
+        return "<unknown>"
 
     def _route(self, method, path, query_string, body):
         parts = [part for part in path.split("/") if part]
@@ -304,8 +409,13 @@ class ReproApp:
     def handle_healthz(self):
         database = self.service.database
         durable = self.service.storage is not None
-        return 200, {
-            "status": "ok",
+        degraded = self.service.degraded
+        payload = {
+            # "degraded" keeps answering 200: the process is alive and
+            # still serving reads — only its write path is refusing work.
+            # Routing layers that should stop sending writes read the
+            # status field, not the HTTP code.
+            "status": "degraded" if degraded else "ok",
             "version": database.version,
             "instance_id": database.instance_id,
             "durable": durable,
@@ -314,11 +424,18 @@ class ReproApp:
             "last_durable_version": database.version if durable else None,
             "sessions": len(self.sessions),
         }
+        if degraded:
+            payload["degraded_reason"] = self.service.degraded_reason
+            payload["degraded_seconds"] = self.service.degraded_since_seconds
+        return 200, payload
 
     def handle_stats(self):
         return 200, {
             "service": self.service.stats().to_dict(),
             "sessions": self.sessions.gauges(),
+            "admission": (
+                self.limiter.gauges() if self.limiter is not None else None
+            ),
             "server": {
                 "requests": self._requests,
                 "registered_queries": len(self.queries),
@@ -589,6 +706,7 @@ class ReproApp:
     # ------------------------------------------------------------------ #
 
     def handle_ingest(self, body: bytes):
+        faults.inject(FP_INGEST)
         try:
             text = body.decode("utf-8")
         except UnicodeDecodeError as error:
@@ -642,6 +760,8 @@ def create_app(
     session_capacity: int = 256,
     session_ttl: Optional[float] = 300.0,
     read_budget: Optional[int] = None,
+    client_rate: Optional[float] = None,
+    client_burst: Optional[int] = None,
     clock=None,
 ) -> ReproApp:
     """Build the ASGI app for a service, database, or durable store dir.
@@ -669,6 +789,13 @@ def create_app(
         (``None`` disables), default per-session answers budget
         (``None`` = unlimited; clients may lower, never raise, their
         own at ``POST /cursors``).
+    client_rate / client_burst:
+        Per-client token-bucket admission control (``None`` disables):
+        each client — keyed by ``X-Client-Id``, falling back to the
+        peer address, aggregated across all its sessions — is admitted
+        at ``client_rate`` requests/second with bursts up to
+        ``client_burst`` (default ``2 × rate``); excess answers ``429``
+        + ``Retry-After``. ``/healthz`` and ``/stats`` are exempt.
     clock:
         Injectable monotonic clock for the session table (tests).
     """
@@ -709,5 +836,7 @@ def create_app(
         session_capacity=session_capacity,
         session_ttl=session_ttl,
         read_budget=read_budget,
+        client_rate=client_rate,
+        client_burst=client_burst,
         clock=clock,
     )

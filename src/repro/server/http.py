@@ -55,6 +55,30 @@ class ASGIRequestHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _handle(self) -> None:
+        track = getattr(self.server, "track_request", None)
+        if track is None:
+            self._run_exchange()
+            return
+        if not track():
+            # Draining: the server stopped admitting new work. Answer
+            # quickly so clients re-resolve instead of hanging on a
+            # half-closed socket.
+            payload = (b'{"error": "server is draining; '
+                       b'connection will not be served"}')
+            self.send_response(503)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(payload)
+            self.close_connection = True
+            return
+        try:
+            self._run_exchange()
+        finally:
+            self.server.untrack_request()
+
+    def _run_exchange(self) -> None:
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else b""
         split = urlsplit(self.path)
@@ -110,10 +134,63 @@ class ASGIRequestHandler(BaseHTTPRequestHandler):
 
 
 class ASGIServer(ThreadingHTTPServer):
-    """One thread per connection; daemonic so tests/CLI exit cleanly."""
+    """One thread per connection; daemonic so tests/CLI exit cleanly.
+
+    Supports **graceful drain**: :meth:`shutdown_gracefully` stops
+    admitting new requests (late arrivals get a fast ``503`` with
+    ``Connection: close``), waits for every in-flight request to send
+    its response (bounded by a timeout), then shuts the listener down —
+    so stopping ``repro serve`` never tears a response mid-body.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._inflight = 0
+        self._draining = False
+        self._drain_cv = threading.Condition()
+
+    def track_request(self) -> bool:
+        """Admit one request; ``False`` when the server is draining."""
+        with self._drain_cv:
+            if self._draining:
+                return False
+            self._inflight += 1
+            return True
+
+    def untrack_request(self) -> None:
+        with self._drain_cv:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._drain_cv.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being served (observability/tests)."""
+        with self._drain_cv:
+            return self._inflight
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting requests; wait for in-flight ones to finish.
+
+        Returns ``True`` when the server went idle within ``timeout``
+        (``None`` waits indefinitely), ``False`` if requests were still
+        running when the deadline passed — the caller decides whether to
+        shut down anyway (the CLI does, after logging).
+        """
+        with self._drain_cv:
+            self._draining = True
+            return self._drain_cv.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
+    def shutdown_gracefully(self, timeout: Optional[float] = 10.0) -> bool:
+        """:meth:`drain` then :meth:`shutdown`; returns the drain verdict."""
+        drained = self.drain(timeout=timeout)
+        self.shutdown()
+        return drained
 
 
 def make_server(app, host: str = "127.0.0.1", port: int = 8000) -> ASGIServer:
@@ -125,10 +202,26 @@ def make_server(app, host: str = "127.0.0.1", port: int = 8000) -> ASGIServer:
     return ASGIServer((host, port), handler)
 
 
-def serve(app, host: str = "127.0.0.1", port: int = 8000) -> None:
-    """Host ``app`` forever on the stdlib bridge (blocking)."""
+def serve(
+    app,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    drain_timeout: Optional[float] = 10.0,
+) -> None:
+    """Host ``app`` forever on the stdlib bridge (blocking).
+
+    ``KeyboardInterrupt`` (the ``repro serve`` stop signal) drains
+    gracefully: no new requests are admitted and in-flight responses
+    get up to ``drain_timeout`` seconds to finish before the listener
+    closes.
+    """
     with make_server(app, host, port) as server:
-        server.serve_forever()
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            # serve_forever already returned; only the in-flight
+            # handler threads remain — wait them out.
+            server.drain(timeout=drain_timeout)
 
 
 def start_background(

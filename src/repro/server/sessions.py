@@ -69,6 +69,19 @@ class SessionGoneError(SessionError):
         self.reason = reason
 
 
+class RateLimitedError(SessionError):
+    """A client exceeded its token-bucket request rate; the request was
+    rejected before any work was done (HTTP 429 + ``Retry-After``)."""
+
+    def __init__(self, client_id: str, retry_after: float):
+        super().__init__(
+            f"client {client_id!r} is over its request rate; "
+            f"retry in {retry_after:.3g}s"
+        )
+        self.client_id = client_id
+        self.retry_after = retry_after
+
+
 class ReadBudgetExceededError(SessionError):
     """The session served its configured answers budget; further reads
     are rejected (HTTP 429) until the client opens a fresh session."""
@@ -118,6 +131,100 @@ class CursorSession:
             "served": self.served,
             "reads": self.reads,
         }
+
+
+class TokenBucketLimiter:
+    """Per-client token-bucket admission control.
+
+    One bucket per client id — the HTTP tier keys on the ``X-Client-Id``
+    header, falling back to the peer address, so one client's request
+    rate is aggregated **across all its cursor sessions** (the read
+    budget above is per-session; this is the per-client layer over it).
+    Each admitted request costs one token; buckets refill at ``rate``
+    tokens/second up to ``burst``. An empty bucket rejects with
+    :class:`RateLimitedError` carrying the exact ``retry_after`` until
+    one token exists again — rejection is O(1) and happens before any
+    session or index work.
+
+    The bucket table itself is LRU-bounded (``capacity`` distinct
+    clients): an evicted idle client simply starts over with a full
+    bucket later, so an adversary rotating client ids can at worst reset
+    its own bucket — never grow server memory without bound.
+
+    >>> now = [0.0]
+    >>> limiter = TokenBucketLimiter(rate=1.0, burst=2, clock=lambda: now[0])
+    >>> limiter.admit("alice"); limiter.admit("alice")
+    >>> try: limiter.admit("alice")
+    ... except RateLimitedError as e: print(round(e.retry_after, 1))
+    1.0
+    >>> now[0] = 1.0  # one token refilled
+    >>> limiter.admit("alice")
+    >>> limiter.rejections
+    1
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        capacity: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        # client id → (tokens, last refill time), LRU-ordered.
+        self._buckets: "OrderedDict[str, list]" = OrderedDict()
+        self.admitted = 0
+        self.rejections = 0
+
+    def admit(self, client_id: str) -> None:
+        """Spend one token for ``client_id`` or raise :class:`RateLimitedError`."""
+        with self._lock:
+            now = self._clock()
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = [self.burst, now]
+                self._buckets[client_id] = bucket
+                while len(self._buckets) > self.capacity:
+                    self._buckets.popitem(last=False)
+            else:
+                tokens, last = bucket
+                bucket[0] = min(self.burst, tokens + (now - last) * self.rate)
+                bucket[1] = now
+                self._buckets.move_to_end(client_id)
+            if bucket[0] < 1.0:
+                self.rejections += 1
+                raise RateLimitedError(
+                    client_id, (1.0 - bucket[0]) / self.rate
+                )
+            bucket[0] -= 1.0
+            self.admitted += 1
+
+    def gauges(self) -> Dict[str, object]:
+        """The admission-control block of ``GET /stats``."""
+        with self._lock:
+            return {
+                "rate": self.rate,
+                "burst": int(self.burst),
+                "clients": len(self._buckets),
+                "admitted": self.admitted,
+                "rejections": self.rejections,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenBucketLimiter(rate={self.rate}, burst={int(self.burst)}, "
+            f"{len(self._buckets)} clients)"
+        )
 
 
 class SessionTable:

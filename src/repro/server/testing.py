@@ -59,10 +59,16 @@ class TestClient:
         url: str,
         json: Optional[dict] = None,
         body: Optional[bytes] = None,
+        headers: Optional[dict] = None,
     ) -> Response:
         if json is not None:
             body = jsonlib.dumps(json).encode("utf-8")
         split = urlsplit(url)
+        wire_headers = [(b"host", b"testclient")]
+        for name, value in (headers or {}).items():
+            wire_headers.append((
+                name.encode("latin-1"), str(value).encode("latin-1")
+            ))
         scope = {
             "type": "http",
             "asgi": {"version": "3.0", "spec_version": "2.3"},
@@ -73,7 +79,7 @@ class TestClient:
             "raw_path": url.encode("latin-1"),
             "query_string": split.query.encode("latin-1"),
             "root_path": "",
-            "headers": [(b"host", b"testclient")],
+            "headers": wire_headers,
             "client": ("127.0.0.1", 0),
             "server": ("testclient", 80),
         }
@@ -102,12 +108,13 @@ class TestClient:
             collected["status"], collected["headers"], bytes(collected["body"])
         )
 
-    def get(self, url: str) -> Response:
-        return self.request("GET", url)
+    def get(self, url: str, headers: Optional[dict] = None) -> Response:
+        return self.request("GET", url, headers=headers)
 
     def post(self, url: str, json: Optional[dict] = None,
-             body: Optional[bytes] = None) -> Response:
-        return self.request("POST", url, json=json, body=body)
+             body: Optional[bytes] = None,
+             headers: Optional[dict] = None) -> Response:
+        return self.request("POST", url, json=json, body=body, headers=headers)
 
-    def delete(self, url: str) -> Response:
-        return self.request("DELETE", url)
+    def delete(self, url: str, headers: Optional[dict] = None) -> Response:
+        return self.request("DELETE", url, headers=headers)

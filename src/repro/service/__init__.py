@@ -51,12 +51,19 @@ True
 
 from repro.service.cache import IndexCache, canonical_query_key
 from repro.service.cursor import Cursor, StaleCursorError
-from repro.service.query_service import QueryService, Transaction
+from repro.service.query_service import (
+    QueryService,
+    ServiceDegradedError,
+    ServiceStats,
+    Transaction,
+)
 
 __all__ = [
     "Cursor",
     "IndexCache",
     "QueryService",
+    "ServiceDegradedError",
+    "ServiceStats",
     "StaleCursorError",
     "Transaction",
     "canonical_query_key",

@@ -137,22 +137,48 @@ import random
 import time
 from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Union
 
+from repro import faults
 from repro.apps.pagination import LivePaginator
 from repro.core.cq_index import CQIndex
 from repro.core.dynamic import DynamicCQIndex
 from repro.core.union_access import MCUCQIndex
 from repro.database.database import Database
 from repro.database.delta import AppliedDelta, Delta
+from repro.errors import ReproError
 from repro.query.cq import ConjunctiveQuery
 from repro.query.free_connex import free_connex_report
 from repro.query.parser import parse_cq, parse_ucq
 from repro.query.ucq import UnionOfConjunctiveQueries
 
 from repro.core import flat_store
+from repro.storage import atomic
 from repro.service.cache import CacheInfo, IndexCache, canonical_query_key
 from repro.service.cursor import Cursor, TRANSIENT, UNGUARDED
 
 Query = Union[str, ConjunctiveQuery, UnionOfConjunctiveQueries]
+
+
+class ServiceDegradedError(ReproError):
+    """The service is in degraded read-only mode: the durable write path
+    (WAL append past its retry budget) is failing, so mutations are
+    refused rather than risk acknowledging writes that were never made
+    durable. Reads keep serving wait-free from published snapshots.
+
+    ``reason`` is the root cause (the original I/O error, also chained as
+    ``__cause__`` on the mode-entering raise), ``since_seconds`` how long
+    the mode has been active, and ``retry_after`` the earliest point a
+    retried write could act as the re-arming probe — the HTTP tier maps
+    this error to ``503`` with a ``Retry-After`` header.
+    """
+
+    def __init__(self, reason: str, since_seconds: float, retry_after: float):
+        super().__init__(
+            f"service degraded to read-only ({reason}); "
+            f"retry in {retry_after:.3g}s"
+        )
+        self.reason = reason
+        self.since_seconds = since_seconds
+        self.retry_after = retry_after
 
 
 class ServiceStats(NamedTuple):
@@ -232,15 +258,33 @@ class ServiceStats(NamedTuple):
     #: checkpoint — each one is a silent rebuild on recovery, so a
     #: nonzero value here is worth surfacing.
     checkpoint_skipped_entries: int = 0
+    #: Transient WAL-append failures absorbed by the retry loop (the
+    #: write survived; nonzero values flag a flaky device before it
+    #: fails hard).
+    wal_retries: int = 0
+    #: Faults fired by the :mod:`repro.faults` failpoint framework —
+    #: always zero in production (failpoints are disarmed); nonzero
+    #: confirms a fault-injection run actually exercised its sites.
+    faults_injected: int = 0
+    #: Times the service *entered* degraded read-only mode (WAL
+    #: unappendable past the retry budget).
+    degraded_entries: int = 0
+    #: Total seconds spent degraded, the ongoing period included.
+    degraded_seconds: float = 0.0
+    #: I/O errors the atomic-publication helpers survived but counted
+    #: (temp-file cleanup, directory fsync) instead of hiding — see
+    #: :data:`repro.storage.atomic.COUNTERS`.
+    atomic_io_errors: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """The canonical serialization of one stats snapshot.
 
-        Field name → integer counter, in declaration order; every value
-        is JSON-safe. The single source both transports render — the
-        ``stats`` CLI command prints it line by line and the HTTP tier
-        returns it verbatim as the ``"service"`` block of ``GET /stats``
-        — so a field added here reaches both without further wiring.
+        Field name → counter (integers, plus the ``degraded_seconds``
+        float), in declaration order; every value is JSON-safe. The
+        single source both transports render — the ``stats`` CLI command
+        prints it line by line and the HTTP tier returns it verbatim as
+        the ``"service"`` block of ``GET /stats`` — so a field added
+        here reaches both without further wiring.
         """
         return dict(self._asdict())
 
@@ -302,6 +346,12 @@ class QueryService:
         ``REPRO_STORE`` environment variable, defaulting to ``"tuple"``.
         :meth:`set_store_override` pins a different backend for
         individual queries.
+    degraded_probe_interval:
+        Seconds between write probes while the service is degraded (see
+        :class:`ServiceDegradedError`). While degraded, :meth:`apply` /
+        :meth:`insert` / :meth:`delete` shed immediately — except that
+        once per interval one call is let through as the probe; if its
+        durable append succeeds the service re-arms automatically.
     """
 
     def __init__(
@@ -313,6 +363,7 @@ class QueryService:
         dynamic: Optional[bool] = None,
         storage=None,
         store: Optional[str] = None,
+        degraded_probe_interval: float = 1.0,
     ):
         self._database = database
         self._cache = cache if cache is not None else IndexCache(cache_capacity)
@@ -351,6 +402,17 @@ class QueryService:
         self._entry_updates: Dict[tuple, Dict[str, int]] = {}
         self._wal_replayed_ops = 0
         self._checkpoint_skipped = 0
+        #: Seconds between degraded-mode write probes (public: operators
+        #: and tests may tune it on a live service).
+        self.degraded_probe_interval = degraded_probe_interval
+        # Degraded read-only mode: reason string while active (None =
+        # healthy), entry timestamp, lifetime entry count and total
+        # degraded seconds, and the time of the last probe attempt.
+        self._degraded_reason: Optional[str] = None
+        self._degraded_at: Optional[float] = None
+        self._degraded_entries = 0
+        self._degraded_seconds_total = 0.0
+        self._last_probe = 0.0
         self._storage = None
         if storage is not None:
             from repro.storage.store import DurableStore
@@ -733,20 +795,108 @@ class QueryService:
 
         Returns the :class:`~repro.database.delta.AppliedDelta` with the
         effective sub-delta and per-relation applied/no-op counts.
+
+        Fault tolerance: when the durable append inside
+        :meth:`Database.apply` fails with an :class:`OSError` (the WAL's
+        retry budget exhausted, or a non-transient error like ``ENOSPC``
+        failing fast), the database is untouched — the WAL appends
+        *before* the version bump and rolls its file back to the
+        pre-append offset — and the service enters **degraded read-only
+        mode**: this and every subsequent mutation raises
+        :class:`ServiceDegradedError` while reads keep serving. Once per
+        :attr:`degraded_probe_interval` one mutation is let through as a
+        write probe; a successful durable append re-arms the write path.
         """
         if not isinstance(delta, Delta):
             delta = Delta(delta, database=self._database)
+        self._check_write_path()
         # The flag spans the whole write (version bump included), so a
         # concurrent read that probes the bump-to-rekey window serves the
         # previous published snapshot instead of paying a rebuild.
         self._absorbing = True
         try:
-            result = self._database.apply(delta)
+            try:
+                result = self._database.apply(delta)
+            except OSError as error:
+                raise self._enter_degraded(error) from error
             if result.changed:
                 self._absorb_delta(result.effective)
         finally:
             self._absorbing = False
+        if self._degraded_reason is not None:
+            self._exit_degraded()
         return result
+
+    # ------------------------------------------------------------------ #
+    # Degraded read-only mode                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def degraded(self) -> bool:
+        """Is the service currently in degraded read-only mode?"""
+        return self._degraded_reason is not None
+
+    @property
+    def degraded_reason(self) -> Optional[str]:
+        """Root cause of the current degraded period (``None`` = healthy)."""
+        return self._degraded_reason
+
+    @property
+    def degraded_since_seconds(self) -> float:
+        """Seconds the current degraded period has lasted (0 if healthy)."""
+        if self._degraded_at is None:
+            return 0.0
+        return time.monotonic() - self._degraded_at
+
+    def _shed_error(self) -> ServiceDegradedError:
+        retry_after = max(
+            0.0,
+            self.degraded_probe_interval
+            - (time.monotonic() - self._last_probe),
+        )
+        return ServiceDegradedError(
+            self._degraded_reason or "write path unavailable",
+            self.degraded_since_seconds,
+            retry_after or self.degraded_probe_interval,
+        )
+
+    def _check_write_path(self) -> None:
+        """Shed mutations while degraded — except the periodic probe.
+
+        While degraded, a mutation arriving before the probe interval has
+        elapsed raises immediately **without touching the write path** (a
+        failing device is not hammered by a retry storm). The first
+        mutation after the interval is allowed through: its durable
+        append *is* the probe, and its success (:meth:`_exit_degraded`)
+        or failure (:meth:`_enter_degraded` refreshing the reason)
+        re-arms or extends the mode.
+        """
+        if self._degraded_reason is None:
+            return
+        now = time.monotonic()
+        if now - self._last_probe >= self.degraded_probe_interval:
+            self._last_probe = now
+            return
+        raise self._shed_error()
+
+    def _enter_degraded(self, error: BaseException) -> ServiceDegradedError:
+        """Record a write-path failure; returns the error to raise."""
+        now = time.monotonic()
+        if self._degraded_reason is None:
+            self._degraded_entries += 1
+            self._degraded_at = now
+        self._degraded_reason = f"{type(error).__name__}: {error}"
+        self._last_probe = now
+        return self._shed_error()
+
+    def _exit_degraded(self) -> None:
+        """A probe write succeeded durably: re-arm the write path."""
+        if self._degraded_at is not None:
+            self._degraded_seconds_total += (
+                time.monotonic() - self._degraded_at
+            )
+        self._degraded_reason = None
+        self._degraded_at = None
 
     def transaction(self) -> "Transaction":
         """A write buffer that applies as **one** delta on exit.
@@ -1051,6 +1201,17 @@ class QueryService:
             flat_dynamic_builds=self._backend_counters["flat"]["dynamic_builds"],
             flat_snapshot_reads=self._backend_counters["flat"]["snapshot_reads"],
             checkpoint_skipped_entries=self._checkpoint_skipped,
+            wal_retries=(
+                self._storage.wal.retries
+                if self._storage is not None and self._storage.wal is not None
+                else 0
+            ),
+            faults_injected=faults.injected_total(),
+            degraded_entries=self._degraded_entries,
+            degraded_seconds=(
+                self._degraded_seconds_total + self.degraded_since_seconds
+            ),
+            atomic_io_errors=atomic.io_error_count(),
         )
 
     def __repr__(self) -> str:

@@ -40,6 +40,13 @@ from repro.storage.checkpoint import (
     valid_checkpoints,
     write_checkpoint,
 )
+from repro.storage.retry import (
+    DEFAULT_POLICY,
+    NO_RETRY,
+    RetryPolicy,
+    call_with_retry,
+    is_transient,
+)
 from repro.storage.store import DurableStore, RecoveryReport, StorageError
 from repro.storage.values import (
     ValueEncodingError,
@@ -54,6 +61,11 @@ __all__ = [
     "DurableStore",
     "RecoveryReport",
     "StorageError",
+    "RetryPolicy",
+    "DEFAULT_POLICY",
+    "NO_RETRY",
+    "call_with_retry",
+    "is_transient",
     "WriteAheadLog",
     "WalRecord",
     "WalError",

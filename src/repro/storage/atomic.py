@@ -20,9 +20,30 @@ import os
 import pathlib
 from typing import Union
 
+from repro import faults
 from repro.storage.values import encode_cell
 
 PathLike = Union[str, os.PathLike]
+
+#: Failpoint at the head of every atomic publication (the temp-file
+#: write+fsync+rename sequence).
+FP_WRITE = faults.register("atomic.write")
+
+#: I/O errors this module deliberately survives but refuses to hide:
+#: a temp-file unlink that failed while cleaning up after an aborted
+#: publication, and a directory fsync that failed after a rename. Each
+#: one is harmless in isolation (litter; a rename that may not survive
+#: power loss) yet worth surfacing — ``ServiceStats`` reports the sum as
+#: ``atomic_io_errors`` instead of the historical silent ``pass``.
+COUNTERS = {
+    "cleanup_unlink_failures": 0,
+    "directory_fsync_failures": 0,
+}
+
+
+def io_error_count() -> int:
+    """Swallowed-but-counted I/O errors (the ``atomic_io_errors`` stat)."""
+    return sum(COUNTERS.values())
 
 
 def fsync_directory(directory: PathLike) -> None:
@@ -30,9 +51,13 @@ def fsync_directory(directory: PathLike) -> None:
     try:
         fd = os.open(directory, os.O_RDONLY)
     except OSError:  # pragma: no cover - platform without dir fds
+        COUNTERS["directory_fsync_failures"] += 1
         return
     try:
-        os.fsync(fd)
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            COUNTERS["directory_fsync_failures"] += 1
     finally:
         os.close(fd)
 
@@ -46,6 +71,7 @@ def atomic_write_bytes(path: PathLike, payload: bytes) -> pathlib.Path:
     """
     path = pathlib.Path(path)
     temp = path.with_name(path.name + ".tmp")
+    faults.inject(FP_WRITE)
     fd = os.open(temp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
     try:
         with os.fdopen(fd, "wb") as handle:
@@ -57,7 +83,10 @@ def atomic_write_bytes(path: PathLike, payload: bytes) -> pathlib.Path:
         try:
             os.unlink(temp)
         except OSError:
-            pass
+            # The abort path must not mask the original error, but a
+            # cleanup failure is not silent either: readers ignore
+            # *.tmp litter, and the count surfaces in ServiceStats.
+            COUNTERS["cleanup_unlink_failures"] += 1
         raise
     fsync_directory(path.parent)
     return path

@@ -46,6 +46,7 @@ import shutil
 import zlib
 from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
 
+from repro import faults
 from repro.errors import ReproError
 from repro.storage import serve_blob
 from repro.storage.atomic import fsync_directory
@@ -54,6 +55,13 @@ PathLike = Union[str, os.PathLike]
 
 _FORMAT = 1
 _DIR_PREFIX = "ckpt-"
+
+#: Failpoints at the two instants a checkpoint write can die: while
+#: staging payload files, and at the atomic rename that publishes the
+#: staged directory. Either failure must leave the previous checkpoint
+#: the newest valid one and only ``.tmp`` litter behind.
+FP_STAGE = faults.register("checkpoint.stage")
+FP_PUBLISH = faults.register("checkpoint.publish")
 
 #: Recognized ``serve_format=`` values for :func:`write_checkpoint`.
 SERVE_FORMATS = ("blob", "pickle")
@@ -81,6 +89,7 @@ class CheckpointData(NamedTuple):
 
 
 def _write_file(path: pathlib.Path, payload: bytes) -> str:
+    faults.inject(FP_STAGE)
     with open(path, "wb") as handle:
         handle.write(payload)
         handle.flush()
@@ -214,6 +223,7 @@ def write_checkpoint(
         # and the directory itself only becomes visible via the rename.
         _write_file(staging / "manifest.json",
                     json.dumps(manifest, indent=2).encode("utf-8"))
+        faults.inject(FP_PUBLISH)
         if final.exists():
             shutil.rmtree(final)
         os.rename(staging, final)

@@ -1,0 +1,108 @@
+"""Bounded exponential-backoff-with-jitter retry for transient I/O.
+
+The durability stack distinguishes two failure shapes:
+
+* **transient** — ``EIO``, ``EAGAIN``, ``EINTR``, ``EBUSY``,
+  ``ETIMEDOUT``: the kind a loaded disk or interrupted syscall produces
+  and a short retry usually clears. These are worth a bounded number of
+  backed-off attempts before giving up.
+* **persistent** — everything else, ``ENOSPC`` (disk full) above all:
+  retrying burns latency without hope. These fail **fast**, so the
+  layer above (the service's degraded mode) can shed writes immediately
+  while the read plane keeps serving.
+
+:func:`call_with_retry` implements the loop; :class:`RetryPolicy` is
+the knob set — per :class:`~repro.storage.store.DurableStore` via its
+``retry=`` parameter, inherited by the WAL it opens. Jitter is the
+standard decorrelation trick: concurrent writers that failed together
+do not retry in lockstep.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import time
+from typing import Callable, NamedTuple, Optional
+
+#: Errnos a bounded retry is worth attempting (see module docstring).
+TRANSIENT_ERRNOS = frozenset({
+    errno.EIO,
+    errno.EAGAIN,
+    errno.EINTR,
+    errno.EBUSY,
+    errno.ETIMEDOUT,
+})
+
+
+def is_transient(error: BaseException) -> bool:
+    """Is this the retry-worthy kind of I/O failure?
+
+    ``ENOSPC`` and other persistent conditions answer ``False`` — they
+    should fail fast into degraded handling, not spin in a retry loop.
+    """
+    return isinstance(error, OSError) and error.errno in TRANSIENT_ERRNOS
+
+
+class RetryPolicy(NamedTuple):
+    """One retry budget: attempts, backoff curve, jitter, classifier.
+
+    ``max_attempts`` counts *total* attempts (1 = no retry at all).
+    Delay before retry ``k`` (0-based) is
+    ``min(max_delay, base_delay * multiplier**k)``, shrunk by up to
+    ``jitter`` (a fraction in [0, 1]) uniformly at random.
+    ``retryable`` overrides the transience classifier (``None`` uses
+    :func:`is_transient`).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.005
+    max_delay: float = 0.25
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    retryable: Optional[Callable[[BaseException], bool]] = None
+
+    def delay_before(self, attempt: int, rng: random.Random) -> float:
+        """The backoff before retry number ``attempt`` (0-based)."""
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        if self.jitter:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+
+#: No retries at all — fail on the first error.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+#: The default durability-path budget: 4 attempts, ~5/10/20ms backoff.
+DEFAULT_POLICY = RetryPolicy()
+
+
+def call_with_retry(
+    fn: Callable[[], object],
+    policy: RetryPolicy = DEFAULT_POLICY,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+):
+    """Run ``fn`` under ``policy``; returns its result.
+
+    Retries only errors the policy classifies as transient, sleeping the
+    backed-off delay between attempts. ``on_retry(attempt, error,
+    delay)`` fires before each sleep — the counter hook
+    (``wal_retries``). The final failure (budget exhausted or
+    non-transient) propagates unchanged.
+    """
+    rng = rng if rng is not None else random.Random()
+    classify = policy.retryable if policy.retryable is not None else is_transient
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except BaseException as error:
+            if attempt + 1 >= policy.max_attempts or not classify(error):
+                raise
+            delay = policy.delay_before(attempt, rng)
+            if on_retry is not None:
+                on_retry(attempt, error, delay)
+            sleep(delay)
+            attempt += 1

@@ -37,6 +37,7 @@ import pathlib
 import pickle
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.core import flat_store
 from repro.storage.values import ValueEncodingError, decode_cell, encode_cell
 
@@ -50,6 +51,10 @@ BLOB_DIR = "serve-flat"
 
 #: Format stamp inside each entry's ``meta.json``.
 _FORMAT = 1
+
+#: Failpoint at the head of every blob-entry load: recovery must treat
+#: an unreadable entry as "rebuild lazily", never as a failed recovery.
+FP_LOAD = faults.register("serve_blob.load")
 
 
 def can_blob(entry) -> bool:
@@ -193,6 +198,7 @@ def load_serve_entry(directory: pathlib.Path) -> Tuple[tuple, object]:
     from repro.core.index import JoinForestIndex, _IndexNode
     from repro.core.flat_store import FlatBucketStore, FlatNode
 
+    faults.inject(FP_LOAD)
     meta = json.loads((directory / "meta.json").read_text(encoding="utf-8"))
     if meta.get("format") != _FORMAT:
         raise ValueError(f"unsupported serve blob format {meta.get('format')!r}")

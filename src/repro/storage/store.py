@@ -43,6 +43,7 @@ from repro.storage.checkpoint import (
     prune_checkpoints,
     write_checkpoint,
 )
+from repro.storage.retry import DEFAULT_POLICY, RetryPolicy, call_with_retry
 from repro.storage.wal import WalError, WriteAheadLog
 
 PathLike = Union[str, os.PathLike]
@@ -70,19 +71,53 @@ class RecoveryReport(NamedTuple):
 
 
 class DurableStore:
-    """WAL + checkpoints for one database, rooted at one directory."""
+    """WAL + checkpoints for one database, rooted at one directory.
 
-    def __init__(self, directory: PathLike):
+    ``retry`` is the store's transient-I/O budget
+    (:class:`~repro.storage.retry.RetryPolicy`): inherited by the WAL it
+    opens (append retries) and applied to checkpoint publication. The
+    default retries ``EIO``-class errors a few times with backed-off
+    jittered sleeps and fails ``ENOSPC`` fast — see
+    :mod:`repro.storage.retry`.
+    """
+
+    def __init__(self, directory: PathLike, retry: Optional[RetryPolicy] = None):
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.retry = retry if retry is not None else DEFAULT_POLICY
         self.wal: Optional[WriteAheadLog] = None
         #: Checkpoints written through this handle (the base checkpoint
         #: from :meth:`bind` included) — the ``checkpoints`` stat.
         self.checkpoints_written = 0
+        #: Transient checkpoint-write failures absorbed by the retry loop.
+        self.checkpoint_retries = 0
         self._last_report: Optional[RecoveryReport] = None
         #: Manifest of the last checkpoint written or recovered from
         #: (per-entry sizes, skipped-entry count) — CLI/stats reporting.
         self.last_manifest: Optional[dict] = None
+
+    def _adopt_wal(self, wal: WriteAheadLog) -> WriteAheadLog:
+        """Attach ``wal`` with this store's retry policy applied."""
+        wal.retry_policy = self.retry
+        self.wal = wal
+        return wal
+
+    def _publish_checkpoint(self, *args, **kwargs) -> pathlib.Path:
+        """:func:`write_checkpoint` under the store's retry budget.
+
+        Checkpoint writes stage-then-rename, so a failed attempt leaves
+        no partial state behind and retrying is always safe; only
+        transient errors are retried (``ENOSPC`` propagates at once).
+        """
+
+        def count_retry(attempt: int, error: BaseException, delay: float) -> None:
+            self.checkpoint_retries += 1
+
+        return call_with_retry(
+            lambda: write_checkpoint(*args, **kwargs),
+            policy=self.retry,
+            on_retry=count_retry,
+        )
 
     @property
     def wal_path(self) -> pathlib.Path:
@@ -138,14 +173,16 @@ class DurableStore:
                     f"the database is at {database.version}; recover() the "
                     f"stored state instead of binding a diverged database"
                 )
-            self.wal = wal
+            self._adopt_wal(wal)
         else:
-            write_checkpoint(self.directory, database)
+            self._publish_checkpoint(self.directory, database)
             self.checkpoints_written += 1
-            self.wal = WriteAheadLog.open(
-                self.wal_path,
-                instance_id=database.instance_id,
-                base_version=database.version,
+            self._adopt_wal(
+                WriteAheadLog.open(
+                    self.wal_path,
+                    instance_id=database.instance_id,
+                    base_version=database.version,
+                )
             )
         database.bind_log(self.wal)
         return self
@@ -175,7 +212,7 @@ class DurableStore:
                 f"checkpoint of database instance {database.instance_id!r} "
                 f"into a store owned by {self.wal.instance_id!r}"
             )
-        path = write_checkpoint(
+        path = self._publish_checkpoint(
             self.directory, database, serve_state, serve_format=serve_format
         )
         try:
@@ -229,7 +266,7 @@ class DurableStore:
             database._relations[name] = Relation.copy_from(name, columns, rows)
         database.version = ckpt.version
         database.instance_id = ckpt.instance_id
-        self.wal = wal
+        self._adopt_wal(wal)
         self.last_manifest = ckpt.manifest
         return database, ckpt, wal
 

@@ -41,12 +41,19 @@ import pathlib
 import zlib
 from typing import Iterator, List, NamedTuple, Optional, Union
 
+from repro import faults
 from repro.errors import ReproError
+from repro.storage import retry as _retry
 from repro.storage.values import decode_row, encode_row
 
 PathLike = Union[str, os.PathLike]
 
 _FORMAT = 1
+
+#: Failpoints guarding the two instants an append can die: before the
+#: frame hits the file, and between flush and fsync (written-not-durable).
+FP_APPEND = faults.register("wal.append")
+FP_FSYNC = faults.register("wal.fsync")
 
 
 class WalError(ReproError):
@@ -118,6 +125,16 @@ class WriteAheadLog:
         self.discarded_records = discarded_records
         #: Batches appended through this handle (the `wal_appends` stat).
         self.appends = 0
+        #: Transient append failures absorbed by the retry loop (the
+        #: `wal_retries` stat).
+        self.retries = 0
+        #: Post-failure truncations that themselves failed (best-effort
+        #: rollback left a torn tail for the next open() to discard).
+        self.rollback_failures = 0
+        #: Retry budget for transient append I/O errors. Set by the
+        #: owning :class:`~repro.storage.store.DurableStore` (its
+        #: ``retry=`` knob); defaults to the module-wide policy.
+        self.retry_policy: Optional[_retry.RetryPolicy] = None
         self._records = records
         self._handle = None
 
@@ -219,6 +236,15 @@ class WriteAheadLog:
         :class:`~repro.database.delta.Delta` iterates exactly so). The
         record is flushed and fsynced before this returns: once the
         caller publishes ``version``, the batch is already on disk.
+
+        Failure contract: transient I/O errors (see
+        :mod:`repro.storage.retry`) are retried with backoff inside the
+        configured budget; a failure that escapes — persistent errno,
+        budget exhausted — propagates with the file **rolled back to the
+        pre-append offset** (half-written frames are truncated away
+        immediately, not left to linger until the next open). A rollback
+        that itself fails is counted and left for open()'s torn-tail
+        discard, which lands on the same durable prefix.
         """
         if version <= self.last_version:
             raise WalError(
@@ -232,17 +258,76 @@ class WriteAheadLog:
             "kind": "batch", "instance": self.instance_id,
             "version": version, "ops": encoded_ops,
         })
-        if self._handle is None:
-            self._handle = open(self.path, "ab")
-        self._handle.write(record)
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        policy = (
+            self.retry_policy
+            if self.retry_policy is not None
+            else _retry.DEFAULT_POLICY
+        )
+
+        def count_retry(attempt, error, delay):
+            self.retries += 1
+
+        _retry.call_with_retry(
+            lambda: self._write_record(record), policy, on_retry=count_retry
+        )
         self._records.append(WalRecord(
             version,
             [(op, relation, tuple(row)) for op, relation, row in ops],
         ))
         self.last_version = version
         self.appends += 1
+
+    def _write_record(self, record: bytes) -> None:
+        """Write + flush + fsync one framed record; roll back on failure.
+
+        Any exception leaves the file at its pre-append length (best
+        effort) and the buffered handle discarded, so a retry — or the
+        next append after a caught failure — starts on a clean record
+        boundary with no half-frame beneath it.
+        """
+        if self._handle is None:
+            self._handle = open(self.path, "ab")
+        handle = self._handle
+        pre_size = os.fstat(handle.fileno()).st_size
+        try:
+            try:
+                faults.inject(FP_APPEND)
+            except faults.TornWrite as torn:
+                # Simulate a crash mid-write: a prefix of the frame
+                # reaches the file, then the write "fails".
+                partial = record[: max(1, int(len(record) * torn.fraction))]
+                handle.write(partial)
+                handle.flush()
+                raise
+            handle.write(record)
+            handle.flush()
+            faults.inject(FP_FSYNC)
+            os.fsync(handle.fileno())
+        except BaseException:
+            self._rollback(pre_size)
+            raise
+
+    def _rollback(self, pre_size: int) -> None:
+        """Best-effort crash-consistency restore after a failed append.
+
+        Closes the (possibly dirty-buffered) handle first — so no stale
+        buffered bytes can leak into a later append — then truncates the
+        file back to ``pre_size`` and fsyncs. If the truncate itself
+        fails, the torn tail stays on disk; it is counted here and
+        discarded by the framing scan on the next :meth:`open`.
+        """
+        try:
+            self._handle.close()
+        except OSError:
+            pass  # close-time flush of a doomed buffer; the truncate rules
+        self._handle = None
+        try:
+            with open(self.path, "rb+") as handle:
+                handle.truncate(pre_size)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:
+            self.rollback_failures += 1
 
     # ------------------------------------------------------------------ #
     # Reading / maintenance                                               #

@@ -11,11 +11,13 @@ import pytest
 import repro
 import repro.core.shuffle
 import repro.database.delta
+import repro.faults
 import repro.query.parser
 import repro.service
 import repro.service.cache
 import repro.service.cursor
 import repro.service.query_service
+import repro.server.sessions
 import repro.server.testing
 import repro.storage.values
 
@@ -26,11 +28,13 @@ import repro.storage.values
         repro,
         repro.core.shuffle,
         repro.database.delta,
+        repro.faults,
         repro.query.parser,
         repro.service,
         repro.service.cache,
         repro.service.cursor,
         repro.service.query_service,
+        repro.server.sessions,
         repro.server.testing,
         repro.storage.values,
     ],
